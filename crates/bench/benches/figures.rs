@@ -1,0 +1,138 @@
+//! One benchmark per table/figure family of the paper's evaluation: each
+//! target runs the corresponding experiment kernel at reduced scale, so
+//! `cargo bench` exercises the exact code paths behind every reported
+//! artifact and tracks their simulation cost over time.
+//!
+//! (The full-scale regenerators live in `tse-experiments`; these benches
+//! measure the machinery, not the science.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tse_prefetch::GhbIndexing;
+use tse_sim::{correlation_curve, run_timing, run_trace, EngineKind, RunConfig};
+use tse_types::{SystemConfig, TseConfig};
+use tse_workloads::{Em3d, OltpFlavor, Tpcc, Workload};
+
+const SCALE: f64 = 0.03;
+
+fn cfg(engine: EngineKind) -> RunConfig {
+    RunConfig {
+        engine,
+        ..RunConfig::default()
+    }
+}
+
+fn oltp() -> Tpcc {
+    Tpcc::scaled(OltpFlavor::Db2, SCALE)
+}
+
+fn em3d() -> Em3d {
+    Em3d::scaled(SCALE)
+}
+
+/// Figure 6 kernel: baseline trace + correlation-distance analysis.
+fn bench_fig06(c: &mut Criterion) {
+    c.bench_function("fig06/correlation_analysis", |b| {
+        let wl = oltp();
+        b.iter(|| {
+            let mut rc = cfg(EngineKind::Baseline);
+            rc.collect_consumptions = true;
+            let r = run_trace(&wl, &rc).unwrap();
+            black_box(correlation_curve(16, &r.consumptions).at_distance(8))
+        });
+    });
+}
+
+/// Figure 7 kernel: unconstrained TSE with the 2-stream comparator.
+fn bench_fig07(c: &mut Criterion) {
+    c.bench_function("fig07/two_stream_tse", |b| {
+        let wl = oltp();
+        b.iter(|| {
+            let r = run_trace(&wl, &cfg(EngineKind::Tse(TseConfig::unconstrained()))).unwrap();
+            black_box(r.discard_rate())
+        });
+    });
+}
+
+/// Figures 8 & 9 kernel: bounded-hardware TSE sweep point (lookahead 16,
+/// 8-entry SVB).
+fn bench_fig08_09(c: &mut Criterion) {
+    c.bench_function("fig08_09/bounded_tse", |b| {
+        let wl = oltp();
+        let mut tse = TseConfig::default();
+        tse.lookahead = 16;
+        tse.svb_entries = Some(8);
+        b.iter(|| {
+            let r = run_trace(&wl, &cfg(EngineKind::Tse(tse.clone()))).unwrap();
+            black_box((r.coverage(), r.discard_rate()))
+        });
+    });
+}
+
+/// Figure 10 kernel: small-CMOB TSE (capacity-gated streaming).
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10/small_cmob_tse", |b| {
+        let wl = em3d();
+        let mut tse = TseConfig::default();
+        tse.cmob_capacity = 512;
+        b.iter(|| {
+            let r = run_trace(&wl, &cfg(EngineKind::Tse(tse.clone()))).unwrap();
+            black_box(r.coverage())
+        });
+    });
+}
+
+/// Figures 11 & 14 / Table 3 kernel: the interval timing model with TSE.
+fn bench_fig11_14_table3(c: &mut Criterion) {
+    c.bench_function("fig11_14_table3/timing_model", |b| {
+        let wl = em3d();
+        let sys = SystemConfig::default();
+        b.iter(|| {
+            let base = run_timing(&wl, &sys, &EngineKind::Baseline, 42, 0.25).unwrap();
+            let tse =
+                run_timing(&wl, &sys, &EngineKind::Tse(TseConfig::default()), 42, 0.25).unwrap();
+            black_box(tse.speedup_over(&base))
+        });
+    });
+}
+
+/// Figure 12 kernel: the GHB baseline harness (the slowest competitor).
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12/ghb_ac_harness", |b| {
+        let wl = oltp();
+        b.iter(|| {
+            let r = run_trace(
+                &wl,
+                &cfg(EngineKind::paper_ghb(GhbIndexing::AddressCorrelation)),
+            )
+            .unwrap();
+            black_box(r.coverage())
+        });
+    });
+}
+
+/// Figure 13 kernel: stream-length bookkeeping on a long-stream workload.
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13/stream_lengths", |b| {
+        let wl = em3d();
+        b.iter(|| {
+            let r = run_trace(&wl, &cfg(EngineKind::Tse(TseConfig::default()))).unwrap();
+            black_box(r.engine.hits_from_streams_up_to(128))
+        });
+    });
+}
+
+/// Workload generation itself (Table 2 inputs).
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("table2/workload_generation", |b| {
+        let wl = oltp();
+        b.iter(|| black_box(wl.generate(42).len()));
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig06, bench_fig07, bench_fig08_09, bench_fig10,
+              bench_fig11_14_table3, bench_fig12, bench_fig13, bench_generation
+}
+criterion_main!(figures);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the Temporal Streaming reproduction live in `benches/`.

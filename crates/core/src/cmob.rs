@@ -1,0 +1,245 @@
+//! The Coherence Miss Order Buffer (CMOB).
+
+use tse_types::Line;
+
+/// A node's coherence miss order buffer: a circular buffer, resident in a
+/// private region of the node's main memory, recording the node's coherent
+/// read miss addresses in retirement order (Section 3.1 of the paper).
+///
+/// Entries are addressed by *absolute position*: the `n`-th address ever
+/// appended has position `n`, forever. The directory stores `(node,
+/// position)` pointers; a position remains readable until the circular
+/// buffer wraps past it, at which point reads return `None` — exactly the
+/// capacity effect that Figure 10 of the paper sweeps.
+///
+/// # Example
+///
+/// ```
+/// use tse_core::Cmob;
+/// use tse_types::Line;
+///
+/// let mut cmob = Cmob::new(4);
+/// for i in 0..6 {
+///     cmob.append(Line::new(i));
+/// }
+/// assert_eq!(cmob.get(5), Some(Line::new(5)));
+/// assert_eq!(cmob.get(1), None); // overwritten: capacity is 4
+/// assert_eq!(cmob.read_window(4, 8), vec![Line::new(4), Line::new(5)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cmob {
+    buf: Vec<Line>,
+    capacity: usize,
+    head: u64, // total appends ever; next position to write
+}
+
+impl Cmob {
+    /// Creates an empty CMOB with room for `capacity` addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CMOB capacity must be nonzero");
+        Cmob {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently readable.
+    pub fn len(&self) -> usize {
+        (self.head as usize).min(self.capacity)
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.head == 0
+    }
+
+    /// Total addresses ever appended (== the next position to be written).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Appends a miss address, returning its absolute position.
+    pub fn append(&mut self, line: Line) -> u64 {
+        let pos = self.head;
+        let slot = (pos % self.capacity as u64) as usize;
+        if slot < self.buf.len() {
+            self.buf[slot] = line;
+        } else {
+            // Grow lazily up to capacity; avoids a huge upfront
+            // allocation for "near-infinite" CMOB configurations.
+            debug_assert_eq!(slot, self.buf.len());
+            self.buf.push(line);
+        }
+        self.head += 1;
+        pos
+    }
+
+    /// Oldest position still resident.
+    fn oldest(&self) -> u64 {
+        self.head.saturating_sub(self.capacity as u64)
+    }
+
+    /// Reads the address at an absolute position, or `None` if the
+    /// position has been overwritten or not yet written.
+    pub fn get(&self, pos: u64) -> Option<Line> {
+        if pos >= self.head || pos < self.oldest() {
+            return None;
+        }
+        Some(self.buf[(pos % self.capacity as u64) as usize])
+    }
+
+    /// Reads up to `len` consecutive addresses starting at `pos`,
+    /// stopping early at the buffer head or if the range has wrapped away.
+    ///
+    /// This models the protocol controller reading a chunk of the order
+    /// to forward as an address stream (Section 3.2).
+    pub fn read_window(&self, pos: u64, len: usize) -> Vec<Line> {
+        let mut out = Vec::with_capacity(len);
+        for p in pos..pos.saturating_add(len as u64) {
+            match self.get(p) {
+                Some(line) => out.push(line),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// True if `pos` is still readable.
+    pub fn contains_pos(&self, pos: u64) -> bool {
+        pos < self.head && pos >= self.oldest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Cmob::new(0);
+    }
+
+    #[test]
+    fn append_returns_monotonic_positions() {
+        let mut c = Cmob::new(8);
+        for i in 0..20 {
+            assert_eq!(c.append(Line::new(i)), i);
+        }
+        assert_eq!(c.head(), 20);
+    }
+
+    #[test]
+    fn reads_before_wrap() {
+        let mut c = Cmob::new(8);
+        for i in 0..5 {
+            c.append(Line::new(i * 10));
+        }
+        assert_eq!(c.len(), 5);
+        for i in 0..5 {
+            assert_eq!(c.get(i), Some(Line::new(i * 10)));
+        }
+        assert_eq!(c.get(5), None, "unwritten position");
+    }
+
+    #[test]
+    fn wrap_overwrites_oldest() {
+        let mut c = Cmob::new(4);
+        for i in 0..10 {
+            c.append(Line::new(i));
+        }
+        assert_eq!(c.len(), 4);
+        for i in 0..6 {
+            assert_eq!(c.get(i), None, "position {i} should be overwritten");
+        }
+        for i in 6..10 {
+            assert_eq!(c.get(i), Some(Line::new(i)));
+        }
+    }
+
+    #[test]
+    fn read_window_stops_at_head() {
+        let mut c = Cmob::new(16);
+        for i in 0..5 {
+            c.append(Line::new(i));
+        }
+        assert_eq!(
+            c.read_window(3, 10),
+            vec![Line::new(3), Line::new(4)],
+            "window must stop at head"
+        );
+        assert!(c.read_window(5, 10).is_empty());
+    }
+
+    #[test]
+    fn read_window_empty_if_wrapped_away() {
+        let mut c = Cmob::new(4);
+        for i in 0..100 {
+            c.append(Line::new(i));
+        }
+        assert!(c.read_window(10, 4).is_empty());
+        assert_eq!(c.read_window(96, 4).len(), 4);
+    }
+
+    #[test]
+    fn contains_pos_tracks_residency() {
+        let mut c = Cmob::new(4);
+        for i in 0..6 {
+            c.append(Line::new(i));
+        }
+        assert!(!c.contains_pos(0));
+        assert!(!c.contains_pos(1));
+        assert!(c.contains_pos(2));
+        assert!(c.contains_pos(5));
+        assert!(!c.contains_pos(6));
+        assert!(c.is_empty() == false);
+        assert!(Cmob::new(1).is_empty());
+    }
+
+    proptest! {
+        /// The most recent min(appends, capacity) entries are always
+        /// readable and correct.
+        #[test]
+        fn recent_entries_always_readable(cap in 1usize..64, n in 0u64..500) {
+            let mut c = Cmob::new(cap);
+            for i in 0..n {
+                c.append(Line::new(i * 3));
+            }
+            let oldest = n.saturating_sub(cap as u64);
+            for p in oldest..n {
+                prop_assert_eq!(c.get(p), Some(Line::new(p * 3)));
+            }
+            if oldest > 0 {
+                prop_assert_eq!(c.get(oldest - 1), None);
+            }
+        }
+
+        /// read_window equals repeated get.
+        #[test]
+        fn window_matches_get(cap in 1usize..32, n in 0u64..200, start in 0u64..250, len in 0usize..40) {
+            let mut c = Cmob::new(cap);
+            for i in 0..n {
+                c.append(Line::new(i));
+            }
+            let win = c.read_window(start, len);
+            for (k, line) in win.iter().enumerate() {
+                prop_assert_eq!(c.get(start + k as u64), Some(*line));
+            }
+            // Window stops exactly at the first unreadable position.
+            if win.len() < len {
+                prop_assert_eq!(c.get(start + win.len() as u64), None);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Directory CMOB-pointer extension.
+
+use serde::{Deserialize, Serialize};
+use tse_memsim::FastHashMap;
+use tse_types::{Line, NodeId};
+
+/// A pointer into some node's CMOB: "node `node` appended this line at
+/// position `pos`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CmobPtr {
+    /// The node whose CMOB holds the entry.
+    pub node: NodeId,
+    /// Absolute position of the entry in that CMOB.
+    pub pos: u64,
+}
+
+/// The directory extension that maps each line to the CMOB locations of
+/// its most recent consumptions (Section 3.2 of the paper).
+///
+/// Each directory entry keeps up to `pointers_per_line` pointers, most
+/// recent first. Pointers record *occurrences*, not consumers: when the
+/// same node consumes a line in two successive iterations, both
+/// positions are kept, which is what lets the stream engine compare a
+/// node's two past traversals of the same recurring sequence (and lets
+/// iterative scientific codes self-stream).
+///
+/// # Example
+///
+/// ```
+/// use tse_core::{CmobPtr, DirectoryPointers};
+/// use tse_types::{Line, NodeId};
+///
+/// let mut dp = DirectoryPointers::new(2);
+/// dp.record(Line::new(9), NodeId::new(0), 100);
+/// dp.record(Line::new(9), NodeId::new(1), 55);
+/// let ptrs = dp.lookup(Line::new(9));
+/// assert_eq!(ptrs[0], CmobPtr { node: NodeId::new(1), pos: 55 }); // most recent first
+/// assert_eq!(ptrs[1], CmobPtr { node: NodeId::new(0), pos: 100 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectoryPointers {
+    map: FastHashMap<Line, Vec<CmobPtr>>,
+    pointers_per_line: usize,
+    records: u64,
+}
+
+impl DirectoryPointers {
+    /// Creates the extension with `pointers_per_line` pointers per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointers_per_line` is zero.
+    pub fn new(pointers_per_line: usize) -> Self {
+        assert!(pointers_per_line > 0, "at least one CMOB pointer per entry");
+        DirectoryPointers {
+            map: FastHashMap::default(),
+            pointers_per_line,
+            records: 0,
+        }
+    }
+
+    /// Pointers kept per line.
+    pub fn pointers_per_line(&self) -> usize {
+        self.pointers_per_line
+    }
+
+    /// Total pointer updates recorded (traffic accounting).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of lines that have at least one pointer.
+    pub fn lines(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Records that `node` appended `line` at `pos` in its CMOB.
+    ///
+    /// Keeps the most recent `pointers_per_line` occurrence records
+    /// (evicting the oldest).
+    pub fn record(&mut self, line: Line, node: NodeId, pos: u64) {
+        self.records += 1;
+        let ptrs = self.map.entry(line).or_default();
+        ptrs.insert(0, CmobPtr { node, pos });
+        ptrs.truncate(self.pointers_per_line);
+    }
+
+    /// Returns the pointers for `line`, most recent first (empty slice if
+    /// the line was never recorded).
+    pub fn lookup(&self, line: Line) -> &[CmobPtr] {
+        self.map.get(&line).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Directory storage overhead in bits per pointer for a system of
+    /// `nodes` nodes and CMOBs of `cmob_capacity` entries:
+    /// `log2(nodes) + log2(cmob capacity)` (Section 3.2).
+    pub fn bits_per_pointer(nodes: usize, cmob_capacity: usize) -> u32 {
+        let node_bits = usize::BITS - (nodes.max(2) - 1).leading_zeros();
+        let pos_bits = usize::BITS - (cmob_capacity.max(2) - 1).leading_zeros();
+        node_bits + pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_pointers_panics() {
+        let _ = DirectoryPointers::new(0);
+    }
+
+    #[test]
+    fn lookup_of_unknown_line_is_empty() {
+        let dp = DirectoryPointers::new(2);
+        assert!(dp.lookup(Line::new(1)).is_empty());
+        assert_eq!(dp.lines(), 0);
+    }
+
+    #[test]
+    fn most_recent_first_and_truncated() {
+        let mut dp = DirectoryPointers::new(2);
+        let l = Line::new(4);
+        dp.record(l, NodeId::new(0), 10);
+        dp.record(l, NodeId::new(1), 20);
+        dp.record(l, NodeId::new(2), 30);
+        let ptrs = dp.lookup(l);
+        assert_eq!(ptrs.len(), 2);
+        assert_eq!(ptrs[0].node, NodeId::new(2));
+        assert_eq!(ptrs[1].node, NodeId::new(1));
+        assert_eq!(dp.records(), 3);
+    }
+
+    #[test]
+    fn same_node_occurrences_are_both_kept() {
+        // Two successive traversals by the same node must both stay
+        // visible: the comparator needs both to validate a self-stream.
+        let mut dp = DirectoryPointers::new(2);
+        let l = Line::new(4);
+        dp.record(l, NodeId::new(0), 10);
+        dp.record(l, NodeId::new(0), 99);
+        let ptrs = dp.lookup(l);
+        assert_eq!(ptrs.len(), 2);
+        assert_eq!(ptrs[0], CmobPtr { node: NodeId::new(0), pos: 99 });
+        assert_eq!(ptrs[1], CmobPtr { node: NodeId::new(0), pos: 10 });
+        // A third record evicts the oldest.
+        dp.record(l, NodeId::new(1), 120);
+        let ptrs = dp.lookup(l);
+        assert_eq!(ptrs.len(), 2);
+        assert_eq!(ptrs[0].node, NodeId::new(1));
+        assert_eq!(ptrs[1].pos, 99);
+    }
+
+    #[test]
+    fn lines_are_independent() {
+        let mut dp = DirectoryPointers::new(1);
+        dp.record(Line::new(1), NodeId::new(0), 1);
+        dp.record(Line::new(2), NodeId::new(1), 2);
+        assert_eq!(dp.lookup(Line::new(1))[0].node, NodeId::new(0));
+        assert_eq!(dp.lookup(Line::new(2))[0].node, NodeId::new(1));
+        assert_eq!(dp.lines(), 2);
+    }
+
+    #[test]
+    fn pointer_bits_formula() {
+        // 16 nodes (4 bits) + 256K entries (18 bits) = 22 bits.
+        assert_eq!(DirectoryPointers::bits_per_pointer(16, 256 * 1024), 22);
+        assert_eq!(DirectoryPointers::bits_per_pointer(2, 2), 2);
+        assert_eq!(DirectoryPointers::bits_per_pointer(64, 1 << 20), 26);
+    }
+}

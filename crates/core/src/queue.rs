@@ -1,0 +1,409 @@
+//! Stream queues: groups of FIFOs with head comparators.
+
+use std::collections::VecDeque;
+use tse_types::{Line, NodeId};
+
+/// What [`StreamQueue::pop_agreed`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pop {
+    /// All live FIFO heads agree on this address: fetch it.
+    Agreed(Line),
+    /// A live FIFO ran out of buffered addresses but its source CMOB may
+    /// have more; refill the listed FIFOs before popping again.
+    NeedRefill(Vec<usize>),
+    /// Live FIFO heads disagree: low temporal correlation, stall until a
+    /// subsequent miss disambiguates (see [`StreamQueue::try_resolve`]).
+    Stalled,
+    /// Every FIFO is exhausted and empty: the stream has ended.
+    Dead,
+}
+
+/// One candidate stream inside a queue: buffered addresses plus the CMOB
+/// coordinates to refill from.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    /// Node whose CMOB sources this stream.
+    pub src: NodeId,
+    /// Next CMOB position to read when refilling.
+    pub next_pos: u64,
+    /// True once the source CMOB can supply no more addresses.
+    pub exhausted: bool,
+    addrs: VecDeque<Line>,
+}
+
+impl Fifo {
+    /// Buffered address count.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if no addresses are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The head address, if any.
+    pub fn head(&self) -> Option<Line> {
+        self.addrs.front().copied()
+    }
+
+    fn live(&self) -> bool {
+        !(self.addrs.is_empty() && self.exhausted)
+    }
+}
+
+/// A stream queue: up to `k` FIFOs holding candidate streams with a common
+/// head, compared head-by-head (Section 3.3, Figure 5 of the paper).
+///
+/// While the heads agree the engine fetches the agreed block and pops all
+/// FIFOs; on disagreement the queue stalls until a later miss matches one
+/// head, at which point the other FIFOs are discarded and the queue
+/// follows the surviving stream.
+///
+/// # Example
+///
+/// ```
+/// use tse_core::{Pop, StreamQueue};
+/// use tse_types::{Line, NodeId};
+///
+/// let mut q = StreamQueue::new(1, Line::new(100), 2);
+/// q.add_stream(NodeId::new(0), 11, vec![Line::new(1), Line::new(2)], true);
+/// q.add_stream(NodeId::new(1), 77, vec![Line::new(1), Line::new(9)], true);
+/// assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(1)));
+/// assert_eq!(q.pop_agreed(), Pop::Stalled); // 2 vs 9
+/// assert!(q.try_resolve(Line::new(9)));     // miss on 9 selects stream 1
+/// assert_eq!(q.pop_agreed(), Pop::Dead);    // 9 was consumed by the miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamQueue {
+    id: u64,
+    head_line: Line,
+    fifos: Vec<Fifo>,
+    stalled: bool,
+    /// Set once a miss has selected a single stream; from then on the
+    /// surviving FIFO is followed without requiring `min_agree` partners.
+    resolved: bool,
+    min_agree: usize,
+    /// Blocks fetched for this queue still sitting unused in the SVB.
+    pub outstanding: usize,
+    /// SVB hits served from this queue (the stream length so far).
+    pub hits: u64,
+    /// LRU stamp maintained by the engine.
+    pub last_active: u64,
+}
+
+impl StreamQueue {
+    /// Creates an empty queue for streams headed by `head_line`.
+    ///
+    /// `min_agree` is the number of candidate streams that must be live
+    /// and agreeing before blocks are fetched (the configured number of
+    /// compared streams). A queue with fewer candidates stalls until a
+    /// subsequent miss resolves it ([`StreamQueue::try_resolve`]); after
+    /// resolution the surviving stream is followed alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_agree` is zero.
+    pub fn new(id: u64, head_line: Line, min_agree: usize) -> Self {
+        assert!(min_agree > 0, "min_agree must be nonzero");
+        StreamQueue {
+            id,
+            head_line,
+            fifos: Vec::new(),
+            stalled: false,
+            resolved: false,
+            min_agree,
+            outstanding: 0,
+            hits: 0,
+            last_active: 0,
+        }
+    }
+
+    /// Queue identifier (SVB entries carry it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The stream head this queue was allocated for.
+    pub fn head_line(&self) -> Line {
+        self.head_line
+    }
+
+    /// True if the comparator is stalled on disagreeing heads.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Number of candidate streams.
+    pub fn fifo_count(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Read-only view of the FIFOs.
+    pub fn fifos(&self) -> &[Fifo] {
+        &self.fifos
+    }
+
+    /// Adds a candidate stream: `addrs` are the addresses following the
+    /// head in `src`'s CMOB starting at position `next_pos -
+    /// addrs.len()`; `next_pos` is where refills continue; `exhausted`
+    /// marks a source that can supply no more.
+    pub fn add_stream(&mut self, src: NodeId, next_pos: u64, addrs: Vec<Line>, exhausted: bool) {
+        self.fifos.push(Fifo {
+            src,
+            next_pos,
+            exhausted,
+            addrs: addrs.into(),
+        });
+    }
+
+    /// Refills FIFO `idx` with more addresses from its source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn refill(&mut self, idx: usize, addrs: Vec<Line>, new_next_pos: u64, exhausted: bool) {
+        let fifo = &mut self.fifos[idx];
+        fifo.addrs.extend(addrs);
+        fifo.next_pos = new_next_pos;
+        fifo.exhausted = exhausted;
+    }
+
+    /// FIFOs that are running low (fewer than `threshold` buffered
+    /// addresses) and can still be refilled. The engine refills these
+    /// when the queue is half empty (Section 3.3).
+    pub fn refill_candidates(&self, threshold: usize) -> Vec<usize> {
+        self.fifos
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.exhausted && f.addrs.len() < threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Compares live FIFO heads and pops the agreed address, if any.
+    ///
+    /// Streaming requires `min_agree` live candidate streams whose heads
+    /// agree — unless the queue was resolved by a miss, after which the
+    /// surviving stream is followed alone. Dead FIFOs (empty and
+    /// exhausted) drop out of the comparison.
+    pub fn pop_agreed(&mut self) -> Pop {
+        if self.stalled {
+            return Pop::Stalled;
+        }
+        let live: Vec<usize> = (0..self.fifos.len()).filter(|&i| self.fifos[i].live()).collect();
+        if live.is_empty() {
+            return Pop::Dead;
+        }
+        if !self.resolved && live.len() < self.min_agree {
+            // Not enough candidate streams to gauge accuracy: stall and
+            // wait for a miss to confirm one of them.
+            self.stalled = true;
+            return Pop::Stalled;
+        }
+        let need: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| self.fifos[i].is_empty())
+            .collect();
+        if !need.is_empty() {
+            return Pop::NeedRefill(need);
+        }
+        let first = self.fifos[live[0]].head().expect("live nonempty fifo");
+        let agree = live.iter().all(|&i| self.fifos[i].head() == Some(first));
+        if agree {
+            for &i in &live {
+                self.fifos[i].addrs.pop_front();
+            }
+            // Agreement establishes confidence in the stream: if partner
+            // FIFOs later drain (their CMOB windows end), the survivors
+            // keep being followed.
+            self.resolved = true;
+            Pop::Agreed(first)
+        } else {
+            self.stalled = true;
+            Pop::Stalled
+        }
+    }
+
+    /// While stalled, checks a demand-missed line against the FIFO heads;
+    /// on a match, discards the other FIFOs, consumes the matched head and
+    /// resumes (returns true).
+    pub fn try_resolve(&mut self, line: Line) -> bool {
+        if !self.stalled {
+            return false;
+        }
+        let matched = self
+            .fifos
+            .iter()
+            .position(|f| f.live() && f.head() == Some(line));
+        let Some(idx) = matched else {
+            return false;
+        };
+        let mut keep = self.fifos.swap_remove(idx);
+        keep.addrs.pop_front(); // the miss consumed this address
+        self.fifos.clear();
+        self.fifos.push(keep);
+        self.stalled = false;
+        self.resolved = true;
+        true
+    }
+
+    /// For an active queue whose fetches are capped by the lookahead: if
+    /// the demand-missed line is exactly the next agreed address, consume
+    /// it (the processor got ahead of the stream) and return true so the
+    /// engine advances the stream instead of launching a duplicate.
+    pub fn try_consume_head(&mut self, line: Line) -> bool {
+        if self.stalled {
+            return false;
+        }
+        let live: Vec<usize> = (0..self.fifos.len()).filter(|&i| self.fifos[i].live()).collect();
+        if live.is_empty() || live.iter().any(|&i| self.fifos[i].is_empty()) {
+            return false;
+        }
+        let agree_on_line = live
+            .iter()
+            .all(|&i| self.fifos[i].head() == Some(line));
+        if agree_on_line {
+            for &i in &live {
+                self.fifos[i].addrs.pop_front();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when every FIFO is exhausted and empty.
+    pub fn is_dead(&self) -> bool {
+        self.fifos.iter().all(|f| !f.live())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[u64]) -> Vec<Line> {
+        v.iter().map(|&i| Line::new(i)).collect()
+    }
+
+    #[test]
+    fn single_fifo_streams_unconditionally() {
+        let mut q = StreamQueue::new(0, Line::new(0), 1);
+        q.add_stream(NodeId::new(0), 10, lines(&[1, 2, 3]), true);
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(1)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(2)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(3)));
+        assert_eq!(q.pop_agreed(), Pop::Dead);
+        assert!(q.is_dead());
+    }
+
+    #[test]
+    fn two_agreeing_fifos_stream() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5, 6]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[5, 6]), true);
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(5)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(6)));
+        assert_eq!(q.pop_agreed(), Pop::Dead);
+    }
+
+    #[test]
+    fn disagreement_stalls_until_resolved() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5, 6, 7]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[8, 9]), true);
+        assert_eq!(q.pop_agreed(), Pop::Stalled);
+        assert!(q.is_stalled());
+        // Unrelated miss does not resolve.
+        assert!(!q.try_resolve(Line::new(42)));
+        assert!(q.is_stalled());
+        // Miss on 8 selects the second stream; 8 is consumed by the miss.
+        assert!(q.try_resolve(Line::new(8)));
+        assert!(!q.is_stalled());
+        assert_eq!(q.fifo_count(), 1);
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(9)));
+    }
+
+    #[test]
+    fn empty_unexhausted_fifo_requests_refill() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[]), false);
+        q.add_stream(NodeId::new(1), 99, lines(&[5]), true);
+        assert_eq!(q.pop_agreed(), Pop::NeedRefill(vec![0]));
+        q.refill(0, lines(&[5, 6]), 12, true);
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(5)));
+        // FIFO 1 is now empty+exhausted: drops out, FIFO 0 continues alone.
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(6)));
+        assert_eq!(q.pop_agreed(), Pop::Dead);
+    }
+
+    #[test]
+    fn exhausted_empty_fifo_drops_out_of_comparison() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[5, 6, 7]), true);
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(5)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(6)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(7)));
+        assert_eq!(q.pop_agreed(), Pop::Dead);
+    }
+
+    #[test]
+    fn refill_candidates_respect_threshold_and_exhaustion() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[1]), false); // low, refillable
+        q.add_stream(NodeId::new(1), 99, lines(&[1]), true); // low, exhausted
+        q.add_stream(NodeId::new(2), 50, lines(&[1, 2, 3, 4]), false); // not low
+        assert_eq!(q.refill_candidates(3), vec![0]);
+        assert_eq!(q.refill_candidates(5), vec![0, 2]);
+    }
+
+    #[test]
+    fn try_consume_head_advances_past_lookahead_cap() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5, 6]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[5, 6]), true);
+        assert!(q.try_consume_head(Line::new(5)));
+        assert!(!q.try_consume_head(Line::new(99)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(6)));
+    }
+
+    #[test]
+    fn try_consume_head_ignores_stalled_queues() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[8]), true);
+        assert_eq!(q.pop_agreed(), Pop::Stalled);
+        assert!(!q.try_consume_head(Line::new(5)));
+    }
+
+    #[test]
+    fn resolve_requires_stall() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5]), true);
+        assert!(!q.try_resolve(Line::new(5)), "active queues do not resolve");
+    }
+
+    #[test]
+    fn queue_with_no_streams_is_dead() {
+        let mut q = StreamQueue::new(3, Line::new(1), 1);
+        assert_eq!(q.pop_agreed(), Pop::Dead);
+        assert!(q.is_dead());
+        assert_eq!(q.id(), 3);
+        assert_eq!(q.head_line(), Line::new(1));
+    }
+
+    #[test]
+    fn divergence_after_agreement() {
+        let mut q = StreamQueue::new(0, Line::new(0), 1);
+        q.add_stream(NodeId::new(0), 10, lines(&[1, 2, 3]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[1, 2, 9]), true);
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(1)));
+        assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(2)));
+        assert_eq!(q.pop_agreed(), Pop::Stalled);
+        assert!(q.try_resolve(Line::new(3)));
+        assert_eq!(q.pop_agreed(), Pop::Dead, "3 was consumed by the resolving miss");
+    }
+}

@@ -1,0 +1,187 @@
+//! TSE counters and derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by the [`crate::TemporalStreamingEngine`].
+///
+/// The paper's figures are expressed as fractions of *consumptions*
+/// (coherent read misses excluding spins):
+///
+/// * **coverage** = consumptions eliminated (served by the SVB) /
+///   total consumptions;
+/// * **discards** = blocks erroneously forwarded (streamed but never
+///   used) / total consumptions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TseStats {
+    /// Consumptions served by the SVB (eliminated coherent read misses).
+    pub covered: u64,
+    /// Of the covered, those whose data was still in flight at the demand
+    /// access (timing mode only): latency partially hidden.
+    pub partial_covered: u64,
+    /// Consumptions that missed the SVB and paid the full latency.
+    pub uncovered: u64,
+    /// Blocks fetched by stream engines into SVBs.
+    pub fetched: u64,
+    /// Fetched blocks dropped without use (evicted, invalidated,
+    /// displaced, or resident at end of simulation).
+    pub discarded: u64,
+    /// Stream addresses whose fetch was skipped because the block was
+    /// already in the consumer's hierarchy or SVB.
+    pub skipped_fetches: u64,
+    /// Addresses appended to CMOBs.
+    pub cmob_appends: u64,
+    /// CMOB pointer updates sent to directories.
+    pub pointer_updates: u64,
+    /// Stream queues allocated.
+    pub queues_allocated: u64,
+    /// Comparator stalls (FIFO head disagreements).
+    pub queue_stalls: u64,
+    /// Stalled queues resolved by a subsequent matching miss.
+    pub queue_resolutions: u64,
+    /// Demand misses that consumed the next agreed address of an active
+    /// queue (processor ran ahead of the stream lookahead).
+    pub consumed_heads: u64,
+    /// Completed stream lengths, one entry per retired queue, measured in
+    /// SVB hits served (Figure 13's unit).
+    pub stream_lengths: Vec<u64>,
+    /// Processor pin bytes spent shipping packetized CMOB appends to
+    /// memory (Section 5.4's pin-bandwidth overhead).
+    pub cmob_pin_bytes: u64,
+    /// Residual latency (cycles) paid by partially covered consumptions,
+    /// summed; with `partial_covered` this yields the average fraction of
+    /// latency hidden.
+    pub partial_residual_cycles: u64,
+    /// Full fill latency (cycles) that partially covered consumptions
+    /// would have paid unstreamed, summed.
+    pub partial_full_cycles: u64,
+}
+
+impl TseStats {
+    /// Total consumptions observed (covered + uncovered).
+    pub fn consumptions(&self) -> u64 {
+        self.covered + self.uncovered
+    }
+
+    /// Coverage: fraction of consumptions eliminated.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.covered, self.consumptions())
+    }
+
+    /// Fully covered fraction (timing mode): hit with data already
+    /// arrived.
+    pub fn full_coverage(&self) -> f64 {
+        ratio(self.covered - self.partial_covered, self.consumptions())
+    }
+
+    /// Partially covered fraction (timing mode): hit with data in flight.
+    pub fn partial_coverage(&self) -> f64 {
+        ratio(self.partial_covered, self.consumptions())
+    }
+
+    /// Discards as a fraction of consumptions (can exceed 1.0, as in the
+    /// paper's single-stream configurations).
+    pub fn discard_rate(&self) -> f64 {
+        ratio(self.discarded, self.consumptions())
+    }
+
+    /// Average fraction of the miss latency hidden for partially covered
+    /// consumptions (the paper reports 40% commercial, 60-75% scientific).
+    pub fn partial_latency_hidden(&self) -> f64 {
+        if self.partial_full_cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.partial_residual_cycles as f64 / self.partial_full_cycles as f64
+        }
+    }
+
+    /// Cumulative fraction of SVB hits served by streams of length at
+    /// most `max_len` (Figure 13).
+    pub fn hits_from_streams_up_to(&self, max_len: u64) -> f64 {
+        let total: u64 = self.stream_lengths.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: u64 = self
+            .stream_lengths
+            .iter()
+            .filter(|&&l| l <= max_len)
+            .sum();
+        within as f64 / total as f64
+    }
+
+    /// Checks the fetch-accounting identity after
+    /// [`crate::TemporalStreamingEngine::finish`]: every fetched block was
+    /// either used (covered) or discarded.
+    pub fn accounting_balanced(&self) -> bool {
+        self.fetched == self.covered + self.discarded
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_with_zero_denominator_are_zero() {
+        let s = TseStats::default();
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.discard_rate(), 0.0);
+        assert_eq!(s.partial_latency_hidden(), 0.0);
+        assert_eq!(s.hits_from_streams_up_to(8), 0.0);
+    }
+
+    #[test]
+    fn coverage_and_discards() {
+        let s = TseStats {
+            covered: 60,
+            uncovered: 40,
+            fetched: 110,
+            discarded: 50,
+            ..TseStats::default()
+        };
+        assert!((s.coverage() - 0.6).abs() < 1e-12);
+        assert!((s.discard_rate() - 0.5).abs() < 1e-12);
+        assert!(s.accounting_balanced());
+    }
+
+    #[test]
+    fn partial_split() {
+        let s = TseStats {
+            covered: 50,
+            partial_covered: 20,
+            uncovered: 50,
+            ..TseStats::default()
+        };
+        assert!((s.full_coverage() - 0.3).abs() < 1e-12);
+        assert!((s.partial_coverage() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_length_cdf() {
+        let s = TseStats {
+            stream_lengths: vec![1, 2, 4, 100],
+            ..TseStats::default()
+        };
+        // hits total = 107; streams of length <= 4 contribute 7.
+        assert!((s.hits_from_streams_up_to(4) - 7.0 / 107.0).abs() < 1e-12);
+        assert!((s.hits_from_streams_up_to(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_hidden_fraction() {
+        let s = TseStats {
+            partial_residual_cycles: 40,
+            partial_full_cycles: 100,
+            ..TseStats::default()
+        };
+        assert!((s.partial_latency_hidden() - 0.6).abs() < 1e-12);
+    }
+}

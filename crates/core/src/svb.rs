@@ -1,0 +1,297 @@
+//! The Streamed Value Buffer (SVB).
+
+use tse_memsim::{FastHashMap, FillPath};
+use tse_types::{Cycle, Line};
+
+/// One SVB entry: a streamed (clean) cache block awaiting use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvbEntry {
+    /// The block's line address.
+    pub line: Line,
+    /// The stream queue that fetched it.
+    pub queue: u64,
+    /// How the block was fetched (for deferred traffic accounting).
+    pub fill: FillPath,
+    /// When the block's data arrives (timing mode; `Cycle::ZERO` in trace
+    /// mode). A demand access before `ready_at` is *partially* covered.
+    pub ready_at: Cycle,
+}
+
+/// The streamed value buffer: a small fully-associative LRU buffer holding
+/// streamed blocks beside the cache hierarchy (Section 3.3 of the paper).
+///
+/// Entries hold only clean data; a write to the block by *any* processor
+/// invalidates the entry. A demand hit removes the entry (the block moves
+/// to the L1 data cache). The paper chooses 32 entries (2 KB).
+///
+/// # Example
+///
+/// ```
+/// use tse_core::Svb;
+/// use tse_memsim::FillPath;
+/// use tse_types::{Cycle, Line};
+///
+/// let mut svb = Svb::new(Some(2));
+/// svb.insert(Line::new(1), 0, FillPath::LocalMemory, Cycle::ZERO);
+/// assert!(svb.contains(Line::new(1)));
+/// let hit = svb.take(Line::new(1)).expect("hit");
+/// assert_eq!(hit.queue, 0);
+/// assert!(!svb.contains(Line::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svb {
+    entries: FastHashMap<Line, (SvbEntry, u64)>, // entry + LRU stamp
+    capacity: Option<usize>,
+    tick: u64,
+    hits: u64,
+    insertions: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl Svb {
+    /// Creates an SVB bounded to `capacity` entries (`None` = unlimited,
+    /// used by the paper's opportunity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn new(capacity: Option<usize>) -> Self {
+        assert!(capacity != Some(0), "SVB capacity must be nonzero");
+        Svb {
+            entries: FastHashMap::default(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            insertions: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Current number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in entries (`None` = unlimited).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Demand hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Blocks ever inserted.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Blocks evicted (LRU) without being used.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Blocks invalidated by writes without being used.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// True if the buffer holds the line (no LRU side effect).
+    pub fn contains(&self, line: Line) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Peeks at an entry without removing it.
+    pub fn peek(&self, line: Line) -> Option<&SvbEntry> {
+        self.entries.get(&line).map(|(e, _)| e)
+    }
+
+    /// Inserts a streamed block, returning the displaced entry if one was
+    /// dropped: either the LRU victim when the buffer was full, or the
+    /// stale copy of the same line when re-streamed. Displaced entries
+    /// were never used, so their fetches become discards.
+    pub fn insert(
+        &mut self,
+        line: Line,
+        queue: u64,
+        fill: FillPath,
+        ready_at: Cycle,
+    ) -> Option<SvbEntry> {
+        self.tick += 1;
+        self.insertions += 1;
+        let entry = SvbEntry {
+            line,
+            queue,
+            fill,
+            ready_at,
+        };
+        if let Some((old, _)) = self.entries.insert(line, (entry, self.tick)) {
+            self.evictions += 1;
+            return Some(old); // replaced in place, old copy unused
+        }
+        if let Some(cap) = self.capacity {
+            if self.entries.len() > cap {
+                // Evict the LRU entry.
+                let victim = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(l, _)| *l)
+                    .expect("nonempty");
+                self.evictions += 1;
+                return self.entries.remove(&victim).map(|(e, _)| e);
+            }
+        }
+        None
+    }
+
+    /// Demand lookup: removes and returns the entry on a hit (the block
+    /// moves to the L1 cache).
+    pub fn take(&mut self, line: Line) -> Option<SvbEntry> {
+        let (entry, _) = self.entries.remove(&line)?;
+        self.hits += 1;
+        Some(entry)
+    }
+
+    /// Invalidates the line if resident (a write by any processor),
+    /// returning the dropped entry for discard accounting.
+    pub fn invalidate(&mut self, line: Line) -> Option<SvbEntry> {
+        let (entry, _) = self.entries.remove(&line)?;
+        self.invalidations += 1;
+        Some(entry)
+    }
+
+    /// Drains all residual entries (end of simulation): each is a block
+    /// that was streamed but never used.
+    pub fn drain(&mut self) -> Vec<SvbEntry> {
+        let out: Vec<SvbEntry> = self.entries.values().map(|(e, _)| *e).collect();
+        self.entries.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fill() -> FillPath {
+        FillPath::LocalMemory
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Svb::new(Some(0));
+    }
+
+    #[test]
+    fn insert_take_round_trip() {
+        let mut s = Svb::new(Some(4));
+        s.insert(Line::new(1), 7, fill(), Cycle::new(5));
+        let e = s.take(Line::new(1)).unwrap();
+        assert_eq!(e.queue, 7);
+        assert_eq!(e.ready_at, Cycle::new(5));
+        assert_eq!(s.hits(), 1);
+        assert!(s.take(Line::new(1)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_on_overflow() {
+        let mut s = Svb::new(Some(2));
+        s.insert(Line::new(1), 0, fill(), Cycle::ZERO);
+        s.insert(Line::new(2), 0, fill(), Cycle::ZERO);
+        let victim = s.insert(Line::new(3), 0, fill(), Cycle::ZERO);
+        assert_eq!(victim.unwrap().line, Line::new(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.evictions(), 1);
+        assert!(s.contains(Line::new(2)) && s.contains(Line::new(3)));
+    }
+
+    #[test]
+    fn reinsert_displaces_stale_copy_and_refreshes_lru() {
+        let mut s = Svb::new(Some(2));
+        s.insert(Line::new(1), 0, fill(), Cycle::ZERO);
+        s.insert(Line::new(2), 0, fill(), Cycle::ZERO);
+        // Re-stream 1: the stale copy is displaced and 2 becomes LRU.
+        let stale = s.insert(Line::new(1), 9, fill(), Cycle::ZERO);
+        assert_eq!(stale.unwrap().queue, 0);
+        let victim = s.insert(Line::new(3), 0, fill(), Cycle::ZERO);
+        assert_eq!(victim.unwrap().line, Line::new(2));
+        assert_eq!(s.peek(Line::new(1)).unwrap().queue, 9);
+    }
+
+    #[test]
+    fn invalidate_drops_entry() {
+        let mut s = Svb::new(None);
+        s.insert(Line::new(1), 0, fill(), Cycle::ZERO);
+        assert!(s.invalidate(Line::new(1)).is_some());
+        assert!(s.invalidate(Line::new(1)).is_none());
+        assert_eq!(s.invalidations(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unlimited_capacity_never_evicts() {
+        let mut s = Svb::new(None);
+        for i in 0..10_000 {
+            assert!(s.insert(Line::new(i), 0, fill(), Cycle::ZERO).is_none());
+        }
+        assert_eq!(s.len(), 10_000);
+        assert_eq!(s.evictions(), 0);
+    }
+
+    #[test]
+    fn drain_returns_residuals() {
+        let mut s = Svb::new(Some(8));
+        s.insert(Line::new(1), 0, fill(), Cycle::ZERO);
+        s.insert(Line::new(2), 0, fill(), Cycle::ZERO);
+        s.take(Line::new(1));
+        let drained = s.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].line, Line::new(2));
+        assert!(s.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_capacity(lines in proptest::collection::vec(0u64..64, 0..200)) {
+            let mut s = Svb::new(Some(8));
+            for l in lines {
+                s.insert(Line::new(l), 0, fill(), Cycle::ZERO);
+                prop_assert!(s.len() <= 8);
+            }
+        }
+
+        #[test]
+        fn accounting_identity(ops in proptest::collection::vec((0u8..3, 0u64..32), 0..300)) {
+            // insertions == hits + evictions + invalidations + residents
+            let mut s = Svb::new(Some(4));
+            let mut evicted = 0u64;
+            for (op, l) in ops {
+                match op {
+                    0 => {
+                        if s.insert(Line::new(l), 0, fill(), Cycle::ZERO).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    1 => { s.take(Line::new(l)); }
+                    _ => { s.invalidate(Line::new(l)); }
+                }
+            }
+            prop_assert_eq!(evicted, s.evictions());
+            prop_assert_eq!(
+                s.insertions(),
+                s.hits() + s.evictions() + s.invalidations() + s.len() as u64
+            );
+        }
+    }
+}

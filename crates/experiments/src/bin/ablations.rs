@@ -1,0 +1,169 @@
+//! Ablations of the TSE design choices called out in DESIGN.md §6,
+//! beyond the sweeps the paper's own figures perform:
+//!
+//! * **stream-queue count** — the paper (§5.3) reports no sensitivity to
+//!   the number of stream queues beyond avoiding thrashing; we verify.
+//! * **CMOB forwarding chunk size** — §3.3's half-queue refill policy.
+//! * **spin filter on/off** — how much lock-spin traffic would pollute
+//!   the orders if not excluded.
+//! * **generalized address streams** — the paper's Section 2 extension:
+//!   record and stream *all* read misses rather than only coherent ones.
+
+use serde_json::json;
+use tse_experiments::{pct, row, ExperimentCtx};
+use tse_sim::{run_parallel, run_trace, EngineKind, RunConfig, StreamScope};
+use tse_types::TseConfig;
+use tse_workloads::{OltpFlavor, Tpcc};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    let mut all = Vec::new();
+
+    // ------------------------------------------------------------------
+    // 1. Stream-queue count (paper §5.3: little sensitivity).
+    // ------------------------------------------------------------------
+    println!("== Ablation: stream-queue count (DB2) ==");
+    let queue_counts: Vec<Option<usize>> =
+        vec![Some(1), Some(2), Some(4), Some(8), Some(16), None];
+    let results = run_parallel(queue_counts.clone(), 0, |queues| {
+        let wl = Tpcc::scaled(OltpFlavor::Db2, ctx.scale);
+        let tse = TseConfig {
+            stream_queues: queues,
+            ..TseConfig::default()
+        };
+        let r = run_trace(
+            &wl,
+            &RunConfig {
+                sys: ctx.sys.clone(),
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .expect("run");
+        (queues, r.coverage(), r.discard_rate())
+    });
+    println!("{}", row(&["queues".into(), "coverage".into(), "discards".into()]));
+    for (q, cov, disc) in &results {
+        let label = q.map(|v| v.to_string()).unwrap_or_else(|| "inf".into());
+        println!("{}", row(&[format!("{label:4}"), pct(*cov), pct(*disc)]));
+        all.push(json!({ "ablation": "queues", "queues": q, "coverage": cov, "discards": disc }));
+    }
+    println!("(expect: thrashing with 1 queue; near-flat beyond a handful, as in §5.3)\n");
+
+    // ------------------------------------------------------------------
+    // 2. CMOB forwarding chunk size.
+    // ------------------------------------------------------------------
+    println!("== Ablation: CMOB forwarding chunk (em3d) ==");
+    let chunks = vec![4usize, 8, 16, 32, 64];
+    let results = run_parallel(chunks.clone(), 0, |chunk| {
+        let wl = tse_workloads::Em3d::scaled(ctx.scale);
+        let tse = TseConfig {
+            chunk,
+            lookahead: 18,
+            ..TseConfig::default()
+        };
+        let r = run_trace(
+            &wl,
+            &RunConfig {
+                sys: ctx.sys.clone(),
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .expect("run");
+        (chunk, r.coverage(), r.traffic.overhead_ratio())
+    });
+    println!("{}", row(&["chunk".into(), "coverage".into(), "overhead ratio".into()]));
+    for (c, cov, ratio) in &results {
+        println!("{}", row(&[format!("{c:4}"), pct(*cov), pct(*ratio)]));
+        all.push(json!({ "ablation": "chunk", "chunk": c, "coverage": cov, "overhead_ratio": ratio }));
+    }
+    println!("(expect: coverage insensitive — refills are off the critical path; \
+              smaller chunks raise per-address header overhead)\n");
+
+    // ------------------------------------------------------------------
+    // 3. Spin filter on/off.
+    // ------------------------------------------------------------------
+    println!("== Ablation: spin filter (DB2, spin-heavy locks) ==");
+    let mut wl = Tpcc::scaled(OltpFlavor::Db2, ctx.scale);
+    wl.spin_prob = 0.4;
+    for filtering in [true, false] {
+        // With the filter off, spin misses are recorded in CMOBs and
+        // launch (useless) streams, polluting the orders.
+        let tse = TseConfig {
+            spin_filter: filtering,
+            ..TseConfig::default()
+        };
+        let r = run_trace(
+            &wl,
+            &RunConfig {
+                sys: ctx.sys.clone(),
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .expect("run");
+        println!(
+            "  spin filter {}: coverage {}, discards {}, spins excluded {}",
+            if filtering { "on " } else { "off" },
+            pct(r.coverage()),
+            pct(r.discard_rate()),
+            r.spin_misses
+        );
+        all.push(json!({
+            "ablation": "spin_filter", "on": filtering,
+            "coverage": r.coverage(), "discards": r.discard_rate(),
+            "spins": r.spin_misses,
+        }));
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // 4. Generalized address streams (Section 2 extension).
+    // ------------------------------------------------------------------
+    println!("== Extension: generalized address streams (all read misses) ==");
+    println!(
+        "{}",
+        row(&["app".into(), "scope".into(), "coverage".into(), "discards".into(), "overhead".into()])
+    );
+    for wl in ctx.suite() {
+        for scope in [StreamScope::CoherentReads, StreamScope::AllReads] {
+            let r = run_trace(
+                wl.as_ref(),
+                &RunConfig {
+                    sys: ctx.sys.clone(),
+                    engine: EngineKind::Tse(TseConfig::default()),
+                    stream_scope: scope,
+                    ..RunConfig::default()
+                },
+            )
+            .expect("run");
+            let label = match scope {
+                StreamScope::CoherentReads => "coherent",
+                StreamScope::AllReads => "all     ",
+            };
+            println!(
+                "{}",
+                row(&[
+                    format!("{:7}", wl.name()),
+                    label.into(),
+                    pct(r.coverage()),
+                    pct(r.discard_rate()),
+                    pct(r.traffic.overhead_ratio()),
+                ])
+            );
+            all.push(json!({
+                "ablation": "stream_scope", "app": wl.name(),
+                "scope": format!("{scope:?}"),
+                "coverage": r.coverage(), "discards": r.discard_rate(),
+                "overhead_ratio": r.traffic.overhead_ratio(),
+            }));
+        }
+    }
+    println!(
+        "(streaming all read misses also covers cold/capacity misses — the paper's \
+         generalized-streams direction — at the cost of more recording traffic)"
+    );
+
+    ctx.save("ablations", &json!({ "results": all }));
+}

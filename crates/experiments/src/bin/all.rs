@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper's evaluation.
+use tse_experiments::{figs, ExperimentCtx};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    println!("Temporal Streaming of Shared Memory (ISCA 2005) — full experiment suite");
+    println!("scale={} seeds={}\n", ctx.scale, ctx.seeds.len());
+    figs::tables12(&ctx);
+    println!();
+    figs::fig06(&ctx);
+    println!();
+    figs::fig07(&ctx);
+    println!();
+    figs::fig08(&ctx);
+    println!();
+    figs::fig09(&ctx);
+    println!();
+    figs::fig10(&ctx);
+    println!();
+    figs::fig11(&ctx);
+    println!();
+    figs::fig12(&ctx);
+    println!();
+    figs::fig13(&ctx);
+    println!();
+    figs::table3(&ctx);
+    println!();
+    figs::fig14(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig07.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::fig07(&ctx);
+}

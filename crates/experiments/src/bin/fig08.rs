@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::fig08(&ctx);
+}

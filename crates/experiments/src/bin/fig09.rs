@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::fig09(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::fig12(&ctx);
+}

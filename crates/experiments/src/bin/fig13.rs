@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::fig13(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::table3(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's tables12.
+fn main() {
+    let ctx = tse_experiments::ExperimentCtx::from_env();
+    tse_experiments::figs::tables12(&ctx);
+}

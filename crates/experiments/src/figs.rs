@@ -1,0 +1,551 @@
+//! One function per table/figure of the paper's evaluation section.
+
+use crate::{lookahead_for, pct, row, tse_config_for, ExperimentCtx};
+use serde_json::{json, Value};
+use tse_prefetch::GhbIndexing;
+use tse_sim::{
+    correlation_curve, run_parallel, run_timing, run_trace, EngineKind, RunConfig, Samples,
+    TimingResult, MAX_DISTANCE,
+};
+use tse_types::TseConfig;
+use tse_workloads::WorkloadKind;
+
+fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
+    RunConfig {
+        sys: ctx.sys.clone(),
+        engine,
+        seed: 42,
+        warm_fraction: 0.25,
+        ..RunConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables 1 & 2
+// ---------------------------------------------------------------------
+
+/// Prints Table 1 (system parameters) and Table 2 (application
+/// parameters) for the configured context.
+pub fn tables12(ctx: &ExperimentCtx) -> Value {
+    println!("== Table 1: DSM system parameters ==");
+    let s = &ctx.sys;
+    println!("  nodes: {} ({}x{} 2D torus)", s.nodes, s.torus_width, s.torus_height);
+    println!("  clock: {} GHz, {}-wide, {}-entry ROB, {} MSHRs", s.clock_ghz, s.issue_width, s.rob_entries, s.mshrs);
+    println!("  L1: {} KB {}-way, {} cycles", s.l1_bytes / 1024, s.l1_ways, s.l1_latency.raw());
+    println!("  L2: {} MB {}-way, {} cycles", s.l2_bytes / 1024 / 1024, s.l2_ways, s.l2_latency.raw());
+    println!("  memory: {} ns; interconnect: {} ns/hop", s.memory_latency_ns, s.hop_latency_ns);
+    println!();
+    println!("== Table 2: applications and parameters (scale {}) ==", ctx.scale);
+    let mut apps = Vec::new();
+    for wl in ctx.suite() {
+        println!("  {:8} {}", wl.name(), wl.table2_params());
+        apps.push(json!({ "name": wl.name(), "params": wl.table2_params() }));
+    }
+    let v = json!({ "system": s, "applications": apps });
+    ctx.save("tables12", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: opportunity to exploit temporal correlation
+// ---------------------------------------------------------------------
+
+/// Figure 6: cumulative fraction of consumptions vs. temporal correlation
+/// distance (±1..±16), per application.
+pub fn fig06(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 6: temporal correlation distance (cumulative % of consumptions) ==");
+    let curves = run_parallel(ctx.suite(), 0, |wl| {
+        let mut cfg = run_cfg(ctx, EngineKind::Baseline);
+        cfg.collect_consumptions = true;
+        let r = run_trace(wl.as_ref(), &cfg).expect("baseline run");
+        let curve = correlation_curve(ctx.sys.nodes, &r.consumptions);
+        (wl.name().to_string(), curve)
+    });
+
+    let mut header = vec!["app".to_string()];
+    for d in [1usize, 2, 4, 8, 16] {
+        header.push(format!("±{d}"));
+    }
+    println!("{}", row(&header));
+    let mut out = Vec::new();
+    for (name, curve) in &curves {
+        let mut cells = vec![format!("{name:7}")];
+        for d in [1usize, 2, 4, 8, 16] {
+            cells.push(pct(curve.at_distance(d)));
+        }
+        println!("{}", row(&cells));
+        out.push(json!({
+            "app": name,
+            "cumulative": curve.cumulative,
+            "consumptions": curve.consumptions,
+        }));
+    }
+    println!("(paper: scientific near-perfect at ±1; commercial >40% at ±1, 49-63% at ±8)");
+    let v = json!({ "max_distance": MAX_DISTANCE, "curves": out });
+    ctx.save("fig06", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: sensitivity to the number of compared streams
+// ---------------------------------------------------------------------
+
+/// Figure 7: coverage and discards vs. number of compared streams (1-4),
+/// with unconstrained TSE hardware and lookahead 8.
+pub fn fig07(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 7: coverage/discards vs compared streams (unconstrained HW, lookahead 8) ==");
+    let mut jobs = Vec::new();
+    for wl in ctx.suite() {
+        for k in 1..=4usize {
+            jobs.push((wl.name().to_string(), k));
+        }
+    }
+    let results = run_parallel(jobs, 0, |(name, k)| {
+        let wl = ctx
+            .suite()
+            .into_iter()
+            .find(|w| w.name() == name)
+            .expect("known workload");
+        let mut tse = TseConfig::unconstrained();
+        tse.compared_streams = k;
+        tse.directory_pointers = k.max(2);
+        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        (name, k, r.coverage(), r.discard_rate())
+    });
+
+    println!("{}", row(&["app".into(), "k".into(), "coverage".into(), "discards".into()]));
+    let mut out = Vec::new();
+    for (name, k, cov, disc) in &results {
+        println!(
+            "{}",
+            row(&[format!("{name:7}"), k.to_string(), pct(*cov), pct(*disc)])
+        );
+        out.push(json!({ "app": name, "streams": k, "coverage": cov, "discards": disc }));
+    }
+    println!("(paper: single-stream commercial discards >200%; two streams drop them to 40-50% with minimal coverage loss)");
+    let v = json!({ "results": out });
+    ctx.save("fig07", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: effect of stream lookahead on discards
+// ---------------------------------------------------------------------
+
+/// Figure 8: discards (normalized to consumptions) vs. stream lookahead.
+pub fn fig08(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 8: discards vs stream lookahead ==");
+    let lookaheads = [1usize, 2, 4, 8, 12, 16, 20, 24];
+    let mut jobs = Vec::new();
+    for wl in ctx.suite() {
+        for &la in &lookaheads {
+            jobs.push((wl.name().to_string(), la));
+        }
+    }
+    let results = run_parallel(jobs, 0, |(name, la)| {
+        let wl = ctx
+            .suite()
+            .into_iter()
+            .find(|w| w.name() == name)
+            .expect("known workload");
+        let mut tse = TseConfig::unconstrained();
+        tse.lookahead = la;
+        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        (name, la, r.discard_rate(), r.coverage())
+    });
+
+    let mut header = vec!["app".to_string()];
+    header.extend(lookaheads.iter().map(|l| format!("la={l}")));
+    println!("{}", row(&header));
+    let mut out = Vec::new();
+    for wl_name in ctx.suite().iter().map(|w| w.name().to_string()) {
+        let mut cells = vec![format!("{wl_name:7}")];
+        for &(ref name, la, disc, cov) in &results {
+            if *name == wl_name {
+                cells.push(pct(disc));
+                out.push(json!({ "app": name, "lookahead": la, "discards": disc, "coverage": cov }));
+            }
+        }
+        println!("{}", row(&cells));
+    }
+    println!("(paper: scientific discards stay near zero; commercial discards grow with lookahead)");
+    let v = json!({ "lookaheads": lookaheads, "results": out });
+    ctx.save("fig08", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: sensitivity to SVB size
+// ---------------------------------------------------------------------
+
+/// Figure 9: coverage and discards vs. SVB size (512 B, 2 KB, 8 KB,
+/// unlimited), lookahead 8.
+pub fn fig09(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 9: sensitivity to SVB size ==");
+    // 64-byte blocks: 512 B = 8 entries, 2 KB = 32, 8 KB = 128.
+    let sizes: [(&str, Option<usize>); 4] =
+        [("512", Some(8)), ("2k", Some(32)), ("8k", Some(128)), ("inf", None)];
+    let mut jobs = Vec::new();
+    for wl in ctx.suite() {
+        for (label, entries) in sizes {
+            jobs.push((wl.name().to_string(), label.to_string(), entries));
+        }
+    }
+    let results = run_parallel(jobs, 0, |(name, label, entries)| {
+        let wl = ctx
+            .suite()
+            .into_iter()
+            .find(|w| w.name() == name)
+            .expect("known workload");
+        let tse = TseConfig {
+            svb_entries: entries,
+            ..TseConfig::default()
+        };
+        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        (name, label, r.coverage(), r.discard_rate())
+    });
+
+    println!("{}", row(&["app".into(), "svb".into(), "coverage".into(), "discards".into()]));
+    let mut out = Vec::new();
+    for (name, label, cov, disc) in &results {
+        println!(
+            "{}",
+            row(&[format!("{name:7}"), format!("{label:4}"), pct(*cov), pct(*disc)])
+        );
+        out.push(json!({ "app": name, "svb": label, "coverage": cov, "discards": disc }));
+    }
+    println!("(paper: little coverage gain beyond 512 B; 2 KB (32 entries) is the chosen point)");
+    let v = json!({ "results": out });
+    ctx.save("fig09", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: CMOB storage requirements
+// ---------------------------------------------------------------------
+
+/// Figure 10: fraction of peak coverage vs. CMOB capacity per node.
+pub fn fig10(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 10: CMOB storage requirements (% of peak coverage) ==");
+    let capacities: [usize; 10] = [2, 8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288];
+    let mut jobs = Vec::new();
+    for wl in ctx.suite() {
+        for &cap in &capacities {
+            jobs.push((wl.name().to_string(), cap));
+        }
+    }
+    let results = run_parallel(jobs, 0, |(name, cap)| {
+        let wl = ctx
+            .suite()
+            .into_iter()
+            .find(|w| w.name() == name)
+            .expect("known workload");
+        let tse = TseConfig {
+            cmob_capacity: cap,
+            ..TseConfig::default()
+        };
+        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        (name, cap, r.coverage())
+    });
+
+    let entry_bytes = ctx.sys.cmob_entry_bytes;
+    let mut header = vec!["app".to_string()];
+    header.extend(capacities.iter().map(|c| format!("{}B", c * entry_bytes as usize)));
+    println!("{}", row(&header));
+    let mut out = Vec::new();
+    for wl_name in ctx.suite().iter().map(|w| w.name().to_string()) {
+        let covs: Vec<f64> = results
+            .iter()
+            .filter(|(n, _, _)| *n == wl_name)
+            .map(|(_, _, c)| *c)
+            .collect();
+        let peak = covs.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+        let mut cells = vec![format!("{wl_name:7}")];
+        for (cap, cov) in capacities.iter().zip(&covs) {
+            cells.push(pct(cov / peak));
+            out.push(json!({
+                "app": wl_name, "capacity_entries": cap,
+                "capacity_bytes": *cap as u64 * entry_bytes,
+                "coverage": cov, "fraction_of_peak": cov / peak,
+            }));
+        }
+        println!("{}", row(&cells));
+    }
+    println!("(paper: scientific apps step up once the CMOB covers the active working set; commercial coverage grows smoothly)");
+    let v = json!({ "capacities": capacities, "entry_bytes": entry_bytes, "results": out });
+    ctx.save("fig10", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: interconnect bisection bandwidth overhead
+// ---------------------------------------------------------------------
+
+/// Figure 11: TSE bisection bandwidth overhead (GB/s) with the ratio of
+/// overhead to baseline traffic annotated.
+pub fn fig11(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 11: interconnect bisection bandwidth overhead ==");
+    let results = run_parallel(ctx.suite(), 0, |wl| {
+        let tse = tse_config_for(wl.name());
+        let r = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Tse(tse), 42, 0.25)
+            .expect("timing run");
+        (wl.name().to_string(), r)
+    });
+
+    println!("{}", row(&["app".into(), "overhead GB/s (bisection)".into(), "overhead/base ratio".into()]));
+    let mut out = Vec::new();
+    for (name, r) in &results {
+        let gbps = r.traffic.overhead_bisection_gbps(r.seconds);
+        let ratio = r.traffic.overhead_ratio();
+        println!(
+            "{}",
+            row(&[format!("{name:7}"), format!("{gbps:6.2}"), pct(ratio)])
+        );
+        out.push(json!({
+            "app": name,
+            "overhead_bisection_gbps": gbps,
+            "overhead_ratio": ratio,
+            "stream_address_bytes": r.traffic.stream_address_bytes,
+            "discarded_data_bytes": r.traffic.discarded_data_bytes,
+            "cmob_bytes": r.traffic.cmob_bytes,
+            "demand_bytes": r.traffic.demand_bytes,
+        }));
+    }
+    println!("(paper: <4 GB/s everywhere, 16-57% of base traffic, dominated by address streams; <7% of a GS1280's 49.6 GB/s bisection)");
+    let v = json!({ "results": out });
+    ctx.save("fig11", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: competitive comparison
+// ---------------------------------------------------------------------
+
+/// Figure 12: TSE vs. stride and GHB (G/DC, G/AC) prefetchers.
+pub fn fig12(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 12: TSE vs stride and GHB prefetchers ==");
+    let engines: Vec<(&str, EngineKind)> = vec![
+        ("Stride", EngineKind::paper_stride()),
+        ("G/DC", EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation)),
+        ("G/AC", EngineKind::paper_ghb(GhbIndexing::AddressCorrelation)),
+        ("TSE", EngineKind::Tse(TseConfig::default())),
+    ];
+    let mut jobs = Vec::new();
+    for wl in ctx.suite() {
+        for (label, engine) in &engines {
+            jobs.push((wl.name().to_string(), label.to_string(), engine.clone()));
+        }
+    }
+    let results = run_parallel(jobs, 0, |(name, label, engine)| {
+        let wl = ctx
+            .suite()
+            .into_iter()
+            .find(|w| w.name() == name)
+            .expect("known workload");
+        let r = run_trace(wl.as_ref(), &run_cfg(ctx, engine)).expect("run");
+        (name, label, r.coverage(), r.discard_rate())
+    });
+
+    println!("{}", row(&["app".into(), "engine".into(), "coverage".into(), "discards".into()]));
+    let mut out = Vec::new();
+    for (name, label, cov, disc) in &results {
+        println!(
+            "{}",
+            row(&[format!("{name:7}"), format!("{label:6}"), pct(*cov), pct(*disc)])
+        );
+        out.push(json!({ "app": name, "engine": label, "coverage": cov, "discards": disc }));
+    }
+    println!("(paper: stride nearly never fires; G/AC beats G/DC on discards; TSE leads coverage everywhere — GHB's 512-entry history is too small)");
+    let v = json!({ "results": out });
+    ctx.save("fig12", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: stream length
+// ---------------------------------------------------------------------
+
+/// Figure 13: cumulative fraction of SVB hits vs. stream length.
+pub fn fig13(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 13: stream length (cumulative % of all hits) ==");
+    let buckets: Vec<u64> = [
+        0u64, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+    ]
+    .to_vec();
+    let results = run_parallel(ctx.suite(), 0, |wl| {
+        let tse = tse_config_for(wl.name());
+        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        (wl.name().to_string(), r.engine)
+    });
+
+    let mut header = vec!["app".to_string()];
+    header.extend(buckets.iter().map(|b| format!("≤{b}")));
+    println!("{}", row(&header));
+    let mut out = Vec::new();
+    for (name, stats) in &results {
+        let mut cells = vec![format!("{name:7}")];
+        let mut series = Vec::new();
+        for &b in &buckets {
+            let frac = stats.hits_from_streams_up_to(b);
+            cells.push(pct(frac));
+            series.push(frac);
+        }
+        println!("{}", row(&cells));
+        out.push(json!({ "app": name, "buckets": buckets, "cumulative_hits": series }));
+    }
+    println!("(paper: scientific hits come from streams of hundreds-thousands of blocks; commercial get 30-45% of coverage from streams shorter than 8)");
+    let v = json!({ "results": out });
+    ctx.save("fig13", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Table 3: streaming timeliness
+// ---------------------------------------------------------------------
+
+/// Table 3: trace coverage, baseline MLP, configured lookahead, and
+/// full/partial coverage under the timing model.
+pub fn table3(ctx: &ExperimentCtx) -> Value {
+    println!("== Table 3: streaming timeliness ==");
+    let results = run_parallel(ctx.suite(), 0, |wl| {
+        let name = wl.name().to_string();
+        let tse_cfg = tse_config_for(&name);
+        let trace = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse_cfg.clone())))
+            .expect("trace run");
+        let base = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Baseline, 42, 0.25)
+            .expect("baseline timing");
+        let timed = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Tse(tse_cfg), 42, 0.25)
+            .expect("tse timing");
+        (name, trace, base, timed)
+    });
+
+    println!(
+        "{}",
+        row(&[
+            "app".into(),
+            "trace cov".into(),
+            "MLP".into(),
+            "lookahead".into(),
+            "full cov".into(),
+            "partial cov".into(),
+            "latency hidden (partial)".into(),
+        ])
+    );
+    let mut out = Vec::new();
+    for (name, trace, base, timed) in &results {
+        let la = lookahead_for(name);
+        println!(
+            "{}",
+            row(&[
+                format!("{name:7}"),
+                pct(trace.coverage()),
+                format!("{:4.1}", base.mlp),
+                la.to_string(),
+                pct(timed.engine.full_coverage()),
+                pct(timed.engine.partial_coverage()),
+                pct(timed.engine.partial_latency_hidden()),
+            ])
+        );
+        out.push(json!({
+            "app": name,
+            "trace_coverage": trace.coverage(),
+            "mlp": base.mlp,
+            "lookahead": la,
+            "full_coverage": timed.engine.full_coverage(),
+            "partial_coverage": timed.engine.partial_coverage(),
+            "partial_latency_hidden": timed.engine.partial_latency_hidden(),
+        }));
+    }
+    println!("(paper: em3d 100/94/5, moldyn 98/83/14, ocean 98/27/57, Apache 43/26/16, DB2 60/36/11, Oracle 53/34/9, Zeus 43/29/14; MLP 2.0/1.6/6.6/1.3/1.3/1.2/1.3)");
+    let v = json!({ "results": out });
+    ctx.save("table3", &v);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: performance
+// ---------------------------------------------------------------------
+
+/// Figure 14: normalized execution-time breakdown (busy / other stalls /
+/// coherent read stalls) and TSE speedup, with 95% confidence intervals
+/// for the sampled commercial workloads.
+pub fn fig14(ctx: &ExperimentCtx) -> Value {
+    println!("== Figure 14: execution time breakdown and speedup ==");
+    let results = run_parallel(ctx.suite(), 0, |wl| {
+        let name = wl.name().to_string();
+        let tse_cfg = tse_config_for(&name);
+        // Scientific runs are deterministic single measurements; the
+        // commercial workloads are sampled over several seeds (the
+        // paper's SMARTS-style sampling), yielding 95% CIs.
+        let seeds: Vec<u64> = if wl.kind() == WorkloadKind::Scientific {
+            vec![42]
+        } else {
+            ctx.seeds.clone()
+        };
+        let mut speedups = Samples::new();
+        let mut base_repr: Option<TimingResult> = None;
+        let mut tse_repr: Option<TimingResult> = None;
+        for &seed in &seeds {
+            let base = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Baseline, seed, 0.25)
+                .expect("baseline timing");
+            let tse = run_timing(
+                wl.as_ref(),
+                &ctx.sys,
+                &EngineKind::Tse(tse_cfg.clone()),
+                seed,
+                0.25,
+            )
+            .expect("tse timing");
+            speedups.push(tse.speedup_over(&base));
+            if base_repr.is_none() {
+                base_repr = Some(base);
+                tse_repr = Some(tse);
+            }
+        }
+        (name, base_repr.expect("ran"), tse_repr.expect("ran"), speedups)
+    });
+
+    println!(
+        "{}",
+        row(&[
+            "app".into(),
+            "base busy/other/coh".into(),
+            "TSE busy/other/coh (norm.)".into(),
+            "speedup".into(),
+        ])
+    );
+    let mut out = Vec::new();
+    for (name, base, tse, speedups) in &results {
+        let total = base.total_cycles().max(1) as f64;
+        let nb = |r: &TimingResult| {
+            (
+                r.busy as f64 / total,
+                r.other_stall as f64 / total,
+                r.coherent_stall as f64 / total,
+            )
+        };
+        let (bb, bo, bc) = nb(base);
+        let (tb, to, tc) = nb(tse);
+        println!(
+            "{}",
+            row(&[
+                format!("{name:7}"),
+                format!("{bb:.2}/{bo:.2}/{bc:.2}"),
+                format!("{tb:.2}/{to:.2}/{tc:.2}"),
+                speedups.display(2),
+            ])
+        );
+        out.push(json!({
+            "app": name,
+            "base": { "busy": bb, "other": bo, "coherent": bc },
+            "tse": { "busy": tb, "other": to, "coherent": tc },
+            "speedup_mean": speedups.mean(),
+            "speedup_ci95": speedups.ci95_half_width(),
+            "samples": speedups.len(),
+        }));
+    }
+    println!("(paper: speedups 3.29 em3d, ~1.1-1.2 moldyn/ocean; 1.11-1.21 OLTP (DB2 highest); 1.06 web)");
+    let v = json!({ "results": out });
+    ctx.save("fig14", &v);
+    v
+}

@@ -1,0 +1,38 @@
+//! 2D torus interconnect model for the DSM simulator.
+//!
+//! The paper's machine (Table 1) connects 16 nodes with a 4x4 2D torus at
+//! 25 ns per hop and 128 GB/s peak bisection bandwidth. This crate models
+//! exactly what the evaluation needs from the fabric:
+//!
+//! * **topology & routing** — [`Torus`] maps nodes to coordinates and
+//!   computes shortest-path hop counts with dimension-order (XY) routing;
+//! * **latency** — hop counts convert to cycles via
+//!   [`tse_types::SystemConfig::hop_latency`];
+//! * **traffic accounting** — [`Traffic`] attributes every message's bytes
+//!   to a [`TrafficClass`] (baseline coherence vs. the various TSE
+//!   overheads) and counts the bytes that cross the bisection, which is
+//!   what Figure 11 of the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use tse_interconnect::{Torus, Traffic, TrafficClass};
+//! use tse_types::NodeId;
+//!
+//! let torus = Torus::new(4, 4)?;
+//! assert_eq!(torus.hops(NodeId::new(0), NodeId::new(5)), 2);
+//!
+//! let mut traffic = Traffic::new(&torus);
+//! traffic.record(NodeId::new(0), NodeId::new(2), TrafficClass::Demand, 80);
+//! assert_eq!(traffic.total_bytes(), 80);
+//! # Ok::<(), tse_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod torus;
+mod traffic;
+
+pub use torus::Torus;
+pub use traffic::{Traffic, TrafficClass, TrafficReport};

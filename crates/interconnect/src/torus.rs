@@ -1,0 +1,284 @@
+//! Torus topology and dimension-order routing.
+
+use serde::{Deserialize, Serialize};
+use tse_types::{ConfigError, NodeId};
+
+/// A `width x height` 2D torus with wraparound links in both dimensions.
+///
+/// Node `i` sits at coordinates `(i % width, i / width)`. Routing is
+/// dimension-ordered (X first, then Y) along the shorter ring direction,
+/// which matches the deadlock-free routing assumed by DSM machines of the
+/// paper's era (and the HP GS1280 it cites for bandwidth figures).
+///
+/// # Example
+///
+/// ```
+/// use tse_interconnect::Torus;
+/// use tse_types::NodeId;
+///
+/// let t = Torus::new(4, 4)?;
+/// // 0 -> 15 is one wraparound hop in each dimension.
+/// assert_eq!(t.hops(NodeId::new(0), NodeId::new(15)), 2);
+/// assert_eq!(t.diameter(), 4);
+/// # Ok::<(), tse_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus {
+    width: usize,
+    height: usize,
+}
+
+impl Torus {
+    /// Creates a torus of the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::new("torus dimensions must be nonzero"));
+        }
+        Ok(Torus { width, height })
+    }
+
+    /// Builds the torus described by a [`tse_types::SystemConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the config's torus shape is invalid.
+    pub fn from_config(cfg: &tse_types::SystemConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Torus::new(cfg.torus_width, cfg.torus_height)
+    }
+
+    /// Torus width (nodes per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Torus height (nodes per column).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Coordinates `(x, y)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside this torus.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        assert!(i < self.nodes(), "node {node} outside {}x{} torus", self.width, self.height);
+        (i % self.width, i / self.width)
+    }
+
+    /// The node at coordinates `(x, y)` (taken modulo the dimensions).
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        let x = x % self.width;
+        let y = y % self.height;
+        NodeId::new((y * self.width + x) as u16)
+    }
+
+    /// Shortest ring distance between two positions on a ring of length `n`.
+    fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(n - d)
+    }
+
+    /// Number of hops on the shortest dimension-order route from `src` to
+    /// `dst` (0 if equal).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        Self::ring_distance(sx, dx, self.width) + Self::ring_distance(sy, dy, self.height)
+    }
+
+    /// The maximum hop count between any pair of nodes.
+    pub fn diameter(&self) -> usize {
+        self.width / 2 + self.height / 2
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.nodes();
+        let mut total = 0usize;
+        for a in NodeId::all(n) {
+            for b in NodeId::all(n) {
+                if a != b {
+                    total += self.hops(a, b);
+                }
+            }
+        }
+        total as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Number of times the route from `src` to `dst` crosses the standard
+    /// X bisection of the torus.
+    ///
+    /// The bisection cut splits the torus into the left `width/2` columns
+    /// and the right `width/2` columns; in a ring, a route can cross the
+    /// cut through the middle (`width/2 - 1 -> width/2`) or through the
+    /// wraparound (`width - 1 -> 0`). Dimension-order routing takes the
+    /// shorter X direction, so each route crosses the bisection zero or one
+    /// times; routes between nodes in the same half that use only Y links
+    /// never cross it.
+    pub fn bisection_crossings(&self, src: NodeId, dst: NodeId) -> usize {
+        if self.width < 2 {
+            return 0;
+        }
+        let half = self.width / 2;
+        let (sx, _) = self.coords(src);
+        let (dx, _) = self.coords(dst);
+        if sx == dx {
+            return 0;
+        }
+        // Walk the shorter ring direction and count cut crossings.
+        let fwd = (dx + self.width - sx) % self.width; // steps going +1
+        let bwd = (sx + self.width - dx) % self.width; // steps going -1
+        let (dir, steps) = if fwd <= bwd { (1i64, fwd) } else { (-1i64, bwd) };
+        let mut x = sx as i64;
+        let mut crossings = 0;
+        for _ in 0..steps {
+            let next = (x + dir).rem_euclid(self.width as i64);
+            let (a, b) = (x as usize, next as usize);
+            let crosses_mid = (a == half - 1 && b == half) || (a == half && b == half - 1);
+            let crosses_wrap = (a == self.width - 1 && b == 0) || (a == 0 && b == self.width - 1);
+            if crosses_mid || crosses_wrap {
+                crossings += 1;
+            }
+            x = next;
+        }
+        crossings
+    }
+
+    /// Number of unidirectional links cut by the X bisection
+    /// (`2 * height` ring cuts, each cutting both directions).
+    pub fn bisection_links(&self) -> usize {
+        if self.width < 2 {
+            0
+        } else {
+            2 * self.height * 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t44() -> Torus {
+        Torus::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_dimension() {
+        assert!(Torus::new(0, 4).is_err());
+        assert!(Torus::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = t44();
+        for n in NodeId::all(16) {
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn hops_matches_hand_computed_values() {
+        let t = t44();
+        // neighbours
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(1)), 1);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(4)), 1);
+        // wraparound neighbours
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(3)), 1);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(12)), 1);
+        // farthest point
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(10)), 4);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn mean_hops_is_two_on_4x4() {
+        // Known closed form: mean ring distance on a 4-ring over ordered
+        // distinct pairs contributes 1 on average per dimension.
+        let m = t44().mean_hops();
+        assert!((m - 2.133).abs() < 0.01, "mean hops {m}");
+    }
+
+    #[test]
+    fn bisection_examples() {
+        let t = t44();
+        // same column: never crosses the X bisection
+        assert_eq!(t.bisection_crossings(NodeId::new(0), NodeId::new(12)), 0);
+        // column 1 -> 2 crosses the middle cut
+        assert_eq!(t.bisection_crossings(NodeId::new(1), NodeId::new(2)), 1);
+        // column 0 -> 3 wraps, crossing the wraparound cut
+        assert_eq!(t.bisection_crossings(NodeId::new(0), NodeId::new(3)), 1);
+        // column 0 -> 1 stays in the left half
+        assert_eq!(t.bisection_crossings(NodeId::new(0), NodeId::new(1)), 0);
+        assert_eq!(t.bisection_links(), 16);
+    }
+
+    #[test]
+    fn hops_zero_to_self() {
+        let t = t44();
+        for n in NodeId::all(16) {
+            assert_eq!(t.hops(n, n), 0);
+            assert_eq!(t.bisection_crossings(n, n), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn hops_symmetric_and_bounded(a in 0u16..16, b in 0u16..16) {
+            let t = t44();
+            let (a, b) = (NodeId::new(a), NodeId::new(b));
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+            prop_assert!(t.hops(a, b) <= t.diameter());
+        }
+
+        #[test]
+        fn triangle_inequality(a in 0u16..16, b in 0u16..16, c in 0u16..16) {
+            let t = t44();
+            let (a, b, c) = (NodeId::new(a), NodeId::new(b), NodeId::new(c));
+            prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        }
+
+        #[test]
+        fn bisection_crossings_at_most_one(a in 0u16..16, b in 0u16..16) {
+            let t = t44();
+            // Shortest ring routes never cross both cuts.
+            prop_assert!(t.bisection_crossings(NodeId::new(a), NodeId::new(b)) <= 1);
+        }
+
+        #[test]
+        fn crossing_iff_route_changes_half(a in 0u16..16, b in 0u16..16) {
+            let t = t44();
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            let (ax, _) = t.coords(na);
+            let (bx, _) = t.coords(nb);
+            let half = t.width() / 2;
+            let changes_half = (ax < half) != (bx < half);
+            if changes_half {
+                prop_assert_eq!(t.bisection_crossings(na, nb), 1);
+            }
+        }
+
+        #[test]
+        fn rectangular_torus_valid(w in 1usize..8, h in 1usize..8, a in 0usize..64, b in 0usize..64) {
+            let t = Torus::new(w, h).unwrap();
+            let n = t.nodes();
+            let (a, b) = (NodeId::new((a % n) as u16), NodeId::new((b % n) as u16));
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+            prop_assert!(t.hops(a, b) <= w / 2 + h / 2);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Message traffic accounting.
+//!
+//! Figure 11 of the paper reports the interconnect *bisection* bandwidth
+//! consumed by TSE overhead traffic, annotated with the ratio of overhead
+//! traffic to baseline traffic. [`Traffic`] collects exactly those
+//! numbers: every simulated message is recorded with its source,
+//! destination, byte size and a [`TrafficClass`]; bytes are attributed to
+//! the bisection when the route crosses it.
+
+use crate::Torus;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tse_types::NodeId;
+
+/// Classification of a message for overhead accounting.
+///
+/// `Demand` is the baseline system's coherence traffic; every other class
+/// exists only because TSE is enabled and counts toward its overhead
+/// (correctly-streamed data replaces demand fetches one-for-one, so
+/// streamed data for *covered* consumptions is recorded as `Demand`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Baseline coherence traffic: demand requests, fills, invalidations,
+    /// write-backs — present with or without TSE.
+    Demand,
+    /// Address streams forwarded between nodes (stream requests and CMOB
+    /// address chunks). The paper identifies this as the dominant TSE
+    /// overhead.
+    StreamAddresses,
+    /// Data blocks fetched by the stream engine that were later discarded
+    /// (erroneously streamed). Useful streamed blocks replace demand
+    /// fetches one-for-one and are booked as `Demand`.
+    DiscardedData,
+    /// CMOB maintenance: packetized order appends and directory pointer
+    /// updates.
+    CmobMaintenance,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Demand,
+        TrafficClass::StreamAddresses,
+        TrafficClass::DiscardedData,
+        TrafficClass::CmobMaintenance,
+    ];
+
+    /// Whether this class is TSE overhead (i.e. absent in the base system).
+    pub fn is_overhead(self) -> bool {
+        !matches!(self, TrafficClass::Demand)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::Demand => 0,
+            TrafficClass::StreamAddresses => 1,
+            TrafficClass::DiscardedData => 2,
+            TrafficClass::CmobMaintenance => 3,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Demand => "demand",
+            TrafficClass::StreamAddresses => "stream-addresses",
+            TrafficClass::DiscardedData => "discarded-data",
+            TrafficClass::CmobMaintenance => "cmob-maintenance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulates message bytes by class, total and bisection-crossing.
+///
+/// # Example
+///
+/// ```
+/// use tse_interconnect::{Torus, Traffic, TrafficClass};
+/// use tse_types::NodeId;
+///
+/// let torus = Torus::new(4, 4)?;
+/// let mut t = Traffic::new(&torus);
+/// t.record(NodeId::new(1), NodeId::new(2), TrafficClass::Demand, 80);
+/// t.record(NodeId::new(1), NodeId::new(2), TrafficClass::StreamAddresses, 64);
+/// let report = t.report();
+/// assert_eq!(report.total_bytes, 144);
+/// assert!((report.overhead_ratio() - 64.0 / 80.0).abs() < 1e-12);
+/// # Ok::<(), tse_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Traffic {
+    torus: Torus,
+    total: [u64; 4],
+    bisection: [u64; 4],
+    messages: [u64; 4],
+}
+
+impl Traffic {
+    /// Creates an empty accumulator for the given topology.
+    pub fn new(torus: &Torus) -> Self {
+        Traffic {
+            torus: *torus,
+            total: [0; 4],
+            bisection: [0; 4],
+            messages: [0; 4],
+        }
+    }
+
+    /// Records one message of `bytes` bytes from `src` to `dst`.
+    ///
+    /// Local operations (`src == dst`) consume no interconnect bandwidth
+    /// and are ignored.
+    pub fn record(&mut self, src: NodeId, dst: NodeId, class: TrafficClass, bytes: u64) {
+        if src == dst {
+            return;
+        }
+        let i = class.index();
+        self.total[i] += bytes;
+        self.messages[i] += 1;
+        if self.torus.bisection_crossings(src, dst) > 0 {
+            self.bisection[i] += bytes;
+        }
+    }
+
+    /// Total bytes recorded across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total.iter().sum()
+    }
+
+    /// Bytes recorded for one class.
+    pub fn class_bytes(&self, class: TrafficClass) -> u64 {
+        self.total[class.index()]
+    }
+
+    /// Bisection-crossing bytes recorded for one class.
+    pub fn class_bisection_bytes(&self, class: TrafficClass) -> u64 {
+        self.bisection[class.index()]
+    }
+
+    /// Merges another accumulator into this one (used by parallel sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulators were built over different topologies.
+    pub fn merge(&mut self, other: &Traffic) {
+        assert_eq!(self.torus, other.torus, "merging traffic from different topologies");
+        for i in 0..4 {
+            self.total[i] += other.total[i];
+            self.bisection[i] += other.bisection[i];
+            self.messages[i] += other.messages[i];
+        }
+    }
+
+    /// Produces an immutable summary.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            total_bytes: self.total_bytes(),
+            demand_bytes: self.total[0],
+            overhead_bytes: self.total[1] + self.total[2] + self.total[3],
+            stream_address_bytes: self.total[1],
+            discarded_data_bytes: self.total[2],
+            cmob_bytes: self.total[3],
+            bisection_demand_bytes: self.bisection[0],
+            bisection_overhead_bytes: self.bisection[1] + self.bisection[2] + self.bisection[3],
+            messages: self.messages.iter().sum(),
+        }
+    }
+}
+
+/// Immutable traffic summary (see [`Traffic::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// All bytes, all classes.
+    pub total_bytes: u64,
+    /// Baseline coherence bytes.
+    pub demand_bytes: u64,
+    /// All TSE-overhead bytes.
+    pub overhead_bytes: u64,
+    /// Overhead bytes that are forwarded address streams.
+    pub stream_address_bytes: u64,
+    /// Overhead bytes that are erroneously streamed (discarded) data.
+    pub discarded_data_bytes: u64,
+    /// Overhead bytes for CMOB appends and pointer updates.
+    pub cmob_bytes: u64,
+    /// Demand bytes that crossed the bisection.
+    pub bisection_demand_bytes: u64,
+    /// Overhead bytes that crossed the bisection.
+    pub bisection_overhead_bytes: u64,
+    /// Total message count.
+    pub messages: u64,
+}
+
+impl TrafficReport {
+    /// Ratio of overhead traffic to baseline traffic (the annotation above
+    /// each bar in Figure 11). Zero when no demand traffic was recorded.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.demand_bytes == 0 {
+            0.0
+        } else {
+            self.overhead_bytes as f64 / self.demand_bytes as f64
+        }
+    }
+
+    /// Bisection bandwidth in GB/s consumed by overhead traffic given the
+    /// simulated duration in seconds (the bar height in Figure 11).
+    pub fn overhead_bisection_gbps(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bisection_overhead_bytes as f64 / seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> Torus {
+        Torus::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn local_messages_are_free() {
+        let mut t = Traffic::new(&torus());
+        t.record(NodeId::new(3), NodeId::new(3), TrafficClass::Demand, 1000);
+        assert_eq!(t.total_bytes(), 0);
+    }
+
+    #[test]
+    fn classes_accumulate_independently() {
+        let mut t = Traffic::new(&torus());
+        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::Demand, 10);
+        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::StreamAddresses, 20);
+        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::DiscardedData, 30);
+        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::CmobMaintenance, 40);
+        assert_eq!(t.class_bytes(TrafficClass::Demand), 10);
+        assert_eq!(t.class_bytes(TrafficClass::StreamAddresses), 20);
+        assert_eq!(t.class_bytes(TrafficClass::DiscardedData), 30);
+        assert_eq!(t.class_bytes(TrafficClass::CmobMaintenance), 40);
+        let r = t.report();
+        assert_eq!(r.overhead_bytes, 90);
+        assert_eq!(r.demand_bytes, 10);
+        assert!((r.overhead_ratio() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_attribution_follows_route() {
+        let mut t = Traffic::new(&torus());
+        // 1 -> 2 crosses the middle cut; 0 -> 1 does not.
+        t.record(NodeId::new(1), NodeId::new(2), TrafficClass::Demand, 100);
+        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::Demand, 100);
+        assert_eq!(t.class_bisection_bytes(TrafficClass::Demand), 100);
+        assert_eq!(t.report().bisection_demand_bytes, 100);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Traffic::new(&torus());
+        let mut b = Traffic::new(&torus());
+        a.record(NodeId::new(0), NodeId::new(2), TrafficClass::Demand, 64);
+        b.record(NodeId::new(0), NodeId::new(2), TrafficClass::StreamAddresses, 16);
+        a.merge(&b);
+        let r = a.report();
+        assert_eq!(r.total_bytes, 80);
+        assert_eq!(r.messages, 2);
+    }
+
+    #[test]
+    fn gbps_computation() {
+        let mut t = Traffic::new(&torus());
+        // 1 GB of overhead crossing the bisection in 1 s = 1 GB/s.
+        t.record(NodeId::new(1), NodeId::new(2), TrafficClass::StreamAddresses, 1_000_000_000);
+        let r = t.report();
+        assert!((r.overhead_bisection_gbps(1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(r.overhead_bisection_gbps(0.0), 0.0);
+    }
+
+    #[test]
+    fn overhead_flags() {
+        assert!(!TrafficClass::Demand.is_overhead());
+        assert!(TrafficClass::StreamAddresses.is_overhead());
+        assert!(TrafficClass::DiscardedData.is_overhead());
+        assert!(TrafficClass::CmobMaintenance.is_overhead());
+        assert_eq!(TrafficClass::ALL.len(), 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for c in TrafficClass::ALL {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Full-map directory for the invalidation protocol.
+
+use crate::FastHashMap;
+use tse_types::{Line, NodeId};
+
+/// Sharing state of a line at its home directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line; memory is the only copy.
+    Uncached,
+    /// One or more caches hold clean copies (bitmask of sharers).
+    Shared(u64),
+    /// Exactly one cache holds a (potentially dirty) copy.
+    Modified(NodeId),
+}
+
+/// One directory entry.
+///
+/// `version` counts write-ownership acquisitions: it increments each time
+/// a *different* access-epoch writer takes the line exclusively. A node
+/// that cached the line at version `v` holds stale data iff the entry's
+/// version exceeds `v` — this is how [`crate::DsmSystem`] classifies
+/// coherence misses precisely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// Current sharing state.
+    pub state: DirState,
+    /// The last node to have written the line, if any.
+    pub last_writer: Option<NodeId>,
+    /// Write-ownership generation counter (0 = never written).
+    pub version: u64,
+}
+
+impl DirectoryEntry {
+    fn new() -> Self {
+        DirectoryEntry {
+            state: DirState::Uncached,
+            last_writer: None,
+            version: 0,
+        }
+    }
+}
+
+/// A full-map directory covering the whole simulated address space.
+///
+/// Physically each entry lives at the line's home node (the `SystemConfig`
+/// interleaving); the simulator stores them in one map and lets callers
+/// derive the home for latency/traffic purposes.
+///
+/// # Example
+///
+/// ```
+/// use tse_memsim::{DirState, Directory};
+/// use tse_types::{Line, NodeId};
+///
+/// let mut dir = Directory::new(16);
+/// let line = Line::new(3);
+/// let inval = dir.acquire_exclusive(NodeId::new(0), line);
+/// assert_eq!(inval, 0); // nobody else to invalidate
+/// assert_eq!(dir.entry(line).state, DirState::Modified(NodeId::new(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    entries: FastHashMap<Line, DirectoryEntry>,
+    nodes: usize,
+}
+
+impl Directory {
+    /// Creates an empty directory for a system of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds 64 (sharers are tracked in a `u64`
+    /// bitmask) or is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0 && nodes <= 64, "directory supports 1..=64 nodes, got {nodes}");
+        Directory {
+            entries: FastHashMap::default(),
+            nodes,
+        }
+    }
+
+    /// Number of nodes this directory serves.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of lines with directory state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no line has directory state.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the entry for a line (an `Uncached`, never-written entry if
+    /// the line has no state yet).
+    pub fn entry(&self, line: Line) -> DirectoryEntry {
+        self.entries.get(&line).copied().unwrap_or_else(DirectoryEntry::new)
+    }
+
+    fn entry_mut(&mut self, line: Line) -> &mut DirectoryEntry {
+        self.entries.entry(line).or_insert_with(DirectoryEntry::new)
+    }
+
+    fn mask(node: NodeId) -> u64 {
+        1u64 << node.index()
+    }
+
+    /// Registers `node` as a sharer of `line` (a read fill completing).
+    ///
+    /// Returns the node that had to supply dirty data, if the line was
+    /// modified elsewhere (a 3-hop fill); the previous owner is downgraded
+    /// to a sharer, as in MSI with a sharing writeback.
+    pub fn add_sharer(&mut self, node: NodeId, line: Line) -> Option<NodeId> {
+        let e = self.entry_mut(line);
+        match e.state {
+            DirState::Uncached => {
+                e.state = DirState::Shared(Self::mask(node));
+                None
+            }
+            DirState::Shared(m) => {
+                e.state = DirState::Shared(m | Self::mask(node));
+                None
+            }
+            DirState::Modified(owner) => {
+                e.state = DirState::Shared(Self::mask(owner) | Self::mask(node));
+                if owner == node {
+                    None
+                } else {
+                    Some(owner)
+                }
+            }
+        }
+    }
+
+    /// Grants `node` exclusive (write) ownership of `line`, invalidating
+    /// all other copies.
+    ///
+    /// Returns the bitmask of nodes whose copies were invalidated (the
+    /// caller must drop their cached/streamed copies). Bumps the version
+    /// unless `node` already owned the line exclusively.
+    pub fn acquire_exclusive(&mut self, node: NodeId, line: Line) -> u64 {
+        let e = self.entry_mut(line);
+        let invalidated = match e.state {
+            DirState::Uncached => 0,
+            DirState::Shared(m) => m & !Self::mask(node),
+            DirState::Modified(owner) => {
+                if owner == node {
+                    // Silent upgrade: still the exclusive owner.
+                    return 0;
+                }
+                Self::mask(owner)
+            }
+        };
+        e.state = DirState::Modified(node);
+        e.last_writer = Some(node);
+        e.version += 1;
+        invalidated
+    }
+
+    /// Removes `node` from the sharer set / ownership of `line` (cache
+    /// eviction notification or invalidation acknowledgment).
+    ///
+    /// Returns true if the node was the exclusive owner (the caller should
+    /// account a dirty writeback).
+    pub fn remove_node(&mut self, node: NodeId, line: Line) -> bool {
+        let Some(e) = self.entries.get_mut(&line) else {
+            return false;
+        };
+        match e.state {
+            DirState::Uncached => false,
+            DirState::Shared(m) => {
+                let m = m & !Self::mask(node);
+                e.state = if m == 0 { DirState::Uncached } else { DirState::Shared(m) };
+                false
+            }
+            DirState::Modified(owner) => {
+                if owner == node {
+                    e.state = DirState::Uncached;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// True if `node` currently holds a registered copy of `line`.
+    pub fn holds(&self, node: NodeId, line: Line) -> bool {
+        match self.entry(line).state {
+            DirState::Uncached => false,
+            DirState::Shared(m) => m & Self::mask(node) != 0,
+            DirState::Modified(owner) => owner == node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_entry_is_uncached() {
+        let d = Directory::new(16);
+        let e = d.entry(Line::new(1));
+        assert_eq!(e.state, DirState::Uncached);
+        assert_eq!(e.version, 0);
+        assert_eq!(e.last_writer, None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn too_many_nodes_panics() {
+        let _ = Directory::new(65);
+    }
+
+    #[test]
+    fn read_read_write_flow() {
+        let mut d = Directory::new(4);
+        let l = Line::new(9);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+
+        assert_eq!(d.add_sharer(a, l), None);
+        assert_eq!(d.add_sharer(b, l), None);
+        assert!(d.holds(a, l) && d.holds(b, l));
+
+        // c writes: both sharers invalidated, version bumps.
+        let inval = d.acquire_exclusive(c, l);
+        assert_eq!(inval, 0b011);
+        assert_eq!(d.entry(l).version, 1);
+        assert_eq!(d.entry(l).last_writer, Some(c));
+        assert!(!d.holds(a, l) && !d.holds(b, l) && d.holds(c, l));
+    }
+
+    #[test]
+    fn read_of_modified_line_downgrades_owner() {
+        let mut d = Directory::new(4);
+        let l = Line::new(9);
+        let (w, r) = (NodeId::new(3), NodeId::new(1));
+        d.acquire_exclusive(w, l);
+        let supplier = d.add_sharer(r, l);
+        assert_eq!(supplier, Some(w));
+        assert_eq!(d.entry(l).state, DirState::Shared(0b1010));
+        // Version unchanged by reads.
+        assert_eq!(d.entry(l).version, 1);
+    }
+
+    #[test]
+    fn owner_rereading_is_not_a_remote_supply() {
+        let mut d = Directory::new(4);
+        let l = Line::new(9);
+        let w = NodeId::new(2);
+        d.acquire_exclusive(w, l);
+        assert_eq!(d.add_sharer(w, l), None);
+    }
+
+    #[test]
+    fn silent_upgrade_keeps_version() {
+        let mut d = Directory::new(4);
+        let l = Line::new(5);
+        let w = NodeId::new(0);
+        assert_eq!(d.acquire_exclusive(w, l), 0);
+        assert_eq!(d.entry(l).version, 1);
+        assert_eq!(d.acquire_exclusive(w, l), 0);
+        assert_eq!(d.entry(l).version, 1, "same-owner rewrite must not bump version");
+    }
+
+    #[test]
+    fn write_after_shared_readers_bumps_version_once() {
+        let mut d = Directory::new(4);
+        let l = Line::new(5);
+        d.acquire_exclusive(NodeId::new(0), l);
+        d.add_sharer(NodeId::new(1), l);
+        // Owner 0 was downgraded to sharer; rewriting requires re-acquisition.
+        let inval = d.acquire_exclusive(NodeId::new(0), l);
+        assert_eq!(inval, 0b10);
+        assert_eq!(d.entry(l).version, 2);
+    }
+
+    #[test]
+    fn eviction_removes_sharer_and_owner() {
+        let mut d = Directory::new(4);
+        let l = Line::new(2);
+        d.add_sharer(NodeId::new(0), l);
+        assert!(!d.remove_node(NodeId::new(0), l));
+        assert_eq!(d.entry(l).state, DirState::Uncached);
+
+        d.acquire_exclusive(NodeId::new(1), l);
+        assert!(d.remove_node(NodeId::new(1), l), "owner eviction is a dirty writeback");
+        assert_eq!(d.entry(l).state, DirState::Uncached);
+        assert!(!d.remove_node(NodeId::new(2), Line::new(999)));
+    }
+
+    proptest! {
+        /// Protocol invariant: after any operation sequence, a line is
+        /// either Uncached, Shared with a nonzero mask, or Modified; and
+        /// `holds` agrees with the state.
+        #[test]
+        fn state_machine_invariants(ops in proptest::collection::vec((0u8..3, 0u16..4, 0u64..4), 0..200)) {
+            let mut d = Directory::new(4);
+            for (op, node, line) in ops {
+                let n = NodeId::new(node);
+                let l = Line::new(line);
+                match op {
+                    0 => { d.add_sharer(n, l); },
+                    1 => { d.acquire_exclusive(n, l); },
+                    _ => { d.remove_node(n, l); },
+                }
+                for line in 0..4 {
+                    let e = d.entry(Line::new(line));
+                    match e.state {
+                        DirState::Shared(m) => {
+                            prop_assert!(m != 0, "Shared with empty mask");
+                            prop_assert!(m < 16, "sharer outside node range");
+                        }
+                        DirState::Modified(owner) => {
+                            prop_assert!(owner.index() < 4);
+                            prop_assert!(d.holds(owner, Line::new(line)));
+                        }
+                        DirState::Uncached => {}
+                    }
+                }
+            }
+        }
+
+        /// Version never decreases and only writes change it.
+        #[test]
+        fn version_monotonic(ops in proptest::collection::vec((0u8..3, 0u16..4), 0..100)) {
+            let mut d = Directory::new(4);
+            let l = Line::new(7);
+            let mut last_version = 0;
+            for (op, node) in ops {
+                let n = NodeId::new(node);
+                match op {
+                    0 => { d.add_sharer(n, l); },
+                    1 => { d.acquire_exclusive(n, l); },
+                    _ => { d.remove_node(n, l); },
+                }
+                let v = d.entry(l).version;
+                prop_assert!(v >= last_version);
+                last_version = v;
+            }
+        }
+    }
+}

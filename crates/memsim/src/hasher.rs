@@ -1,0 +1,98 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The directory and per-node bookkeeping maps are on the hot path of
+//! every simulated access; `std`'s default SipHash is needlessly slow (and
+//! randomly seeded, which hurts reproducibility of iteration-order-derived
+//! debug output). This is an FxHash-style multiply-xor hasher: not
+//! DoS-resistant, which is fine for a simulator whose keys come from
+//! seeded generators. Implemented locally to avoid an extra dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (FxHash-style) behind [`FastHashMap`] /
+/// [`FastHashSet`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.state = (self.state.rotate_left(5) ^ n as u64).wrapping_mul(SEED);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(SEED);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_types::Line;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FastHashMap<Line, u32> = FastHashMap::default();
+        for i in 0..1000 {
+            m.insert(Line::new(i), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&Line::new(i)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FastHasher> = BuildHasherDefault::default();
+        let a = bh.hash_one(12345u64);
+        let b = bh.hash_one(12345u64);
+        assert_eq!(a, b);
+        assert_ne!(bh.hash_one(12345u64), bh.hash_one(12346u64));
+    }
+
+    #[test]
+    fn distributes_sequential_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FastHasher> = BuildHasherDefault::default();
+        // Sequential line indices must not collide in the low bits en masse.
+        let mut low_bits: FastHashSet<u64> = FastHashSet::default();
+        for i in 0..256u64 {
+            low_bits.insert(bh.hash_one(i) & 0xff);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+}

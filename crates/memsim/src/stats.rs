@@ -1,0 +1,112 @@
+//! Aggregate memory-system counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::DsmSystem`] over a simulation.
+///
+/// All counts are system-wide (summed over nodes). "Consumptions" — the
+/// paper's unit — are coherent read misses excluding spins; spin
+/// classification happens in the harness, so this struct counts coherence
+/// read misses and the harness derives consumptions from them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Total read accesses.
+    pub reads: u64,
+    /// Total write accesses.
+    pub writes: u64,
+    /// Reads served by the L1.
+    pub l1_hits: u64,
+    /// Reads served by the L2.
+    pub l2_hits: u64,
+    /// Read misses classified cold (never-written, never-held data).
+    pub cold_misses: u64,
+    /// Read misses classified replacement (capacity/conflict).
+    pub replacement_misses: u64,
+    /// Read misses classified coherence (the paper's consumption pool).
+    pub coherence_misses: u64,
+    /// Write accesses that required a directory transaction
+    /// (write misses plus upgrades from shared state).
+    pub write_transactions: u64,
+    /// Invalidation messages sent to sharers on behalf of writers.
+    pub invalidations: u64,
+    /// Dirty lines written back on eviction or downgrade.
+    pub writebacks: u64,
+    /// L2 evictions (capacity-induced directory removals).
+    pub evictions: u64,
+}
+
+impl MemStats {
+    /// Total read misses of all classes.
+    pub fn read_misses(&self) -> u64 {
+        self.cold_misses + self.replacement_misses + self.coherence_misses
+    }
+
+    /// Fraction of read misses that are coherence misses.
+    pub fn coherence_fraction(&self) -> f64 {
+        let m = self.read_misses();
+        if m == 0 {
+            0.0
+        } else {
+            self.coherence_misses as f64 / m as f64
+        }
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.cold_misses += other.cold_misses;
+        self.replacement_misses += other.replacement_misses;
+        self.coherence_misses += other.coherence_misses;
+        self.write_transactions += other.write_transactions;
+        self.invalidations += other.invalidations;
+        self.writebacks += other.writebacks;
+        self.evictions += other.evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_misses_sums_classes() {
+        let s = MemStats {
+            cold_misses: 1,
+            replacement_misses: 2,
+            coherence_misses: 3,
+            ..MemStats::default()
+        };
+        assert_eq!(s.read_misses(), 6);
+        assert!((s.coherence_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherence_fraction_of_zero_misses_is_zero() {
+        assert_eq!(MemStats::default().coherence_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = MemStats {
+            reads: 1,
+            writes: 2,
+            l1_hits: 3,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            reads: 10,
+            writes: 20,
+            l1_hits: 30,
+            evictions: 5,
+            ..MemStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.writes, 22);
+        assert_eq!(a.l1_hits, 33);
+        assert_eq!(a.evictions, 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! Global History Buffer prefetcher (Nesbit & Smith, HPCA 2004).
+
+use crate::Prefetcher;
+use std::collections::HashMap;
+use tse_types::Line;
+
+/// GHB indexing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GhbIndexing {
+    /// Global address correlation: the index table keys on the miss
+    /// address; prediction replays the addresses that followed the
+    /// previous occurrence of the same address. Closest to the TSE.
+    AddressCorrelation,
+    /// Global distance (delta) correlation: the index table keys on the
+    /// delta between consecutive misses; prediction chains the deltas
+    /// that followed the previous occurrence of the same delta.
+    DistanceCorrelation,
+}
+
+/// Key for the index table: either an address or a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Addr(u64),
+    Delta(i64),
+}
+
+/// One GHB entry: a miss address. The hardware's per-entry link pointer
+/// (previous entry with the same index key) is represented by the index
+/// table directly, since prediction only follows one link from the head.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: Line,
+}
+
+/// The Global History Buffer: an on-chip circular buffer of consumption
+/// miss addresses with an index table for correlation lookup.
+///
+/// The paper configures a 512-entry history and a fetch width of eight
+/// blocks per prefetch operation. The bounded on-chip history is the
+/// structural difference from the TSE's memory-resident CMOB, and is why
+/// GHB's coverage falls short on commercial workloads (Section 5.5).
+///
+/// # Example
+///
+/// ```
+/// use tse_prefetch::{GhbIndexing, GhbPrefetcher, Prefetcher};
+/// use tse_types::Line;
+///
+/// let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 512, 8);
+/// // First pass over a pointer-chasing sequence: trains only.
+/// for l in [7u64, 100, 42, 9, 77] {
+///     g.on_miss(Line::new(l));
+/// }
+/// // Revisiting the sequence head replays its successors.
+/// let pred = g.on_miss(Line::new(7));
+/// assert_eq!(pred[0], Line::new(100));
+/// assert_eq!(pred[1], Line::new(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GhbPrefetcher {
+    indexing: GhbIndexing,
+    capacity: usize,
+    width: usize,
+    buf: Vec<Entry>,
+    head: u64,
+    index: HashMap<Key, u64>,
+    last: Option<Line>,
+}
+
+impl GhbPrefetcher {
+    /// Creates a GHB with `capacity` history entries, predicting `width`
+    /// blocks per miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `width` is zero.
+    pub fn new(indexing: GhbIndexing, capacity: usize, width: usize) -> Self {
+        assert!(capacity > 0, "GHB capacity must be nonzero");
+        assert!(width > 0, "GHB width must be nonzero");
+        GhbPrefetcher {
+            indexing,
+            capacity,
+            width,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            index: HashMap::new(),
+            last: None,
+        }
+    }
+
+    /// History capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks predicted per miss.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The configured indexing mode.
+    pub fn indexing(&self) -> GhbIndexing {
+        self.indexing
+    }
+
+    fn oldest(&self) -> u64 {
+        self.head.saturating_sub(self.capacity as u64)
+    }
+
+    fn get(&self, pos: u64) -> Option<Entry> {
+        if pos >= self.head || pos < self.oldest() {
+            return None;
+        }
+        Some(self.buf[(pos % self.capacity as u64) as usize])
+    }
+
+    fn push(&mut self, line: Line, key: Key) -> Option<u64> {
+        // Link to the previous entry with this key, if still resident.
+        let link = self.index.get(&key).copied().filter(|&p| p >= self.oldest());
+        let slot = (self.head % self.capacity as u64) as usize;
+        let e = Entry { line };
+        if slot < self.buf.len() {
+            self.buf[slot] = e;
+        } else {
+            self.buf.push(e);
+        }
+        self.index.insert(key, self.head);
+        self.head += 1;
+        link
+    }
+}
+
+impl Prefetcher for GhbPrefetcher {
+    fn on_miss(&mut self, line: Line) -> Vec<Line> {
+        match self.indexing {
+            GhbIndexing::AddressCorrelation => {
+                let prev = self.push(line, Key::Addr(line.index()));
+                let Some(p) = prev else {
+                    return Vec::new();
+                };
+                // Replay the addresses that followed the previous
+                // occurrence of `line`, stopping before the entry just
+                // pushed for the current miss.
+                let current = self.head - 1;
+                let mut out = Vec::with_capacity(self.width);
+                for i in 1..=self.width as u64 {
+                    if p + i >= current {
+                        break;
+                    }
+                    match self.get(p + i) {
+                        Some(e) => out.push(e.line),
+                        None => break,
+                    }
+                }
+                out
+            }
+            GhbIndexing::DistanceCorrelation => {
+                let Some(prev_line) = self.last else {
+                    self.last = Some(line);
+                    // Record the first miss without a delta key; use a
+                    // sentinel delta that never matches real deltas.
+                    self.push(line, Key::Delta(i64::MIN));
+                    return Vec::new();
+                };
+                let delta = line.delta(prev_line);
+                self.last = Some(line);
+                let prev = self.push(line, Key::Delta(delta));
+                let Some(p) = prev else {
+                    return Vec::new();
+                };
+                // Chain the deltas that followed the previous occurrence
+                // of this delta.
+                let mut out = Vec::with_capacity(self.width);
+                let mut base = line;
+                for i in 1..=self.width as u64 {
+                    let (Some(cur), Some(nxt)) = (self.get(p + i - 1), self.get(p + i)) else {
+                        break;
+                    };
+                    let d = nxt.line.delta(cur.line);
+                    base = base.offset(d);
+                    out.push(base);
+                }
+                out
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.indexing {
+            GhbIndexing::AddressCorrelation => "G/AC",
+            GhbIndexing::DistanceCorrelation => "G/DC",
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.index.clear();
+        self.head = 0;
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lines(v: &[u64]) -> Vec<Line> {
+        v.iter().map(|&i| Line::new(i)).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 0, 8);
+    }
+
+    #[test]
+    fn ac_replays_recorded_sequence() {
+        let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 512, 4);
+        let seq = [5u64, 9, 200, 42, 17, 88];
+        for &l in &seq {
+            assert!(g.on_miss(Line::new(l)).is_empty(), "first pass trains only");
+        }
+        let pred = g.on_miss(Line::new(5));
+        assert_eq!(pred, lines(&[9, 200, 42, 17]));
+    }
+
+    #[test]
+    fn ac_prediction_stops_at_history_head() {
+        let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 512, 8);
+        for &l in &[5u64, 9, 200] {
+            g.on_miss(Line::new(l));
+        }
+        // Only two successors exist after the previous occurrence of 5.
+        let pred = g.on_miss(Line::new(5));
+        assert_eq!(pred, lines(&[9, 200]));
+    }
+
+    #[test]
+    fn ac_history_capacity_limits_recall() {
+        // Capacity 4: by the time the sequence head recurs, its previous
+        // occurrence has been overwritten.
+        let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 4, 8);
+        for &l in &[1u64, 2, 3, 4, 5] {
+            g.on_miss(Line::new(l));
+        }
+        let pred = g.on_miss(Line::new(1));
+        assert!(
+            pred.is_empty(),
+            "entry for 1 wrapped away; GHB must not follow a stale link"
+        );
+    }
+
+    #[test]
+    fn dc_follows_strided_pattern() {
+        let mut g = GhbPrefetcher::new(GhbIndexing::DistanceCorrelation, 512, 4);
+        // Deltas: +3 +3 +3 ... after the second +3, the previous +3 is found.
+        assert!(g.on_miss(Line::new(0)).is_empty());
+        assert!(g.on_miss(Line::new(3)).is_empty(), "first +3 has no precedent");
+        let pred = g.on_miss(Line::new(6));
+        // Previous occurrence of delta +3 was at entry(3); the delta that
+        // followed it is +3 (3 -> 6), chained from base 6: 9, then stops?
+        // entry(6) is the newest so the chain has 1 following delta.
+        assert_eq!(pred[0], Line::new(9));
+    }
+
+    #[test]
+    fn dc_replays_delta_sequence() {
+        let mut g = GhbPrefetcher::new(GhbIndexing::DistanceCorrelation, 512, 4);
+        // Sequence with recurring delta pattern: +1, +5, +1, ...
+        // 0,1,6,7 -> deltas 1,5,1
+        for &l in &[0u64, 1, 6, 7] {
+            g.on_miss(Line::new(l));
+        }
+        // Miss 8 (delta +1): previous +1 occurred at 6->7; following
+        // deltas from there: (7->nothing yet)... previous occurrence at
+        // entry(1) [0->1]: newest link is entry(7). Chain from entry(7):
+        // no successor yet -> after pushing 8, link points to entry(7)
+        // which has no followers, so prediction is empty... push order
+        // matters: at lookup time entry(8) is newest; p = entry(7);
+        // p+1 = entry(8): delta(7->8)=+1 -> predict 9.
+        let pred = g.on_miss(Line::new(8));
+        assert_eq!(pred[0], Line::new(9));
+    }
+
+    #[test]
+    fn names_match_modes() {
+        assert_eq!(GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 8, 1).name(), "G/AC");
+        assert_eq!(GhbPrefetcher::new(GhbIndexing::DistanceCorrelation, 8, 1).name(), "G/DC");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 512, 4);
+        for &l in &[5u64, 9, 200] {
+            g.on_miss(Line::new(l));
+        }
+        g.reset();
+        assert!(g.on_miss(Line::new(5)).is_empty());
+    }
+
+    proptest! {
+        /// G/AC with ample capacity replays any repeated sequence exactly.
+        #[test]
+        fn ac_exact_replay(seq in proptest::collection::vec(0u64..1000, 2..40)) {
+            // De-duplicate to keep one unambiguous successor per address.
+            let mut uniq = Vec::new();
+            for l in seq {
+                if !uniq.contains(&l) {
+                    uniq.push(l);
+                }
+            }
+            prop_assume!(uniq.len() >= 2);
+            let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 4096, 4);
+            for &l in &uniq {
+                g.on_miss(Line::new(l));
+            }
+            let pred = g.on_miss(Line::new(uniq[0]));
+            let expect: Vec<Line> = uniq[1..].iter().take(4).map(|&l| Line::new(l)).collect();
+            prop_assert_eq!(pred, expect);
+        }
+
+        /// Predictions never exceed the configured width.
+        #[test]
+        fn width_bound(seq in proptest::collection::vec(0u64..64, 0..200), width in 1usize..16) {
+            let mut g = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 128, width);
+            for l in seq {
+                prop_assert!(g.on_miss(Line::new(l)).len() <= width);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Baseline prefetchers for the competitive comparison (Figure 12).
+//!
+//! The paper compares the TSE against two previously proposed prefetching
+//! techniques, both configured to train and predict only on consumptions
+//! (coherent read misses):
+//!
+//! * an **adaptive stride** stream-buffer prefetcher ([`StridePrefetcher`]),
+//!   as shipped in commercial processors of the era: it detects two
+//!   consecutive consumptions separated by the same stride and prefetches
+//!   eight blocks ahead;
+//! * the **Global History Buffer** ([`GhbPrefetcher`]) of Nesbit & Smith,
+//!   in both *global address correlation* (G/AC) and *global distance
+//!   correlation* (G/DC) indexing modes, with a 512-entry on-chip history
+//!   — the capacity limitation the paper identifies as GHB's weakness
+//!   against the memory-resident CMOB.
+//!
+//! All baselines implement the [`Prefetcher`] trait: pure predictors that
+//! map a consumption miss to a set of lines to prefetch. The simulation
+//! harness (`tse-sim`) stores predicted blocks in a buffer identical to
+//! the TSE's SVB and measures coverage/discards identically.
+//!
+//! # Example
+//!
+//! ```
+//! use tse_prefetch::{Prefetcher, StridePrefetcher};
+//! use tse_types::Line;
+//!
+//! let mut p = StridePrefetcher::new(8);
+//! assert!(p.on_miss(Line::new(10)).is_empty()); // first miss: no pattern
+//! assert!(p.on_miss(Line::new(12)).is_empty()); // stride 2 seen once
+//! let predicted = p.on_miss(Line::new(14));     // stride 2 confirmed
+//! assert_eq!(predicted[0], Line::new(16));
+//! assert_eq!(predicted.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ghb;
+mod stride;
+
+pub use ghb::{GhbIndexing, GhbPrefetcher};
+pub use stride::StridePrefetcher;
+
+use tse_types::Line;
+
+/// A demand-miss-driven prefetcher: observes each consumption and returns
+/// the lines it wants prefetched.
+///
+/// Implementations are per-node (each processor has its own hardware);
+/// the harness instantiates one per node.
+pub trait Prefetcher {
+    /// Observes a consumption miss on `line`; returns lines to prefetch
+    /// (possibly empty). Implementations train and predict in one step,
+    /// as the hardware would.
+    fn on_miss(&mut self, line: Line) -> Vec<Line>;
+
+    /// Short display name (e.g. `"Stride"`, `"G/AC"`).
+    fn name(&self) -> &'static str;
+
+    /// Resets all predictor state.
+    fn reset(&mut self);
+}

@@ -1,0 +1,188 @@
+//! Adaptive stride prefetcher.
+
+use crate::Prefetcher;
+use tse_types::Line;
+
+/// An adaptive stride detector with a stream-buffer-style fetch policy
+/// (the paper's Section 5.5 baseline, standing in for the stride engines
+/// of the AMD Opteron / Intel Xeon / Sun UltraSPARC III generation).
+///
+/// It detects a strided pattern when two consecutive consumption
+/// addresses are separated by the same (nonzero) stride as the previous
+/// pair, then prefetches `depth` blocks in advance of the processor.
+///
+/// # Example
+///
+/// ```
+/// use tse_prefetch::{Prefetcher, StridePrefetcher};
+/// use tse_types::Line;
+///
+/// let mut p = StridePrefetcher::new(4);
+/// p.on_miss(Line::new(100));
+/// p.on_miss(Line::new(97)); // stride -3
+/// let pred = p.on_miss(Line::new(94)); // stride -3 confirmed
+/// assert_eq!(pred, vec![Line::new(91), Line::new(88), Line::new(85), Line::new(82)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    depth: usize,
+    last: Option<Line>,
+    stride: Option<i64>,
+    confirmed: bool,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher issuing `depth` blocks per detection
+    /// (the paper uses eight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "prefetch depth must be nonzero");
+        StridePrefetcher {
+            depth,
+            last: None,
+            stride: None,
+            confirmed: false,
+        }
+    }
+
+    /// Prefetch depth in blocks.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn on_miss(&mut self, line: Line) -> Vec<Line> {
+        let out = match (self.last, self.stride) {
+            (Some(prev), maybe_stride) => {
+                let d = line.delta(prev);
+                let confirmed = maybe_stride == Some(d) && d != 0;
+                self.stride = Some(d);
+                self.confirmed = confirmed;
+                if confirmed {
+                    (1..=self.depth as i64).map(|i| line.offset(d * i)).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        };
+        self.last = Some(line);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "Stride"
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+        self.stride = None;
+        self.confirmed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_depth_panics() {
+        let _ = StridePrefetcher::new(0);
+    }
+
+    #[test]
+    fn no_prediction_before_confirmation() {
+        let mut p = StridePrefetcher::new(8);
+        assert!(p.on_miss(Line::new(0)).is_empty());
+        assert!(p.on_miss(Line::new(4)).is_empty());
+    }
+
+    #[test]
+    fn confirmed_stride_predicts_depth_blocks() {
+        let mut p = StridePrefetcher::new(8);
+        p.on_miss(Line::new(0));
+        p.on_miss(Line::new(4));
+        let pred = p.on_miss(Line::new(8));
+        assert_eq!(pred.len(), 8);
+        assert_eq!(pred[0], Line::new(12));
+        assert_eq!(pred[7], Line::new(40));
+    }
+
+    #[test]
+    fn zero_stride_never_predicts() {
+        let mut p = StridePrefetcher::new(8);
+        p.on_miss(Line::new(5));
+        p.on_miss(Line::new(5));
+        assert!(p.on_miss(Line::new(5)).is_empty());
+    }
+
+    #[test]
+    fn stride_change_breaks_confirmation() {
+        let mut p = StridePrefetcher::new(4);
+        p.on_miss(Line::new(0));
+        p.on_miss(Line::new(2)); // d=2
+        assert!(p.on_miss(Line::new(7)).is_empty(), "d=5 != d=2: no prediction");
+        assert!(p.on_miss(Line::new(9)).is_empty(), "d=2 != d=5: no prediction");
+    }
+
+    #[test]
+    fn stride_change_then_reconfirm() {
+        let mut p = StridePrefetcher::new(2);
+        p.on_miss(Line::new(0));
+        p.on_miss(Line::new(2)); // d=2
+        assert_eq!(p.on_miss(Line::new(4)).len(), 2); // confirmed
+        assert!(p.on_miss(Line::new(9)).is_empty()); // d=5: broken
+        assert_eq!(p.on_miss(Line::new(14)).len(), 2, "d=5 repeated: reconfirmed");
+    }
+
+    #[test]
+    fn irregular_pattern_rarely_predicts() {
+        // Pointer-chasing-like sequence: no two equal consecutive deltas.
+        let seq = [3u64, 100, 7, 250, 12, 900, 41];
+        let mut p = StridePrefetcher::new(8);
+        let total: usize = seq.iter().map(|&l| p.on_miss(Line::new(l)).len()).sum();
+        assert_eq!(total, 0, "irregular sequence must not trigger the stride engine");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = StridePrefetcher::new(4);
+        p.on_miss(Line::new(0));
+        p.on_miss(Line::new(4));
+        p.reset();
+        assert!(p.on_miss(Line::new(8)).is_empty());
+        assert!(p.on_miss(Line::new(12)).is_empty());
+        assert_eq!(p.on_miss(Line::new(16)).len(), 4);
+    }
+
+    #[test]
+    fn name_and_depth() {
+        let p = StridePrefetcher::new(8);
+        assert_eq!(p.name(), "Stride");
+        assert_eq!(p.depth(), 8);
+    }
+
+    proptest! {
+        /// A perfect stride sequence predicts exactly the next blocks.
+        #[test]
+        fn perfect_stride_predicts_future(start in 0u64..1000, stride in 1i64..32, depth in 1usize..16) {
+            let mut p = StridePrefetcher::new(depth);
+            let a = Line::new(start);
+            let b = a.offset(stride);
+            let c = b.offset(stride);
+            p.on_miss(a);
+            p.on_miss(b);
+            let pred = p.on_miss(c);
+            prop_assert_eq!(pred.len(), depth);
+            for (i, l) in pred.iter().enumerate() {
+                prop_assert_eq!(*l, c.offset(stride * (i as i64 + 1)));
+            }
+        }
+    }
+}

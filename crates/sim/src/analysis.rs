@@ -1,0 +1,290 @@
+//! Trace analyses: temporal correlation distance (Figure 6).
+//!
+//! Implements the paper's Section 5.1 measurement: for every consumption,
+//! how far along the *most recent sharer's* coherence-miss order does the
+//! consuming processor's next consumption land? A distance of +1 is
+//! perfect temporal address correlation; small distances indicate
+//! reordering the SVB window can absorb.
+
+use serde::{Deserialize, Serialize};
+use tse_memsim::FastHashMap;
+use tse_trace::Consumption;
+use tse_types::Line;
+#[cfg(test)]
+use tse_types::NodeId;
+
+/// Maximum correlation distance tracked (the paper plots ±16).
+pub const MAX_DISTANCE: usize = 16;
+
+/// Result of the temporal-correlation analysis for one workload: the
+/// cumulative fraction of consumptions within each distance (Figure 6's
+/// y-axis for x = 1..=16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationCurve {
+    /// `cumulative[d-1]` = fraction of consumptions whose distance from
+    /// the previous consumption, along the most recent sharer's order, is
+    /// within ±d.
+    pub cumulative: Vec<f64>,
+    /// Total consumptions analysed.
+    pub consumptions: u64,
+}
+
+impl CorrelationCurve {
+    /// Fraction of perfectly correlated consumptions (distance ±1).
+    pub fn at_distance_1(&self) -> f64 {
+        self.cumulative.first().copied().unwrap_or(0.0)
+    }
+
+    /// Fraction within ±`d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or greater than [`MAX_DISTANCE`].
+    pub fn at_distance(&self, d: usize) -> f64 {
+        assert!((1..=MAX_DISTANCE).contains(&d), "distance must be in 1..={MAX_DISTANCE}");
+        self.cumulative[d - 1]
+    }
+}
+
+/// Streaming implementation of the Figure 6 measurement.
+///
+/// Feed it the system's consumptions in global order (the harness's
+/// baseline run captures them); call [`CorrelationAnalysis::finish`] for
+/// the curve.
+///
+/// # Example
+///
+/// ```
+/// use tse_sim::CorrelationAnalysis;
+/// use tse_trace::Consumption;
+/// use tse_types::{Line, NodeId};
+///
+/// let mut a = CorrelationAnalysis::new(2);
+/// // Node 0 consumes lines 1,2,3; node 1 then repeats the sequence.
+/// let mut seq = 0;
+/// for (n, l) in [(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (1, 3)] {
+///     a.observe(Consumption {
+///         node: NodeId::new(n),
+///         line: Line::new(l),
+///         clock: seq,
+///         global_seq: seq,
+///     });
+///     seq += 1;
+/// }
+/// let curve = a.finish();
+/// // Node 1's consumptions at lines 2 and 3 follow node 0's order at +1.
+/// assert!(curve.at_distance_1() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct CorrelationAnalysis {
+    /// Every node's consumption order (append-only).
+    orders: Vec<Vec<Line>>,
+    /// Most recent position of each line across all orders.
+    last_occurrence: FastHashMap<Line, (usize, usize)>,
+    /// Per consuming node: the stream context (source node, position of
+    /// the previous consumption in the source's order).
+    context: Vec<Option<(usize, usize)>>,
+    /// Histogram of |distance| in 1..=MAX_DISTANCE.
+    histogram: [u64; MAX_DISTANCE],
+    total: u64,
+}
+
+impl CorrelationAnalysis {
+    /// Creates an analysis for a system of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        CorrelationAnalysis {
+            orders: vec![Vec::new(); nodes],
+            last_occurrence: FastHashMap::default(),
+            context: vec![None; nodes],
+            histogram: [0; MAX_DISTANCE],
+            total: 0,
+        }
+    }
+
+    /// Observes one consumption (must be fed in global order).
+    pub fn observe(&mut self, c: Consumption) {
+        let n = c.node.index();
+        self.total += 1;
+
+        // Measure the distance along the current stream context.
+        let mut found = None;
+        if let Some((src, pos)) = self.context[n] {
+            let order = &self.orders[src];
+            let lo = pos.saturating_sub(MAX_DISTANCE);
+            let hi = (pos + MAX_DISTANCE).min(order.len().saturating_sub(1));
+            let mut best: Option<(usize, usize)> = None; // (|d|, new_pos)
+            for (j, &line) in order.iter().enumerate().take(hi + 1).skip(lo) {
+                if line == c.line && j != pos {
+                    let dist = j.abs_diff(pos);
+                    if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                        best = Some((dist, j));
+                    }
+                }
+            }
+            if let Some((dist, j)) = best {
+                self.histogram[dist - 1] += 1;
+                found = Some((src, j));
+            }
+        }
+
+        if found.is_none() {
+            // Lost the stream: re-locate via the most recent occurrence
+            // system-wide (the directory's CMOB pointer), *before*
+            // recording the current miss.
+            found = self.last_occurrence.get(&c.line).copied();
+        }
+        self.context[n] = found;
+
+        // Record the miss in the node's own order.
+        let pos = self.orders[n].len();
+        self.orders[n].push(c.line);
+        self.last_occurrence.insert(c.line, (n, pos));
+    }
+
+    /// Total consumptions observed so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Produces the cumulative curve.
+    pub fn finish(self) -> CorrelationCurve {
+        let mut cumulative = Vec::with_capacity(MAX_DISTANCE);
+        let mut acc = 0u64;
+        for d in 0..MAX_DISTANCE {
+            acc += self.histogram[d];
+            cumulative.push(if self.total == 0 {
+                0.0
+            } else {
+                acc as f64 / self.total as f64
+            });
+        }
+        CorrelationCurve {
+            cumulative,
+            consumptions: self.total,
+        }
+    }
+}
+
+/// Convenience: runs the analysis over a captured consumption list.
+pub fn correlation_curve(nodes: usize, consumptions: &[Consumption]) -> CorrelationCurve {
+    let mut a = CorrelationAnalysis::new(nodes);
+    for &c in consumptions {
+        a.observe(c);
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cons(node: u16, line: u64, seq: u64) -> Consumption {
+        Consumption {
+            node: NodeId::new(node),
+            line: Line::new(line),
+            clock: seq,
+            global_seq: seq,
+        }
+    }
+
+    fn feed(pairs: &[(u16, u64)]) -> CorrelationCurve {
+        let mut a = CorrelationAnalysis::new(4);
+        for (i, &(n, l)) in pairs.iter().enumerate() {
+            a.observe(cons(n, l, i as u64));
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn perfectly_repeated_sequence_is_distance_1() {
+        // Node 0 records 1..=8; node 1 replays it exactly.
+        let mut pairs: Vec<(u16, u64)> = (1..=8).map(|l| (0, l)).collect();
+        pairs.extend((1..=8).map(|l| (1u16, l)));
+        let curve = feed(&pairs);
+        // Node 1's misses 2..=8 (7 of them) are at +1; 16 consumptions total.
+        assert_eq!(curve.consumptions, 16);
+        assert!(
+            (curve.at_distance_1() - 7.0 / 16.0).abs() < 1e-9,
+            "got {}",
+            curve.at_distance_1()
+        );
+        // Nothing more is gained at larger distances.
+        assert_eq!(curve.at_distance(16), curve.at_distance_1());
+    }
+
+    #[test]
+    fn reordered_replay_lands_at_small_distances() {
+        // Node 0 records 1..=8; node 1 replays with adjacent swaps:
+        // 2,1,4,3,6,5,8,7 — every other distance is ±2.
+        let mut pairs: Vec<(u16, u64)> = (1..=8).map(|l| (0, l)).collect();
+        pairs.extend([(1u16, 2u64), (1, 1), (1, 4), (1, 3), (1, 6), (1, 5), (1, 8), (1, 7)]);
+        let curve = feed(&pairs);
+        // Following a swapped replay, the context hops backward then
+        // forward: distances alternate 1 and 3.
+        assert!(
+            curve.at_distance(3) > curve.at_distance_1(),
+            "swaps must appear within distance 3: {:?}",
+            curve.cumulative
+        );
+        assert!(curve.at_distance(3) >= 7.0 / 16.0 - 1e-9);
+    }
+
+    #[test]
+    fn random_sequence_is_uncorrelated() {
+        // Node 1's misses share no order with node 0's.
+        let mut pairs: Vec<(u16, u64)> = (1..=8).map(|l| (0, l)).collect();
+        pairs.extend([(1u16, 100u64), (1, 50), (1, 200), (1, 7), (1, 300)]);
+        let curve = feed(&pairs);
+        assert_eq!(curve.at_distance(16), 0.0, "{:?}", curve.cumulative);
+    }
+
+    #[test]
+    fn self_streams_count() {
+        // The same node repeats its own order (em3d-style).
+        let mut pairs: Vec<(u16, u64)> = (1..=6).map(|l| (0, l)).collect();
+        pairs.extend((1..=6).map(|l| (0u16, l)));
+        let curve = feed(&pairs);
+        // Second pass: first miss re-locates (line 1 found via pointer),
+        // remaining 5 at +1.
+        assert!((curve.at_distance_1() - 5.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_follows_most_recent_sharer() {
+        // Node 0 and node 1 both record the sequence; node 2 must follow
+        // node 1 (most recent), still at distance +1.
+        let mut pairs: Vec<(u16, u64)> = (1..=5).map(|l| (0, l)).collect();
+        pairs.extend((1..=5).map(|l| (1u16, l)));
+        pairs.extend((1..=5).map(|l| (2u16, l)));
+        let curve = feed(&pairs);
+        // 15 consumptions; node 1 contributes 4 at +1, node 2 contributes 4.
+        assert!((curve.at_distance_1() - 8.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_analysis_yields_zero_curve() {
+        let curve = CorrelationAnalysis::new(2).finish();
+        assert_eq!(curve.consumptions, 0);
+        assert_eq!(curve.at_distance(8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be")]
+    fn distance_zero_is_rejected() {
+        let curve = CorrelationAnalysis::new(2).finish();
+        let _ = curve.at_distance(0);
+    }
+
+    #[test]
+    fn helper_matches_streaming() {
+        let pairs: Vec<(u16, u64)> = vec![(0, 1), (0, 2), (1, 1), (1, 2)];
+        let consumptions: Vec<Consumption> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, l))| cons(n, l, i as u64))
+            .collect();
+        let a = feed(&pairs);
+        let b = correlation_curve(4, &consumptions);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Parallel experiment driver.
+//!
+//! Figure sweeps run many independent (workload, configuration) pairs;
+//! each builds its own simulator, so they parallelize trivially across
+//! threads. Jobs are distributed over a crossbeam channel to a scoped
+//! worker pool and results are collected under a `parking_lot` mutex,
+//! preserving job order.
+
+use parking_lot::Mutex;
+
+/// Runs `jobs` through `f` on up to `threads` worker threads, returning
+/// results in job order.
+///
+/// `threads = 0` means one thread per available CPU (capped by the job
+/// count).
+///
+/// # Example
+///
+/// ```
+/// let squares = tse_sim::run_parallel(vec![1u64, 2, 3], 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn run_parallel<J, R, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let n_jobs = jobs.len();
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n_jobs);
+
+    if threads <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, J)>();
+    for job in jobs.into_iter().enumerate() {
+        tx.send(job).expect("queue open");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..n_jobs).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, job)) = rx.recv() {
+                    let r = f(job);
+                    results.lock()[idx] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_jobs_yield_empty_results() {
+        let r: Vec<u32> = run_parallel(Vec::<u32>::new(), 4, |x| x);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let r = run_parallel(jobs, 8, |x| x * 2);
+        assert_eq!(r, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_jobs_execute_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let r = run_parallel((0..50).collect(), 4, |x: usize| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(r.len(), 50);
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn single_thread_fallback_works() {
+        let r = run_parallel(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(r, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        let r = run_parallel(vec![5u8; 10], 0, |x| x as u32);
+        assert_eq!(r.len(), 10);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sample statistics: means, variances, confidence intervals.
+//!
+//! The paper reports commercial-workload speedups with 95% confidence
+//! intervals derived from SMARTS-style statistical sampling. We run each
+//! commercial configuration over several seeds (batch samples) and report
+//! normal-approximation confidence intervals over the batch means.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of scalar samples with derived statistics.
+///
+/// # Example
+///
+/// ```
+/// use tse_sim::Samples;
+///
+/// let s = Samples::from_iter([1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean(), 2.0);
+/// assert!(s.ci95_half_width() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Unbiased sample standard deviation (0 with fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval on the mean
+    /// (normal approximation: `1.96 * s / sqrt(n)`).
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev() / (n as f64).sqrt()
+    }
+
+    /// Formats as `mean ± ci` with the given precision.
+    pub fn display(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ± {:.p$}",
+            self.mean(),
+            self.ci95_half_width(),
+            p = precision
+        )
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Samples {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_statistics_are_zero() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Samples::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev with n-1 = 7: sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_no_interval() {
+        let mut s = Samples::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_plus_minus() {
+        let s = Samples::from_iter([1.0, 2.0]);
+        let d = s.display(2);
+        assert!(d.contains('±'), "{d}");
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s: Samples = [1.0, 2.0].into_iter().collect();
+        s.extend([3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn ci_shrinks_with_samples(base in proptest::collection::vec(0.0f64..10.0, 4..20)) {
+            let s1 = Samples::from_iter(base.iter().copied());
+            // Duplicate the sample set: same variance, larger n -> smaller CI.
+            let s2 = Samples::from_iter(base.iter().chain(base.iter()).copied());
+            prop_assert!(s2.ci95_half_width() <= s1.ci95_half_width() + 1e-9);
+        }
+
+        #[test]
+        fn mean_within_range(vals in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let s = Samples::from_iter(vals.iter().copied());
+            let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Trace (de)serialization as JSON lines.
+//!
+//! One [`AccessRecord`] per line. JSON-lines keeps traces greppable and
+//! streamable; traces used by the experiment suite are regenerated from
+//! seeds rather than stored, so compactness is not a goal.
+
+use crate::AccessRecord;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// An error reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// The serde error.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line, source } => {
+                write!(f, "malformed trace record at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes records as JSON lines.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+///
+/// # Example
+///
+/// ```
+/// use tse_trace::{read_jsonl, write_jsonl, AccessRecord};
+/// use tse_types::{Line, NodeId};
+///
+/// let recs = vec![AccessRecord::read(NodeId::new(0), 3, Line::new(8))];
+/// let mut buf = Vec::new();
+/// write_jsonl(&mut buf, recs.iter().copied())?;
+/// let back = read_jsonl(&buf[..])?;
+/// assert_eq!(back, recs);
+/// # Ok::<(), tse_trace::TraceIoError>(())
+/// ```
+pub fn write_jsonl<W: Write>(
+    mut writer: W,
+    records: impl IntoIterator<Item = AccessRecord>,
+) -> Result<(), TraceIoError> {
+    for rec in records {
+        let json = serde_json::to_string(&rec).expect("AccessRecord serialization is infallible");
+        writer.write_all(json.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads records from JSON lines; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on read failure or
+/// [`TraceIoError::Parse`] (with the line number) on a malformed record.
+pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Vec<AccessRecord>, TraceIoError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = serde_json::from_str(&line).map_err(|source| TraceIoError::Parse {
+            line: i + 1,
+            source,
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+    use proptest::prelude::*;
+    use tse_types::{Line, NodeId};
+
+    #[test]
+    fn round_trip_preserves_all_fields() {
+        let recs = vec![
+            AccessRecord::read(NodeId::new(3), 77, Line::new(0xdead))
+                .with_pc(9)
+                .with_dependent(true),
+            AccessRecord::write(NodeId::new(15), 78, Line::new(0xbeef)).with_spin(true),
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, recs.iter().copied()).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(back[0].kind, AccessKind::Read);
+        assert_eq!(back[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let buf = b"\n\n";
+        assert!(read_jsonl(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_record_reports_line_number() {
+        let rec = AccessRecord::read(NodeId::new(0), 0, Line::new(0));
+        let good = serde_json::to_string(&rec).unwrap();
+        let buf = format!("{good}\nnot-json\n");
+        let err = read_jsonl(buf.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.source().is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary_records(
+            node in 0u16..64,
+            clock in any::<u64>(),
+            line in any::<u64>(),
+            pc in any::<u32>(),
+            dep in any::<bool>(),
+            spin in any::<bool>(),
+            write in any::<bool>(),
+        ) {
+            let base = if write {
+                AccessRecord::write(NodeId::new(node), clock, Line::new(line))
+            } else {
+                AccessRecord::read(NodeId::new(node), clock, Line::new(line))
+            };
+            let rec = base.with_pc(pc).with_dependent(dep).with_spin(spin);
+            let mut buf = Vec::new();
+            write_jsonl(&mut buf, [rec]).unwrap();
+            let back = read_jsonl(&buf[..]).unwrap();
+            prop_assert_eq!(back, vec![rec]);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Memory-access traces for the DSM simulator.
+//!
+//! The paper's methodology (Section 4) collects per-processor memory
+//! traces with in-order execution at a fixed IPC of 1, then runs both
+//! trace-based analyses and timing simulations over them. This crate
+//! provides the trace vocabulary used throughout the workspace:
+//!
+//! * [`AccessRecord`] — one memory reference by one node, stamped with the
+//!   node's logical (instruction-count) clock;
+//! * [`interleave`] — the deterministic global ordering of per-node record
+//!   streams by logical clock (the "fixed IPC 1.0" merge);
+//! * [`Consumption`] — a classified coherent read miss, the unit every
+//!   figure of the paper is expressed in;
+//! * [`SpinFilter`] — the heuristic that drops lock/barrier spin misses
+//!   (the paper excludes spins because streaming them has no benefit);
+//! * JSON-lines (de)serialization for traces ([`write_jsonl`],
+//!   [`read_jsonl`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tse_trace::{AccessKind, AccessRecord, interleave};
+//! use tse_types::{Line, NodeId};
+//!
+//! let n0 = vec![AccessRecord::read(NodeId::new(0), 10, Line::new(1))];
+//! let n1 = vec![AccessRecord::read(NodeId::new(1), 5, Line::new(2))];
+//! let merged: Vec<_> = interleave(vec![n0.into_iter(), n1.into_iter()]).collect();
+//! assert_eq!(merged[0].node, NodeId::new(1)); // clock 5 goes first
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod io;
+mod record;
+mod spin;
+
+pub use io::{read_jsonl, write_jsonl, TraceIoError};
+pub use record::{interleave, AccessKind, AccessRecord, Consumption, Interleave};
+pub use spin::SpinFilter;

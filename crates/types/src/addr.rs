@@ -1,0 +1,224 @@
+//! Physical addresses and cache lines.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The coherence unit (cache line) size in bytes.
+///
+/// The paper's Table 1 fixes a 64-byte coherence unit; the whole workspace
+/// uses the same constant.
+pub const LINE_BYTES: u64 = 64;
+
+/// `log2(LINE_BYTES)`: the number of low address bits inside a line.
+pub const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+
+/// A physical byte address.
+///
+/// `Addr` is a transparent newtype over `u64` ([C-NEWTYPE]); arithmetic is
+/// deliberately not implemented so that offsets must be applied through
+/// explicit, named operations.
+///
+/// # Example
+///
+/// ```
+/// use tse_types::{Addr, LINE_BYTES};
+///
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line().index(), 0x1040 / LINE_BYTES);
+/// assert_eq!(a.offset_in_line(), 0x00);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    pub const fn line(self) -> Line {
+        Line(self.0 >> LINE_SHIFT)
+    }
+
+    /// Returns the byte offset of this address inside its cache line.
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// A cache-line (coherence-unit) address: a byte address divided by
+/// [`LINE_BYTES`].
+///
+/// Lines are the unit at which the directory, the caches, the CMOB and the
+/// SVB all operate.
+///
+/// # Example
+///
+/// ```
+/// use tse_types::{Addr, Line};
+///
+/// let l = Line::new(5);
+/// assert_eq!(l.base_addr(), Addr::new(5 * 64));
+/// assert_eq!(l.next(), Line::new(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Line(u64);
+
+impl Line {
+    /// Creates a line from a line index (byte address / line size).
+    pub const fn new(index: u64) -> Self {
+        Line(index)
+    }
+
+    /// Returns the line index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// Returns the line that follows this one in the address space.
+    #[must_use]
+    pub const fn next(self) -> Line {
+        Line(self.0 + 1)
+    }
+
+    /// Returns the signed distance, in lines, from `other` to `self`.
+    ///
+    /// Used by stride detectors and the distance-correlating GHB.
+    pub const fn delta(self, other: Line) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Returns the line offset by a signed number of lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the offset underflows the address space.
+    #[must_use]
+    pub fn offset(self, lines: i64) -> Line {
+        Line(self.0.wrapping_add_signed(lines))
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for Line {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_constants_consistent() {
+        assert_eq!(1u64 << LINE_SHIFT, LINE_BYTES);
+        assert!(LINE_BYTES.is_power_of_two());
+    }
+
+    #[test]
+    fn addr_to_line_rounds_down() {
+        assert_eq!(Addr::new(0).line(), Line::new(0));
+        assert_eq!(Addr::new(63).line(), Line::new(0));
+        assert_eq!(Addr::new(64).line(), Line::new(1));
+        assert_eq!(Addr::new(65).line(), Line::new(1));
+    }
+
+    #[test]
+    fn line_base_addr_is_aligned() {
+        let l = Line::new(123);
+        assert_eq!(l.base_addr().offset_in_line(), 0);
+        assert_eq!(l.base_addr().line(), l);
+    }
+
+    #[test]
+    fn addr_offset_and_offset_in_line() {
+        let a = Addr::new(0x100);
+        assert_eq!(a.offset(3).offset_in_line(), 3);
+        assert_eq!(a.offset(64).line(), Line::new(5));
+    }
+
+    #[test]
+    fn line_delta_is_signed() {
+        assert_eq!(Line::new(10).delta(Line::new(7)), 3);
+        assert_eq!(Line::new(7).delta(Line::new(10)), -3);
+        assert_eq!(Line::new(7).delta(Line::new(7)), 0);
+    }
+
+    #[test]
+    fn line_offset_round_trips_delta() {
+        let a = Line::new(100);
+        let b = a.offset(-25);
+        assert_eq!(b, Line::new(75));
+        assert_eq!(a.delta(b), 25);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x40");
+        assert_eq!(format!("{}", Line::new(0x40)), "L0x40");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:X}", Addr::new(255)), "FF");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a = Addr::from(77u64);
+        assert_eq!(u64::from(a), 77);
+        assert_eq!(Line::from(Addr::new(128)), Line::new(2));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to a builder or constructor.
+///
+/// # Example
+///
+/// ```
+/// use tse_types::SystemConfig;
+///
+/// let err = SystemConfig::builder().nodes(0).build().unwrap_err();
+/// assert!(err.to_string().contains("nonzero"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("lookahead must be nonzero");
+        assert_eq!(e.to_string(), "invalid configuration: lookahead must be nonzero");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+}

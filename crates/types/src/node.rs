@@ -1,0 +1,89 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a DSM node (a processor + its memory slice + directory
+/// slice + protocol controller).
+///
+/// The paper simulates 16 nodes in a 4x4 torus; `NodeId` supports up to
+/// `u16::MAX` nodes so larger configurations can be simulated.
+///
+/// # Example
+///
+/// ```
+/// use tse_types::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a dense index in `0..nodes`.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all node ids in a system of `n` nodes.
+    ///
+    /// ```
+    /// use tse_types::NodeId;
+    /// let all: Vec<_> = NodeId::all(4).collect();
+    /// assert_eq!(all.len(), 4);
+    /// assert_eq!(all[3], NodeId::new(3));
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n as u16).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u16 {
+    fn from(n: NodeId) -> Self {
+        n.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..16u16 {
+            assert_eq!(NodeId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let v: Vec<_> = NodeId::all(16).collect();
+        assert_eq!(v.len(), 16);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(NodeId::new(12).to_string(), "n12");
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulated processor-clock timestamp or duration, in cycles.
+///
+/// The paper's machine runs at 4 GHz, so 1 cycle = 0.25 ns; helpers for
+/// nanosecond conversion live on [`crate::SystemConfig`], which knows the
+/// clock rate.
+///
+/// `Cycle` supports the arithmetic a discrete-event simulator needs
+/// (`+`, `-`, saturating subtraction) while staying a distinct type from
+/// plain integers ([C-NEWTYPE]).
+///
+/// # Example
+///
+/// ```
+/// use tse_types::Cycle;
+///
+/// let t = Cycle::new(100) + Cycle::new(25);
+/// assert_eq!(t, Cycle::new(125));
+/// assert_eq!(t - Cycle::new(25), Cycle::new(100));
+/// assert_eq!(Cycle::ZERO.saturating_sub(t), Cycle::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable timestamp (useful as "never").
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp from a raw cycle count.
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns `self - rhs`, or zero on underflow.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the later of two timestamps.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics on underflow (subtracting a later time from an earlier one);
+    /// use [`Cycle::saturating_sub`] when the ordering is not guaranteed.
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.checked_sub(rhs.0).expect("Cycle subtraction underflow"))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(3);
+        assert_eq!(a + b, Cycle::new(13));
+        assert_eq!(a - b, Cycle::new(7));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle::new(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Cycle::new(1).saturating_sub(Cycle::new(2)), Cycle::ZERO);
+        assert_eq!(Cycle::new(5).saturating_sub(Cycle::new(2)), Cycle::new(3));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Cycle::new(1).max(Cycle::new(2)), Cycle::new(2));
+        assert_eq!(Cycle::new(1).min(Cycle::new(2)), Cycle::new(1));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert!(Cycle::MAX > Cycle::new(u64::MAX - 1));
+    }
+}

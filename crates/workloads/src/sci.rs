@@ -1,0 +1,568 @@
+//! Scientific workloads: em3d, moldyn, ocean.
+//!
+//! All three are iterative bulk-synchronous computations whose shared
+//! data structures are stable across iterations — the source of the
+//! near-perfect temporal address correlation the paper measures for them
+//! (Figure 6): every iteration re-writes the same producer data and
+//! re-reads it in the same order.
+
+use crate::{RegionAllocator, Workload, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tse_trace::AccessRecord;
+use tse_types::{Line, NodeId};
+
+/// Per-node trace emitter with a logical instruction clock.
+struct NodeTrace {
+    node: NodeId,
+    clock: u64,
+    recs: Vec<AccessRecord>,
+}
+
+impl NodeTrace {
+    fn new(node: NodeId) -> Self {
+        NodeTrace {
+            node,
+            clock: 0,
+            recs: Vec::new(),
+        }
+    }
+
+    fn read(&mut self, line: Line, work: u64, pc: u32, dependent: bool) {
+        self.clock += work;
+        self.recs.push(
+            AccessRecord::read(self.node, self.clock, line)
+                .with_pc(pc)
+                .with_dependent(dependent),
+        );
+    }
+
+    fn write(&mut self, line: Line, work: u64, pc: u32) {
+        self.clock += work;
+        self.recs
+            .push(AccessRecord::write(self.node, self.clock, line).with_pc(pc));
+    }
+
+    fn write_with_stall(&mut self, line: Line, work: u64, pc: u32, stall: u32) {
+        self.clock += work;
+        self.recs.push(
+            AccessRecord::write(self.node, self.clock, line)
+                .with_pc(pc)
+                .with_private_stall(stall),
+        );
+    }
+
+    fn read_with_stall(&mut self, line: Line, work: u64, pc: u32, dep: bool, stall: u32) {
+        self.clock += work;
+        self.recs.push(
+            AccessRecord::read(self.node, self.clock, line)
+                .with_pc(pc)
+                .with_dependent(dep)
+                .with_private_stall(stall),
+        );
+    }
+
+    /// Bulk-synchronous barrier: aligns the clock to an iteration boundary.
+    fn barrier(&mut self, at: u64) {
+        self.clock = self.clock.max(at);
+    }
+}
+
+fn scale_usize(base: usize, scale: f64, min: usize) -> usize {
+    ((base as f64 * scale).round() as usize).max(min)
+}
+
+// ---------------------------------------------------------------------
+// em3d
+// ---------------------------------------------------------------------
+
+/// em3d: electromagnetic wave propagation on a static bipartite graph
+/// (Culler et al.). Each iteration every node re-writes its owned H-node
+/// values and then reads its E-nodes' (partly remote) H-neighbours in a
+/// fixed traversal order.
+///
+/// Paper parameters (Table 2): 400K nodes, degree 2, span 5, 15% remote.
+/// We keep degree/span/remote and scale the node count to simulator
+/// scale.
+#[derive(Debug, Clone)]
+pub struct Em3d {
+    /// Number of DSM nodes.
+    pub nodes: usize,
+    /// Graph H-nodes (and E-nodes) owned per DSM node.
+    pub h_per_node: usize,
+    /// Neighbours per E-node.
+    pub degree: usize,
+    /// Fraction of neighbour edges that cross nodes.
+    pub remote_frac: f64,
+    /// Maximum node distance of a remote edge.
+    pub span: usize,
+    /// Iterations to trace.
+    pub iterations: usize,
+}
+
+impl Em3d {
+    /// The experiment-scale configuration, shrunk by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Em3d {
+            nodes: 16,
+            h_per_node: scale_usize(2200, scale, 24),
+            degree: 2,
+            remote_frac: 0.15,
+            span: 5,
+            iterations: 8,
+        }
+    }
+}
+
+impl Workload for Em3d {
+    fn name(&self) -> &'static str {
+        "em3d"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Scientific
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn table2_params(&self) -> String {
+        format!(
+            "{} nodes, degree {}, span {}, {:.0}% remote, {} iterations",
+            self.nodes * self.h_per_node * 2,
+            self.degree,
+            self.span,
+            self.remote_frac * 100.0,
+            self.iterations
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Vec<Vec<AccessRecord>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe3d0);
+        let mut alloc = RegionAllocator::new();
+        let h_total = (self.nodes * self.h_per_node) as u64;
+        let h_base = alloc.region(h_total);
+        let e_base = alloc.region(h_total);
+
+        let h_line = |owner: usize, idx: usize| {
+            Line::new(h_base.index() + (owner * self.h_per_node + idx) as u64)
+        };
+        let e_line = |owner: usize, idx: usize| {
+            Line::new(e_base.index() + (owner * self.h_per_node + idx) as u64)
+        };
+
+        // Static graph: neighbours of each E-node, fixed for the run.
+        let mut neighbours: Vec<Vec<Vec<Line>>> = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            let mut per_e = Vec::with_capacity(self.h_per_node);
+            for _ in 0..self.h_per_node {
+                let mut nb = Vec::with_capacity(self.degree);
+                for _ in 0..self.degree {
+                    let owner = if rng.gen_bool(self.remote_frac) {
+                        let off = rng.gen_range(1..=self.span);
+                        if rng.gen_bool(0.5) {
+                            (n + off) % self.nodes
+                        } else {
+                            (n + self.nodes - (off % self.nodes)) % self.nodes
+                        }
+                    } else {
+                        n
+                    };
+                    nb.push(h_line(owner, rng.gen_range(0..self.h_per_node)));
+                }
+                per_e.push(nb);
+            }
+            neighbours.push(per_e);
+        }
+
+        const W_WRITE: u64 = 8;
+        const W_READ: u64 = 14;
+        let iter_work = self.h_per_node as u64 * W_WRITE
+            + self.h_per_node as u64 * (self.degree as u64 * W_READ + W_WRITE);
+
+        let mut traces: Vec<NodeTrace> = (0..self.nodes)
+            .map(|n| NodeTrace::new(NodeId::new(n as u16)))
+            .collect();
+        for t in 0..self.iterations {
+            let start = t as u64 * iter_work;
+            for (n, trace) in traces.iter_mut().enumerate() {
+                trace.barrier(start);
+                // Phase W: update own H values.
+                for h in 0..self.h_per_node {
+                    trace.write(h_line(n, h), W_WRITE, 0x100);
+                }
+                // Phase R: sweep E-nodes, reading neighbours in order.
+                // Edge-list indirection makes every third load dependent,
+                // bounding consumption MLP near 2 as measured in Table 3.
+                let mut k = 0usize;
+                for (e, nbs) in neighbours[n].iter().enumerate() {
+                    for &nb in nbs {
+                        trace.read(nb, W_READ, 0x200, k.is_multiple_of(3));
+                        k += 1;
+                    }
+                    // E-node update compute: private time that exists
+                    // with or without TSE (calibrates the base machine's
+                    // coherent-stall share to the paper's composition).
+                    trace.write_with_stall(e_line(n, e), W_WRITE, 0x300, 20);
+                }
+            }
+        }
+        traces.into_iter().map(|t| t.recs).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// moldyn
+// ---------------------------------------------------------------------
+
+/// moldyn: molecular dynamics with neighbour lists (CHAOS suite). The
+/// interaction list is stable between periodic rebuilds; rebuilds
+/// perturb a fraction of the partners, producing the small sequence
+/// drift that keeps moldyn's temporal correlation just below perfect.
+///
+/// Paper parameters (Table 2): 19652 molecules, 2.56M interactions.
+#[derive(Debug, Clone)]
+pub struct Moldyn {
+    /// Number of DSM nodes.
+    pub nodes: usize,
+    /// Molecules owned per node.
+    pub mols_per_node: usize,
+    /// Interactions per node (list entries).
+    pub interactions_per_node: usize,
+    /// Fraction of interaction partners on remote nodes.
+    pub remote_frac: f64,
+    /// Iterations between neighbour-list rebuilds.
+    pub rebuild_every: usize,
+    /// Fraction of list entries replaced per rebuild.
+    pub perturb_frac: f64,
+    /// Iterations to trace.
+    pub iterations: usize,
+}
+
+impl Moldyn {
+    /// The experiment-scale configuration, shrunk by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Moldyn {
+            nodes: 16,
+            mols_per_node: scale_usize(1000, scale, 16),
+            interactions_per_node: scale_usize(5000, scale, 40),
+            remote_frac: 0.3,
+            rebuild_every: 4,
+            perturb_frac: 0.12,
+            iterations: 10,
+        }
+    }
+}
+
+impl Workload for Moldyn {
+    fn name(&self) -> &'static str {
+        "moldyn"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Scientific
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn table2_params(&self) -> String {
+        format!(
+            "{} molecules, {} interactions, rebuild every {} iters ({:.0}% perturbed), {} iterations",
+            self.nodes * self.mols_per_node,
+            self.nodes * self.interactions_per_node,
+            self.rebuild_every,
+            self.perturb_frac * 100.0,
+            self.iterations
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Vec<Vec<AccessRecord>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x401d);
+        let mut alloc = RegionAllocator::new();
+        let mol_total = (self.nodes * self.mols_per_node) as u64;
+        let mol_base = alloc.region(mol_total);
+        let mol_line = |owner: usize, idx: usize| {
+            Line::new(mol_base.index() + (owner * self.mols_per_node + idx) as u64)
+        };
+
+        let sample_partner = |rng: &mut StdRng, n: usize| {
+            let owner = if rng.gen_bool(self.remote_frac) {
+                rng.gen_range(0..self.nodes)
+            } else {
+                n
+            };
+            mol_line(owner, rng.gen_range(0..self.mols_per_node))
+        };
+
+        // Initial interaction lists; each entry carries a dependence flag
+        // (indirect neighbour-list loads) tuned to moldyn's measured
+        // consumption MLP of ~1.6.
+        let mut lists: Vec<Vec<(Line, bool)>> = (0..self.nodes)
+            .map(|n| {
+                (0..self.interactions_per_node)
+                    .map(|_| (sample_partner(&mut rng, n), rng.gen_bool(0.6)))
+                    .collect()
+            })
+            .collect();
+
+        const W_WRITE: u64 = 6;
+        const W_READ: u64 = 20;
+        let iter_work = self.mols_per_node as u64 * W_WRITE
+            + self.interactions_per_node as u64 * W_READ;
+
+        let mut traces: Vec<NodeTrace> = (0..self.nodes)
+            .map(|n| NodeTrace::new(NodeId::new(n as u16)))
+            .collect();
+        for t in 0..self.iterations {
+            // Periodic neighbour-list rebuild perturbs the sequences.
+            if t > 0 && t % self.rebuild_every == 0 {
+                for (n, list) in lists.iter_mut().enumerate() {
+                    for entry in list.iter_mut() {
+                        if rng.gen_bool(self.perturb_frac) {
+                            entry.0 = sample_partner(&mut rng, n);
+                        }
+                    }
+                }
+            }
+            let start = t as u64 * iter_work;
+            for (n, trace) in traces.iter_mut().enumerate() {
+                trace.barrier(start);
+                // Update own molecule positions.
+                for m in 0..self.mols_per_node {
+                    trace.write(mol_line(n, m), W_WRITE, 0x110);
+                }
+                // Force computation: each interaction evaluates the
+                // Lennard-Jones kernel (private FP time).
+                for &(partner, dep) in &lists[n] {
+                    trace.read_with_stall(partner, W_READ, 0x210, dep, 150);
+                }
+            }
+        }
+        traces.into_iter().map(|t| t.recs).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// ocean
+// ---------------------------------------------------------------------
+
+/// ocean: blocked current simulation (SPLASH-2). Nodes own horizontal
+/// bands of a 2D grid; every sweep they exchange boundary rows with their
+/// ring neighbours — long *bursts* of consecutive line reads, which is
+/// what gives ocean its high consumption MLP (6.6 in Table 3) and makes
+/// its coverage bandwidth-bound rather than latency-bound.
+///
+/// Paper parameters (Table 2): 514x514 grid.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    /// Number of DSM nodes (bands).
+    pub nodes: usize,
+    /// Grid rows owned per node.
+    pub rows_per_node: usize,
+    /// Lines per grid row (columns * 8 B / 64 B).
+    pub row_lines: usize,
+    /// Relaxation sweeps to trace.
+    pub iterations: usize,
+}
+
+impl Ocean {
+    /// The experiment-scale configuration, shrunk by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Ocean {
+            nodes: 16,
+            rows_per_node: scale_usize(20, scale.sqrt(), 3),
+            row_lines: scale_usize(128, scale.sqrt(), 16),
+            iterations: 10,
+        }
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Scientific
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn table2_params(&self) -> String {
+        format!(
+            "{}x{} grid ({} rows/node), {} sweeps",
+            self.nodes * self.rows_per_node,
+            self.row_lines * 8,
+            self.rows_per_node,
+            self.iterations
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Vec<Vec<AccessRecord>> {
+        let _ = seed; // ocean's access pattern is fully deterministic
+        let mut alloc = RegionAllocator::new();
+        let total_rows = self.nodes * self.rows_per_node;
+        let grid = alloc.region((total_rows * self.row_lines) as u64);
+        let row_line = |row: usize, col: usize| {
+            Line::new(grid.index() + (row * self.row_lines + col) as u64)
+        };
+
+        const W_READ: u64 = 8; // tight boundary-exchange bursts
+        const W_WRITE: u64 = 16; // relaxation compute per point
+        let iter_work = (2 * self.row_lines) as u64 * W_READ
+            + (self.rows_per_node * self.row_lines) as u64 * W_WRITE;
+
+        let mut traces: Vec<NodeTrace> = (0..self.nodes)
+            .map(|n| NodeTrace::new(NodeId::new(n as u16)))
+            .collect();
+        for t in 0..self.iterations {
+            let start = t as u64 * iter_work;
+            for (n, trace) in traces.iter_mut().enumerate() {
+                trace.barrier(start);
+                // Boundary exchange: read the neighbour-above's last row
+                // and the neighbour-below's first row (ring topology).
+                let above = (n + self.nodes - 1) % self.nodes;
+                let below = (n + 1) % self.nodes;
+                let above_last = above * self.rows_per_node + self.rows_per_node - 1;
+                let below_first = below * self.rows_per_node;
+                // The two boundary rows are consumed interleaved (the
+                // sweep touches the first and last owned rows as it
+                // proceeds), so consecutive consumptions alternate
+                // between two distant rows and carry no constant stride.
+                // A dependence every ~6 reads caps the burst overlap near
+                // ocean's measured consumption MLP of 6.6 (Table 3).
+                let mut k = 0usize;
+                for c in 0..self.row_lines {
+                    trace.read(row_line(above_last, c), W_READ, 0x120, k % 6 == 5);
+                    k += 1;
+                    trace.read(row_line(below_first, c), W_READ, 0x121, k % 6 == 5);
+                    k += 1;
+                }
+                // Relaxation: update all owned rows; the multigrid
+                // stencil computation is private time per point.
+                for r in 0..self.rows_per_node {
+                    let row = n * self.rows_per_node + r;
+                    for c in 0..self.row_lines {
+                        trace.write_with_stall(row_line(row, c), W_WRITE, 0x220, 60);
+                    }
+                }
+                let _ = t;
+            }
+        }
+        traces.into_iter().map(|t| t.recs).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn em3d_iterations_repeat_identically() {
+        let wl = Em3d::scaled(0.02);
+        let per_node = wl.generate(3);
+        // The read sequence of node 0 must be identical across iterations
+        // (static graph): compare iteration 1 and 2 read lines.
+        let reads: Vec<Line> = per_node[0]
+            .iter()
+            .filter(|r| matches!(r.kind, tse_trace::AccessKind::Read))
+            .map(|r| r.line)
+            .collect();
+        let per_iter = reads.len() / wl.iterations;
+        assert!(per_iter > 0);
+        assert_eq!(
+            &reads[per_iter..2 * per_iter],
+            &reads[2 * per_iter..3 * per_iter],
+            "em3d traversal must repeat exactly"
+        );
+    }
+
+    #[test]
+    fn em3d_has_remote_reads() {
+        let wl = Em3d::scaled(0.02);
+        let per_node = wl.generate(3);
+        let h_span = (wl.nodes * wl.h_per_node) as u64;
+        // Node 0 owns the first h_per_node H lines; remote reads target others.
+        let mut remote = 0;
+        let mut local = 0;
+        for r in &per_node[0] {
+            if matches!(r.kind, tse_trace::AccessKind::Read) {
+                let idx = r.line.index() - 1024; // region base
+                assert!(idx < h_span, "reads must target H region");
+                if idx < wl.h_per_node as u64 {
+                    local += 1;
+                } else {
+                    remote += 1;
+                }
+            }
+        }
+        assert!(remote > 0, "em3d must read remote H nodes");
+        assert!(local > remote, "most edges are local (15% remote)");
+    }
+
+    #[test]
+    fn moldyn_rebuild_changes_sequence_slightly() {
+        let wl = Moldyn::scaled(0.02);
+        let per_node = wl.generate(5);
+        let reads: Vec<Line> = per_node[0]
+            .iter()
+            .filter(|r| matches!(r.kind, tse_trace::AccessKind::Read))
+            .map(|r| r.line)
+            .collect();
+        let per_iter = wl.interactions_per_node;
+        // Iterations 0..rebuild_every are identical.
+        assert_eq!(&reads[0..per_iter], &reads[per_iter..2 * per_iter]);
+        // After a rebuild (iteration 4), most but not all entries match.
+        let before: &[Line] = &reads[(wl.rebuild_every - 1) * per_iter..wl.rebuild_every * per_iter];
+        let after: &[Line] = &reads[wl.rebuild_every * per_iter..(wl.rebuild_every + 1) * per_iter];
+        let same = before.iter().zip(after).filter(|(a, b)| a == b).count();
+        assert!(same < per_iter, "rebuild must change something");
+        assert!(
+            same as f64 > per_iter as f64 * 0.7,
+            "rebuild must preserve most of the list ({same}/{per_iter})"
+        );
+    }
+
+    #[test]
+    fn ocean_reads_are_neighbour_boundaries() {
+        let wl = Ocean::scaled(0.05);
+        let per_node = wl.generate(1);
+        // Node 2 reads node 1's last row and node 3's first row.
+        let reads: Vec<Line> = per_node[2]
+            .iter()
+            .filter(|r| matches!(r.kind, tse_trace::AccessKind::Read))
+            .map(|r| r.line)
+            .collect();
+        let base = 1024u64;
+        let row = wl.row_lines as u64;
+        let above_last_start = base + (1 * wl.rows_per_node as u64 + wl.rows_per_node as u64 - 1) * row;
+        let below_first_start = base + (3 * wl.rows_per_node as u64) * row;
+        // Boundary reads interleave the two rows: above[0], below[0],
+        // above[1], below[1], ...
+        assert_eq!(reads[0].index(), above_last_start);
+        assert_eq!(reads[1].index(), below_first_start);
+        assert_eq!(reads[2].index(), above_last_start + 1);
+        assert_eq!(reads[3].index(), below_first_start + 1);
+        // Consecutive consumption deltas alternate sign: no stride.
+        let d0 = reads[1].index() as i64 - reads[0].index() as i64;
+        let d1 = reads[2].index() as i64 - reads[1].index() as i64;
+        assert!(d0 != d1, "ocean boundary reads must not be strided");
+    }
+
+    #[test]
+    fn scientific_phases_align_across_nodes() {
+        // All nodes' iteration boundaries land on the same clock, so the
+        // global interleave keeps write phases before read phases.
+        let wl = Em3d::scaled(0.02);
+        let per_node = wl.generate(9);
+        let ends: Vec<u64> = per_node.iter().map(|r| r.last().unwrap().clock).collect();
+        let min = ends.iter().min().unwrap();
+        let max = ends.iter().max().unwrap();
+        assert_eq!(min, max, "em3d nodes must stay clock-aligned");
+    }
+}

@@ -1,0 +1,176 @@
+//! Generator utilities: address-space regions and Zipf sampling.
+
+use rand::Rng;
+use tse_types::Line;
+
+/// Hands out disjoint contiguous line regions of the simulated physical
+/// address space, separated by guard gaps so distinct data structures
+/// never alias.
+///
+/// # Example
+///
+/// ```
+/// use tse_workloads::RegionAllocator;
+///
+/// let mut alloc = RegionAllocator::new();
+/// let a = alloc.region(100);
+/// let b = alloc.region(50);
+/// assert!(b.index() >= a.index() + 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    next: u64,
+}
+
+impl Default for RegionAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegionAllocator {
+    /// Guard gap between regions, in lines.
+    const GAP: u64 = 1024;
+
+    /// Creates an allocator starting at a nonzero base.
+    pub fn new() -> Self {
+        RegionAllocator { next: Self::GAP }
+    }
+
+    /// Allocates a region of `lines` lines, returning its first line.
+    pub fn region(&mut self, lines: u64) -> Line {
+        let base = self.next;
+        self.next = base + lines + Self::GAP;
+        Line::new(base)
+    }
+
+    /// Total line-space consumed so far.
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A Zipf(α) sampler over `0..n` by inverse-CDF table lookup, as used for
+/// web-object popularity (SPECweb's file popularity is Zipf-like).
+///
+/// # Example
+///
+/// ```
+/// use tse_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `0..n` with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf support must be nonempty");
+        assert!(alpha >= 0.0, "Zipf exponent must be nonnegative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let mut a = RegionAllocator::new();
+        let r1 = a.region(10);
+        let r2 = a.region(10);
+        let r3 = a.region(1);
+        assert!(r1.index() + 10 <= r2.index());
+        assert!(r2.index() + 10 <= r3.index());
+        assert!(a.used() > r3.index());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zipf_empty_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut top10 = 0;
+        let total = 10_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With alpha=1, n=1000: P(rank<10) ~ H(10)/H(1000) ~ 2.93/7.49 ~ 39%.
+        assert!(top10 > total * 30 / 100, "top-10 mass too small: {top10}");
+        assert!(top10 < total * 50 / 100, "top-10 mass too large: {top10}");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "non-uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Web-server workload generator (SPECweb99-like): Apache and Zeus
+//! flavours.
+//!
+//! Coherence behaviour of web serving on a DSM, reproduced structurally:
+//!
+//! * **dynamic content** (fastCGI) — a fraction of files are regenerated
+//!   in place by the serving node; the next node to serve the same file
+//!   reads its lines in order: short recurring streams (files are a few
+//!   KB), giving the ~43% correlated consumptions and short-stream-heavy
+//!   Figure 13 profile the paper reports for Apache and Zeus;
+//! * **static content** — read-only after warm-up; caches at every
+//!   node and stops producing coherence misses (as in the real system);
+//! * **shared session/metadata tables** — per-request random
+//!   read-modify-writes: the uncorrelated consumption remainder;
+//! * **popularity** — file selection is Zipf-distributed.
+
+use crate::{RegionAllocator, Workload, WorkloadKind, Zipf};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tse_trace::AccessRecord;
+use tse_types::{Line, NodeId};
+
+/// Which web server's tuning to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WebFlavor {
+    /// Apache HTTP Server v2.0 (worker threading model).
+    Apache,
+    /// Zeus Web Server v4.3 (event-driven).
+    Zeus,
+}
+
+/// SPECweb99-like web serving workload.
+#[derive(Debug, Clone)]
+pub struct WebServer {
+    /// Which flavour's parameters to use.
+    pub flavor: WebFlavor,
+    /// Number of DSM nodes (server processors).
+    pub nodes: usize,
+    /// Number of distinct files.
+    pub files: usize,
+    /// File length range in lines.
+    pub file_len: (usize, usize),
+    /// Fraction of files that are dynamic (fastCGI-generated).
+    pub dynamic_frac: f64,
+    /// Probability a dynamic request regenerates (rewrites) the file.
+    pub regen_prob: f64,
+    /// Zipf popularity exponent.
+    pub zipf_alpha: f64,
+    /// Random session-table read-modify-writes per request.
+    pub session_rmw: usize,
+    /// Session table size in lines.
+    pub session_lines: usize,
+    /// Requests per node.
+    pub requests_per_node: usize,
+}
+
+impl WebServer {
+    /// The experiment-scale configuration for a flavour, shrunk by
+    /// `scale`.
+    pub fn scaled(flavor: WebFlavor, scale: f64) -> Self {
+        let scale_usize =
+            |base: usize, min: usize| ((base as f64 * scale).round() as usize).max(min);
+        let (session_rmw, dynamic_frac, regen_prob) = match flavor {
+            WebFlavor::Apache => (3, 0.45, 0.60),
+            WebFlavor::Zeus => (3, 0.50, 0.60),
+        };
+        WebServer {
+            flavor,
+            nodes: 16,
+            files: scale_usize(2000, 64),
+            file_len: (2, 12),
+            dynamic_frac,
+            regen_prob,
+            zipf_alpha: 0.9,
+            session_rmw,
+            session_lines: scale_usize(300_000, 8_192),
+            requests_per_node: scale_usize(650, 30),
+        }
+    }
+}
+
+impl Workload for WebServer {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            WebFlavor::Apache => "Apache",
+            WebFlavor::Zeus => "Zeus",
+        }
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Web
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn table2_params(&self) -> String {
+        format!(
+            "{} files ({}-{} lines, {:.0}% dynamic), Zipf({}), {} session RMW/req, {} reqs/node",
+            self.files,
+            self.file_len.0,
+            self.file_len.1,
+            self.dynamic_frac * 100.0,
+            self.zipf_alpha,
+            self.session_rmw,
+            self.requests_per_node
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Vec<Vec<AccessRecord>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3eb5);
+        let mut alloc = RegionAllocator::new();
+
+        // File layout: contiguous lines per file; fixed length and
+        // static/dynamic class per file.
+        let file_lens: Vec<usize> = (0..self.files)
+            .map(|_| rng.gen_range(self.file_len.0..=self.file_len.1))
+            .collect();
+        let file_bases: Vec<Line> = file_lens.iter().map(|&l| alloc.region(l as u64)).collect();
+        // Buffer-cache pages are physically scattered: each file is
+        // served through a stable shuffled page order, so serving
+        // carries no physical-address stride.
+        let file_orders: Vec<Vec<u64>> = file_lens
+            .iter()
+            .map(|&l| {
+                let mut order: Vec<u64> = (0..l as u64).collect();
+                order.shuffle(&mut rng);
+                order
+            })
+            .collect();
+        let file_dynamic: Vec<bool> = (0..self.files)
+            .map(|_| rng.gen_bool(self.dynamic_frac))
+            .collect();
+        let stat_base = alloc.region(self.files as u64); // one stat line per file
+        let session_base = alloc.region(self.session_lines as u64);
+        let conn_bases: Vec<Line> = (0..self.nodes)
+            .map(|_| alloc.region(256)) // per-node connection structs
+            .collect();
+        let log_base = alloc.region(4096);
+        let mut log_cursor = 0u64;
+
+        let zipf = Zipf::new(self.files, self.zipf_alpha);
+
+        struct Ctx {
+            clock: u64,
+            recs: Vec<AccessRecord>,
+        }
+        let mut ctxs: Vec<Ctx> = (0..self.nodes)
+            .map(|_| Ctx {
+                clock: 0,
+                recs: Vec::new(),
+            })
+            .collect();
+
+        const W: u64 = 28;
+        for _req in 0..self.requests_per_node {
+            for (n, ctx) in ctxs.iter_mut().enumerate() {
+                let node = NodeId::new(n as u16);
+                let read = |ctx: &mut Ctx, line: Line, pc: u32, dep: bool| {
+                    ctx.clock += W;
+                    ctx.recs.push(
+                        AccessRecord::read(node, ctx.clock, line)
+                            .with_pc(pc)
+                            .with_dependent(dep),
+                    );
+                };
+                let write = |ctx: &mut Ctx, line: Line, pc: u32| {
+                    ctx.clock += W / 2;
+                    ctx.recs
+                        .push(AccessRecord::write(node, ctx.clock, line).with_pc(pc));
+                };
+
+                let f = zipf.sample(&mut rng);
+                let base = file_bases[f].index();
+                let order = &file_orders[f];
+
+                // Connection bookkeeping: node-local, no coherence.
+                let conn = Line::new(conn_bases[n].index() + rng.gen_range(0..256));
+                read(ctx, conn, 0x500, true);
+                write(ctx, conn, 0x501);
+
+                // File stat/metadata: hot shared line, sometimes updated.
+                let stat = Line::new(stat_base.index() + f as u64);
+                read(ctx, stat, 0x510, true);
+                if rng.gen_bool(0.3) {
+                    write(ctx, stat, 0x511);
+                }
+
+                if file_dynamic[f] && rng.gen_bool(self.regen_prob) {
+                    // Regenerate: write the whole file, then serve from
+                    // the local cache (no coherence misses for us — the
+                    // *next* node to serve this file streams it).
+                    for &off in order {
+                        write(ctx, Line::new(base + off), 0x520);
+                    }
+                    for (k, &off) in order.iter().enumerate() {
+                        read(ctx, Line::new(base + off), 0x530, k % 4 != 0);
+                    }
+                } else {
+                    // Serve: read the file's pages in its stable order.
+                    // Mostly dependent copies keep MLP near the measured
+                    // 1.3.
+                    for (k, &off) in order.iter().enumerate() {
+                        read(ctx, Line::new(base + off), 0x530, k % 4 != 0);
+                    }
+                }
+
+                // Shared session-table random read-modify-writes.
+                for _ in 0..self.session_rmw {
+                    let s = Line::new(
+                        session_base.index() + rng.gen_range(0..self.session_lines) as u64,
+                    );
+                    read(ctx, s, 0x540, true);
+                    write(ctx, s, 0x541);
+                }
+
+                // Access log append.
+                let log = Line::new(log_base.index() + (log_cursor % 4096));
+                log_cursor += 1;
+                write(ctx, log, 0x550);
+            }
+        }
+        ctxs.into_iter().map(|c| c.recs).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_trace::AccessKind;
+
+    fn small() -> WebServer {
+        WebServer::scaled(WebFlavor::Apache, 0.05)
+    }
+
+    #[test]
+    fn flavors_have_names() {
+        assert_eq!(WebServer::scaled(WebFlavor::Apache, 1.0).name(), "Apache");
+        assert_eq!(WebServer::scaled(WebFlavor::Zeus, 1.0).name(), "Zeus");
+    }
+
+    #[test]
+    fn file_reads_form_stable_per_file_runs() {
+        // Every serve of the same file must traverse its pages in the
+        // same (shuffled) order — that is what makes the runs streamable.
+        let wl = small();
+        let per_node = wl.generate(5);
+        use std::collections::HashMap;
+        let mut by_file: HashMap<u64, Vec<Vec<u64>>> = HashMap::new();
+        for recs in &per_node {
+            let mut current: Vec<u64> = Vec::new();
+            for r in recs {
+                if r.pc == 0x530 {
+                    current.push(r.line.index());
+                } else if !current.is_empty() {
+                    let key = *current.iter().min().unwrap();
+                    by_file.entry(key).or_default().push(std::mem::take(&mut current));
+                }
+            }
+        }
+        let mut repeated = 0;
+        let mut shuffled = 0;
+        for seqs in by_file.values() {
+            if seqs.len() > 1 {
+                repeated += 1;
+                assert!(
+                    seqs.windows(2).all(|w| w[0] == w[1]),
+                    "every serve of a file must follow the same order"
+                );
+            }
+            let s = &seqs[0];
+            if s.len() > 2 && s.windows(2).any(|w| w[1] != w[0] + 1) {
+                shuffled += 1;
+            }
+        }
+        assert!(repeated > 0, "popular files must be served repeatedly");
+        assert!(shuffled > 0, "page orders must not be address-sequential");
+    }
+
+    #[test]
+    fn popular_files_are_served_more() {
+        let wl = WebServer::scaled(WebFlavor::Apache, 0.2);
+        let per_node = wl.generate(3);
+        // Count serves by first line of each 0x530 run; rank-0 file must
+        // be served far more often than a mid-pack file.
+        use std::collections::HashMap;
+        let mut serves: HashMap<u64, u32> = HashMap::new();
+        for recs in &per_node {
+            let mut prev_pc = 0;
+            for r in recs {
+                if r.pc == 0x530 && prev_pc != 0x530 {
+                    *serves.entry(r.line.index()).or_default() += 1;
+                }
+                prev_pc = r.pc;
+            }
+        }
+        let max = serves.values().max().copied().unwrap_or(0);
+        let mean = serves.values().map(|&v| v as f64).sum::<f64>() / serves.len() as f64;
+        assert!(
+            (max as f64) > mean * 3.0,
+            "Zipf popularity must concentrate serves (max {max}, mean {mean:.1})"
+        );
+    }
+
+    #[test]
+    fn dynamic_files_are_rewritten_by_servers() {
+        let wl = small();
+        let per_node = wl.generate(9);
+        let regen_writes: usize = per_node
+            .iter()
+            .flatten()
+            .filter(|r| r.pc == 0x520 && matches!(r.kind, AccessKind::Write))
+            .count();
+        assert!(regen_writes > 0, "dynamic regeneration must produce writes");
+    }
+
+    #[test]
+    fn session_traffic_is_random_rmw() {
+        let wl = small();
+        let per_node = wl.generate(9);
+        let mut reads = 0;
+        let mut writes = 0;
+        for r in per_node.iter().flatten() {
+            match (r.pc, r.kind) {
+                (0x540, AccessKind::Read) => reads += 1,
+                (0x541, AccessKind::Write) => writes += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(reads, writes, "every session read pairs with a write");
+        assert!(reads > 0);
+    }
+
+    #[test]
+    fn connection_structs_are_node_local() {
+        let wl = small();
+        let per_node = wl.generate(9);
+        // Connection lines (pc 0x500/0x501) must be disjoint across nodes.
+        use std::collections::HashSet;
+        let mut per_node_sets: Vec<HashSet<u64>> = Vec::new();
+        for recs in &per_node {
+            let set: HashSet<u64> = recs
+                .iter()
+                .filter(|r| r.pc == 0x500 || r.pc == 0x501)
+                .map(|r| r.line.index())
+                .collect();
+            per_node_sets.push(set);
+        }
+        for i in 0..per_node_sets.len() {
+            for j in i + 1..per_node_sets.len() {
+                assert!(
+                    per_node_sets[i].is_disjoint(&per_node_sets[j]),
+                    "connection regions must not be shared"
+                );
+            }
+        }
+    }
+}

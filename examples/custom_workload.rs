@@ -1,0 +1,119 @@
+//! Implementing your own workload: a producer/consumer ring.
+//!
+//! Shows the `Workload` trait contract — per-node, clock-ordered access
+//! records — and that temporal streaming needs no knowledge of the
+//! program: any recurring consumption sequence streams.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use temporal_streaming::sim::{run_timing, run_trace, EngineKind, RunConfig};
+use temporal_streaming::trace::AccessRecord;
+use temporal_streaming::types::{Line, NodeId, SystemConfig, TseConfig};
+use temporal_streaming::workloads::{Workload, WorkloadKind};
+
+/// A token-ring pipeline: each node repeatedly rewrites its own buffer
+/// and walks its upstream neighbour's buffer as a linked list (each load
+/// depends on the previous one) — a classic producer-consumer pattern
+/// with perfect temporal correlation and no memory-level parallelism,
+/// exactly where streaming pays off most.
+struct Ring {
+    nodes: usize,
+    buffer_lines: u64,
+    rounds: usize,
+}
+
+impl Workload for Ring {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Scientific
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn table2_params(&self) -> String {
+        format!(
+            "{} nodes, {}-line buffers, {} rounds",
+            self.nodes, self.buffer_lines, self.rounds
+        )
+    }
+
+    fn generate(&self, _seed: u64) -> Vec<Vec<AccessRecord>> {
+        let base = |n: usize| 1024 + n as u64 * (self.buffer_lines + 64);
+        let mut out = vec![Vec::new(); self.nodes];
+        let round_work = self.buffer_lines * (8 + 12);
+        for round in 0..self.rounds {
+            for (n, recs) in out.iter_mut().enumerate() {
+                let node = NodeId::new(n as u16);
+                let mut clock = round as u64 * round_work;
+                // Rewrite my buffer...
+                for l in 0..self.buffer_lines {
+                    clock += 8;
+                    recs.push(AccessRecord::write(node, clock, Line::new(base(n) + l)));
+                }
+                // ...then walk my upstream neighbour's buffer as a
+                // linked list (dependent loads).
+                let up = (n + self.nodes - 1) % self.nodes;
+                for l in 0..self.buffer_lines {
+                    clock += 12;
+                    recs.push(
+                        AccessRecord::read(node, clock, Line::new(base(up) + l))
+                            .with_dependent(true),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ring = Ring {
+        nodes: 16,
+        buffer_lines: 256,
+        rounds: 8,
+    };
+    println!("workload: {} ({})\n", ring.name(), ring.table2_params());
+
+    let sys = SystemConfig::default();
+    let tse_cfg = TseConfig::builder().lookahead(16).build()?;
+
+    let trace = run_trace(
+        &ring,
+        &RunConfig {
+            sys: sys.clone(),
+            engine: EngineKind::Tse(tse_cfg.clone()),
+            ..RunConfig::default()
+        },
+    )?;
+    println!(
+        "trace mode:  coverage {:.1}%, discards {:.1}%",
+        trace.coverage() * 100.0,
+        trace.discard_rate() * 100.0
+    );
+
+    let base = run_timing(&ring, &sys, &EngineKind::Baseline, 42, 0.25)?;
+    let tse = run_timing(&ring, &sys, &EngineKind::Tse(tse_cfg), 42, 0.25)?;
+    println!(
+        "timing mode: base coherent-stall share {:.0}%, speedup {:.2}x",
+        base.coherent_fraction() * 100.0,
+        tse.speedup_over(&base)
+    );
+
+    assert!(trace.coverage() > 0.8, "a perfect ring must stream");
+    assert!(
+        tse.speedup_over(&base) > 1.5,
+        "pipelined streaming must beat serial pointer chasing"
+    );
+    println!(
+        "\nThe engine never saw this program before — it identified the ring's \
+         recurring consumption sequences purely from the directory's CMOB pointers."
+    );
+    Ok(())
+}

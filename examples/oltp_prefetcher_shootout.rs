@@ -1,0 +1,62 @@
+//! OLTP prefetcher shootout: the Figure 12 experiment on one workload.
+//!
+//! Runs a TPC-C-like database workload through four engines — an
+//! adaptive stride prefetcher, the Global History Buffer in both
+//! indexing modes, and the Temporal Streaming Engine — and compares
+//! coverage (consumptions eliminated) and discards (useless fetches).
+//!
+//! ```sh
+//! cargo run --release --example oltp_prefetcher_shootout
+//! ```
+
+use temporal_streaming::prefetch::GhbIndexing;
+use temporal_streaming::sim::{run_trace, EngineKind, RunConfig};
+use temporal_streaming::types::TseConfig;
+use temporal_streaming::workloads::{OltpFlavor, Tpcc, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Tpcc::scaled(OltpFlavor::Db2, 0.25);
+    println!("workload: {} ({})\n", workload.name(), workload.table2_params());
+
+    let engines: Vec<(&str, EngineKind)> = vec![
+        ("Stride (depth 8)", EngineKind::paper_stride()),
+        ("GHB G/DC (512 entries)", EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation)),
+        ("GHB G/AC (512 entries)", EngineKind::paper_ghb(GhbIndexing::AddressCorrelation)),
+        ("TSE (2 streams, 1.5MB CMOB)", EngineKind::Tse(TseConfig::default())),
+    ];
+
+    println!("{:<30} {:>10} {:>10}", "engine", "coverage", "discards");
+    let mut tse_cov = 0.0;
+    let mut best_other: f64 = 0.0;
+    for (label, engine) in engines {
+        let r = run_trace(
+            &workload,
+            &RunConfig {
+                engine: engine.clone(),
+                seed: 7,
+                ..RunConfig::default()
+            },
+        )?;
+        println!(
+            "{:<30} {:>9.1}% {:>9.1}%",
+            label,
+            r.coverage() * 100.0,
+            r.discard_rate() * 100.0
+        );
+        if matches!(engine, EngineKind::Tse(_)) {
+            tse_cov = r.coverage();
+        } else {
+            best_other = best_other.max(r.coverage());
+        }
+    }
+
+    println!(
+        "\nTSE wins by {:.1} percentage points: database access patterns are \
+         temporally correlated but have no spatial structure (stride fails), and \
+         repeat at intervals far beyond a 512-entry on-chip history (GHB fails).\n\
+         The CMOB lives in main memory, so its reach is measured in megabytes.",
+        (tse_cov - best_other) * 100.0
+    );
+    assert!(tse_cov > best_other, "TSE must lead on OLTP");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build the paper's machine, run one workload through the
+//! Temporal Streaming Engine, and print what it did.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use temporal_streaming::sim::{run_trace, EngineKind, RunConfig};
+use temporal_streaming::types::{SystemConfig, TseConfig};
+use temporal_streaming::workloads::{Em3d, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table 1 machine: 16 nodes, 4x4 torus, 64 KB L1 / 8 MB
+    // L2 per node, 60 ns memory, 25 ns per interconnect hop.
+    let sys = SystemConfig::default();
+
+    // The paper's TSE operating point: 2 compared streams, lookahead 8,
+    // 32-entry SVB, 1.5 MB CMOB per node.
+    let tse = TseConfig::default();
+
+    // em3d at 20% of the experiment scale (a few hundred thousand
+    // references) — an iterative scientific code with near-perfect
+    // temporal address correlation.
+    let workload = Em3d::scaled(0.2);
+    println!("workload: {} ({})", workload.name(), workload.table2_params());
+
+    let result = run_trace(
+        &workload,
+        &RunConfig {
+            sys,
+            engine: EngineKind::Tse(tse),
+            seed: 42,
+            warm_fraction: 0.25,
+            ..RunConfig::default()
+        },
+    )?;
+
+    let s = &result.engine;
+    println!("records simulated:    {}", result.records);
+    println!("consumptions:         {}", s.consumptions());
+    println!("coverage:             {:.1}%  (coherent read misses eliminated)", s.coverage() * 100.0);
+    println!("discards:             {:.1}%  (blocks streamed but never used)", s.discard_rate() * 100.0);
+    println!("streams launched:     {}", s.queues_allocated);
+    println!("CMOB appends:         {}", s.cmob_appends);
+    println!(
+        "traffic overhead:     {:.1}% of baseline coherence bytes",
+        result.traffic.overhead_ratio() * 100.0
+    );
+
+    assert!(s.coverage() > 0.9, "em3d should stream almost perfectly");
+    println!("\nem3d re-reads the same remote values in the same order every \
+              iteration, so the TSE eliminates nearly all of its coherent read misses.");
+    Ok(())
+}

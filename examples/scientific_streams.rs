@@ -1,0 +1,71 @@
+//! Stream anatomy of scientific workloads: the Figure 6 / Figure 13
+//! measurements on em3d and ocean.
+//!
+//! Shows (1) how strongly consumptions follow the most recent sharer's
+//! order (temporal correlation distance), and (2) how long the resulting
+//! streams run.
+//!
+//! ```sh
+//! cargo run --release --example scientific_streams
+//! ```
+
+use temporal_streaming::sim::{
+    correlation_curve, run_trace, EngineKind, RunConfig,
+};
+use temporal_streaming::types::{SystemConfig, TseConfig};
+use temporal_streaming::workloads::{Em3d, Ocean, Workload};
+
+fn analyse(workload: &dyn Workload) -> Result<(), Box<dyn std::error::Error>> {
+    let sys = SystemConfig::default();
+    println!("== {} ==", workload.name());
+
+    // Figure 6: correlation-distance curve from a baseline trace.
+    let base = run_trace(
+        workload,
+        &RunConfig {
+            sys: sys.clone(),
+            engine: EngineKind::Baseline,
+            collect_consumptions: true,
+            ..RunConfig::default()
+        },
+    )?;
+    let curve = correlation_curve(sys.nodes, &base.consumptions);
+    println!(
+        "  consumptions: {}; correlated within ±1: {:.1}%, within ±8: {:.1}%",
+        curve.consumptions,
+        curve.at_distance(1) * 100.0,
+        curve.at_distance(8) * 100.0
+    );
+
+    // Figure 13: stream lengths from a TSE run.
+    let tse = run_trace(
+        workload,
+        &RunConfig {
+            sys,
+            engine: EngineKind::Tse(TseConfig::builder().lookahead(16).build()?),
+            ..RunConfig::default()
+        },
+    )?;
+    let lens = &tse.engine.stream_lengths;
+    let max = lens.iter().copied().max().unwrap_or(0);
+    println!(
+        "  coverage: {:.1}%; longest stream: {} blocks; hits from streams >128 blocks: {:.1}%",
+        tse.coverage() * 100.0,
+        max,
+        (1.0 - tse.engine.hits_from_streams_up_to(128)) * 100.0
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    analyse(&Em3d::scaled(0.15))?;
+    analyse(&Ocean::scaled(0.5))?;
+    println!(
+        "Scientific codes revisit stable data structures every iteration, so \
+         their coherence misses replay entire previous iterations: streams run \
+         for hundreds to thousands of blocks, and a lookahead of ~16-24 blocks \
+         hides nearly all of the miss latency."
+    );
+    Ok(())
+}

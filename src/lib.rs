@@ -1,0 +1,30 @@
+//! # temporal-streaming
+//!
+//! A reproduction of *"Temporal Streaming of Shared Memory"*
+//! (Wenisch et al., ISCA 2005) as a Rust workspace: the Temporal Streaming
+//! Engine, the DSM simulation substrate it runs on, synthetic workloads,
+//! baseline prefetchers and the full experiment suite.
+//!
+//! This facade crate re-exports every member crate under one roof so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use temporal_streaming::types::SystemConfig;
+//!
+//! let cfg = SystemConfig::default();
+//! assert_eq!(cfg.nodes, 16);
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview, and
+//! `DESIGN.md` for the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use tse_core as engine;
+pub use tse_interconnect as interconnect;
+pub use tse_memsim as memsim;
+pub use tse_prefetch as prefetch;
+pub use tse_sim as sim;
+pub use tse_trace as trace;
+pub use tse_types as types;
+pub use tse_workloads as workloads;

@@ -1,0 +1,222 @@
+//! End-to-end integration tests spanning all workspace crates: workloads
+//! -> trace interleave -> DSM -> TSE/prefetchers -> harness metrics.
+
+use temporal_streaming::prefetch::GhbIndexing;
+use temporal_streaming::sim::{
+    correlation_curve, run_baseline_collecting, run_timing, run_trace, EngineKind, RunConfig,
+};
+use temporal_streaming::types::{SystemConfig, TseConfig};
+use temporal_streaming::workloads::{suite, OltpFlavor, Tpcc};
+
+const SCALE: f64 = 0.06;
+
+fn tse_cfg() -> TseConfig {
+    TseConfig::default()
+}
+
+#[test]
+fn every_workload_produces_consumptions_and_balanced_accounting() {
+    for wl in suite(SCALE) {
+        let r = run_trace(
+            wl.as_ref(),
+            &RunConfig {
+                engine: EngineKind::Tse(tse_cfg()),
+                warm_fraction: 0.0, // accounting identity needs no reset
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            r.consumption_count() > 100,
+            "{}: too few consumptions ({})",
+            wl.name(),
+            r.consumption_count()
+        );
+        assert!(
+            r.engine.accounting_balanced(),
+            "{}: fetched {} != covered {} + discarded {}",
+            wl.name(),
+            r.engine.fetched,
+            r.engine.covered,
+            r.engine.discarded
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let wl = Tpcc::scaled(OltpFlavor::Db2, SCALE);
+    let cfg = RunConfig {
+        engine: EngineKind::Tse(tse_cfg()),
+        ..RunConfig::default()
+    };
+    let a = run_trace(&wl, &cfg).unwrap();
+    let b = run_trace(&wl, &cfg).unwrap();
+    assert_eq!(a.engine, b.engine);
+    assert_eq!(a.mem, b.mem);
+    assert_eq!(a.traffic, b.traffic);
+}
+
+#[test]
+fn baseline_consumptions_match_engine_denominator() {
+    // The baseline run's uncovered count is the consumption count; a TSE
+    // run over the same trace must see a comparable denominator
+    // (coverage shifts which reads miss, so only approximate equality).
+    for wl in suite(SCALE) {
+        let base = run_trace(wl.as_ref(), &RunConfig::default()).unwrap();
+        let tse = run_trace(
+            wl.as_ref(),
+            &RunConfig {
+                engine: EngineKind::Tse(tse_cfg()),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let b = base.consumption_count() as f64;
+        let t = tse.consumption_count() as f64;
+        assert!(
+            (t - b).abs() / b < 0.30,
+            "{}: consumption denominators diverged: base {b} vs TSE {t}",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn correlation_curves_are_monotone_and_ordered_by_suite_class() {
+    let sys = SystemConfig::default();
+    let mut sci_min: f64 = 1.0;
+    let mut com_max: f64 = 0.0;
+    for wl in suite(SCALE) {
+        let r = run_baseline_collecting(wl.as_ref(), &sys, 11).unwrap();
+        let curve = correlation_curve(sys.nodes, &r.consumptions);
+        // Cumulative curves never decrease.
+        assert!(
+            curve.cumulative.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+            "{}: non-monotone curve",
+            wl.name()
+        );
+        let at8 = curve.at_distance(8);
+        match wl.name() {
+            "em3d" | "moldyn" | "ocean" => sci_min = sci_min.min(at8),
+            _ => com_max = com_max.max(at8),
+        }
+    }
+    assert!(
+        sci_min > com_max,
+        "scientific correlation ({sci_min:.2}) must exceed commercial ({com_max:.2})"
+    );
+}
+
+#[test]
+fn tse_dominates_fixed_depth_prefetchers_on_every_workload() {
+    for wl in suite(SCALE) {
+        let tse = run_trace(
+            wl.as_ref(),
+            &RunConfig {
+                engine: EngineKind::Tse(tse_cfg()),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        for engine in [
+            EngineKind::paper_stride(),
+            EngineKind::paper_ghb(GhbIndexing::AddressCorrelation),
+            EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation),
+        ] {
+            let other = run_trace(
+                wl.as_ref(),
+                &RunConfig {
+                    engine: engine.clone(),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                tse.coverage() >= other.coverage(),
+                "{}: {} ({:.2}) beat TSE ({:.2})",
+                wl.name(),
+                other.engine_name,
+                other.coverage(),
+                tse.coverage()
+            );
+        }
+    }
+}
+
+#[test]
+fn tse_never_slows_a_workload_down() {
+    let sys = SystemConfig::default();
+    for wl in suite(SCALE) {
+        let base = run_timing(wl.as_ref(), &sys, &EngineKind::Baseline, 42, 0.25).unwrap();
+        let tse = run_timing(wl.as_ref(), &sys, &EngineKind::Tse(tse_cfg()), 42, 0.25).unwrap();
+        let speedup = tse.speedup_over(&base);
+        assert!(
+            speedup > 0.97,
+            "{}: TSE slowed execution ({speedup:.3})",
+            wl.name()
+        );
+        assert!(
+            tse.coherent_stall <= base.coherent_stall,
+            "{}: TSE increased coherent stalls",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn traffic_reports_are_internally_consistent() {
+    for wl in suite(SCALE) {
+        let r = run_trace(
+            wl.as_ref(),
+            &RunConfig {
+                engine: EngineKind::Tse(tse_cfg()),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let t = &r.traffic;
+        assert_eq!(
+            t.total_bytes,
+            t.demand_bytes + t.overhead_bytes,
+            "{}: byte classes must partition the total",
+            wl.name()
+        );
+        assert_eq!(
+            t.overhead_bytes,
+            t.stream_address_bytes + t.discarded_data_bytes + t.cmob_bytes,
+            "{}: overhead classes must partition the overhead",
+            wl.name()
+        );
+        assert!(t.bisection_demand_bytes <= t.demand_bytes);
+        assert!(t.bisection_overhead_bytes <= t.overhead_bytes);
+        assert!(t.demand_bytes > 0, "{}: no demand traffic?", wl.name());
+    }
+}
+
+#[test]
+fn svb_and_queue_bounds_are_respected_under_load() {
+    let wl = Tpcc::scaled(OltpFlavor::Oracle, SCALE);
+    let mut tse = TseConfig::default();
+    tse.svb_entries = Some(8);
+    tse.stream_queues = Some(2);
+    let r = run_trace(
+        &wl,
+        &RunConfig {
+            engine: EngineKind::Tse(tse),
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    // Tighter hardware still works, with lower coverage than default.
+    let full = run_trace(
+        &wl,
+        &RunConfig {
+            engine: EngineKind::Tse(TseConfig::default()),
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(r.coverage() > 0.0);
+    assert!(r.coverage() <= full.coverage() + 0.02);
+}

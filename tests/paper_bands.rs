@@ -1,0 +1,196 @@
+//! Reproduction-band tests: the paper's headline quantitative claims,
+//! checked at reduced scale. Bands are deliberately loose — they assert
+//! the *shape* of each result (who wins, by roughly what factor), not the
+//! absolute numbers of the authors' Simics testbed.
+
+use temporal_streaming::sim::{run_timing, run_trace, EngineKind, RunConfig};
+use temporal_streaming::types::{SystemConfig, TseConfig};
+use temporal_streaming::workloads::{suite, Em3d, OltpFlavor, Tpcc, WorkloadKind};
+
+const SCALE: f64 = 0.08;
+
+/// "Temporal streaming can eliminate 98% of coherent read misses in
+/// scientific applications, and between 43% and 60% in database and web
+/// server workloads." (abstract)
+#[test]
+fn headline_coverage_bands() {
+    for wl in suite(SCALE) {
+        let mut tse = TseConfig::default();
+        tse.lookahead = match wl.kind() {
+            WorkloadKind::Scientific => 16,
+            _ => 8,
+        };
+        let r = run_trace(
+            wl.as_ref(),
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let cov = r.coverage();
+        match wl.kind() {
+            WorkloadKind::Scientific => assert!(
+                cov > 0.85,
+                "{}: scientific coverage {cov:.2} below band",
+                wl.name()
+            ),
+            _ => assert!(
+                (0.25..0.80).contains(&cov),
+                "{}: commercial coverage {cov:.2} outside band",
+                wl.name()
+            ),
+        }
+    }
+}
+
+/// Figure 7's central claim: comparing two streams drastically cuts the
+/// discards of single-stream streaming on commercial workloads, with
+/// minimal coverage loss.
+#[test]
+fn two_stream_comparison_cuts_discards() {
+    let wl = Tpcc::scaled(OltpFlavor::Db2, SCALE);
+    let run = |k: usize| {
+        let mut tse = TseConfig::unconstrained();
+        tse.compared_streams = k;
+        tse.directory_pointers = k.max(2);
+        run_trace(
+            &wl,
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let one = run(1);
+    let two = run(2);
+    assert!(
+        one.discard_rate() > 2.0 * two.discard_rate(),
+        "k=1 discards {:.2} vs k=2 {:.2}: comparator must cut discards",
+        one.discard_rate(),
+        two.discard_rate()
+    );
+    assert!(
+        two.coverage() > one.coverage() - 0.10,
+        "comparator must not sacrifice much coverage ({:.2} -> {:.2})",
+        one.coverage(),
+        two.coverage()
+    );
+}
+
+/// Figure 8: commercial discards grow with lookahead; scientific stay low.
+#[test]
+fn lookahead_grows_commercial_discards() {
+    let oltp = Tpcc::scaled(OltpFlavor::Db2, SCALE);
+    let em3d = Em3d::scaled(SCALE);
+    let run = |wl: &dyn temporal_streaming::workloads::Workload, la: usize| {
+        let mut tse = TseConfig::unconstrained();
+        tse.lookahead = la;
+        run_trace(
+            wl,
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+        .discard_rate()
+    };
+    let oltp_small = run(&oltp, 2);
+    let oltp_big = run(&oltp, 24);
+    assert!(
+        oltp_big > oltp_small,
+        "OLTP discards must grow with lookahead ({oltp_small:.2} -> {oltp_big:.2})"
+    );
+    let em3d_big = run(&em3d, 24);
+    assert!(
+        em3d_big < 0.15,
+        "em3d discards must stay low even at lookahead 24 ({em3d_big:.2})"
+    );
+}
+
+/// Figure 10: coverage grows (weakly) with CMOB capacity, and scientific
+/// workloads collapse once the CMOB is smaller than an iteration's
+/// consumption working set.
+#[test]
+fn cmob_capacity_gates_scientific_coverage() {
+    let wl = Em3d::scaled(SCALE);
+    let run = |cap: usize| {
+        let mut tse = TseConfig::default();
+        tse.cmob_capacity = cap;
+        run_trace(
+            &wl,
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+        .coverage()
+    };
+    let tiny = run(16);
+    let big = run(64 * 1024);
+    assert!(tiny < 0.05, "a 16-entry CMOB cannot hold em3d's order ({tiny:.2})");
+    assert!(big > 0.85, "a large CMOB must stream em3d ({big:.2})");
+}
+
+/// Figure 14's headline: speedups of ~3.3x for communication-bound em3d;
+/// commercial speedups in the 1.05-1.3 range; no slowdowns.
+#[test]
+fn speedup_bands() {
+    let sys = SystemConfig::default();
+    for wl in suite(SCALE) {
+        let mut tse = TseConfig::default();
+        tse.lookahead = match wl.name() {
+            "em3d" => 18,
+            "moldyn" => 16,
+            "ocean" => 24,
+            _ => 8,
+        };
+        let base = run_timing(wl.as_ref(), &sys, &EngineKind::Baseline, 42, 0.25).unwrap();
+        let timed = run_timing(wl.as_ref(), &sys, &EngineKind::Tse(tse), 42, 0.25).unwrap();
+        let speedup = timed.speedup_over(&base);
+        match wl.name() {
+            "em3d" => assert!(
+                speedup > 2.0,
+                "em3d must speed up dramatically, got {speedup:.2}"
+            ),
+            _ => assert!(
+                speedup > 1.0,
+                "{}: expected a speedup, got {speedup:.2}",
+                wl.name()
+            ),
+        }
+        assert!(speedup < 15.0, "{}: implausible speedup {speedup:.2}", wl.name());
+    }
+}
+
+/// Section 5.4: recording the order costs only a few percent of pin
+/// bandwidth, and TSE's interconnect overhead is a bounded fraction of
+/// baseline traffic.
+#[test]
+fn overheads_are_bounded() {
+    for wl in suite(SCALE) {
+        let r = run_trace(
+            wl.as_ref(),
+            &RunConfig {
+                engine: EngineKind::Tse(TseConfig::default()),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let ratio = r.traffic.overhead_ratio();
+        assert!(
+            ratio < 1.0,
+            "{}: overhead must stay below baseline traffic ({ratio:.2})",
+            wl.name()
+        );
+        // CMOB pin traffic: 6 bytes per consumption-ish event.
+        assert!(
+            r.engine.cmob_pin_bytes <= 6 * (r.engine.cmob_appends),
+            "{}: pin-byte accounting inconsistent",
+            wl.name()
+        );
+    }
+}
