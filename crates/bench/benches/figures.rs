@@ -58,9 +58,11 @@ fn bench_fig07(c: &mut Criterion) {
 fn bench_fig08_09(c: &mut Criterion) {
     c.bench_function("fig08_09/bounded_tse", |b| {
         let wl = oltp();
-        let mut tse = TseConfig::default();
-        tse.lookahead = 16;
-        tse.svb_entries = Some(8);
+        let tse = TseConfig {
+            lookahead: 16,
+            svb_entries: Some(8),
+            ..TseConfig::default()
+        };
         b.iter(|| {
             let r = run_trace(&wl, &cfg(EngineKind::Tse(tse.clone()))).unwrap();
             black_box((r.coverage(), r.discard_rate()))
@@ -72,8 +74,10 @@ fn bench_fig08_09(c: &mut Criterion) {
 fn bench_fig10(c: &mut Criterion) {
     c.bench_function("fig10/small_cmob_tse", |b| {
         let wl = em3d();
-        let mut tse = TseConfig::default();
-        tse.cmob_capacity = 512;
+        let tse = TseConfig {
+            cmob_capacity: 512,
+            ..TseConfig::default()
+        };
         b.iter(|| {
             let r = run_trace(&wl, &cfg(EngineKind::Tse(tse.clone()))).unwrap();
             black_box(r.coverage())

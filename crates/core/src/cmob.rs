@@ -203,7 +203,7 @@ mod tests {
         assert!(c.contains_pos(2));
         assert!(c.contains_pos(5));
         assert!(!c.contains_pos(6));
-        assert!(c.is_empty() == false);
+        assert!(!c.is_empty());
         assert!(Cmob::new(1).is_empty());
     }
 

@@ -101,7 +101,9 @@ impl TemporalStreamingEngine {
             })
             .collect();
         Ok(TemporalStreamingEngine {
-            cmobs: (0..sys.nodes).map(|_| Cmob::new(tse.cmob_capacity)).collect(),
+            cmobs: (0..sys.nodes)
+                .map(|_| Cmob::new(tse.cmob_capacity))
+                .collect(),
             pointers: DirectoryPointers::new(tse.directory_pointers),
             nodes,
             stats: TseStats::default(),
@@ -194,7 +196,11 @@ impl TemporalStreamingEngine {
         }
 
         // Consumption-rate matching: retrieve the next block of the stream.
-        if let Some(qidx) = self.nodes[n].queues.iter().position(|q| q.id() == entry.queue) {
+        if let Some(qidx) = self.nodes[n]
+            .queues
+            .iter()
+            .position(|q| q.id() == entry.queue)
+        {
             self.lru_tick += 1;
             let q = &mut self.nodes[n].queues[qidx];
             q.hits += 1;
@@ -218,13 +224,7 @@ impl TemporalStreamingEngine {
     /// resolving match, records the miss in the node's order, and — if no
     /// existing queue absorbed the miss — launches a new stream from the
     /// directory's CMOB pointers.
-    pub fn consumption_miss(
-        &mut self,
-        dsm: &mut DsmSystem,
-        node: NodeId,
-        line: Line,
-        now: Cycle,
-    ) {
+    pub fn consumption_miss(&mut self, dsm: &mut DsmSystem, node: NodeId, line: Line, now: Cycle) {
         self.stats.uncovered += 1;
         let absorbed = self.observe_miss_inner(dsm, node, line, now);
 
@@ -389,8 +389,7 @@ impl TemporalStreamingEngine {
         // Respect the queue bound: evict the least recently active queue.
         let cap = self.tse_cfg.stream_queues.unwrap_or(UNLIMITED_QUEUE_CAP);
         if self.nodes[n].queues.len() >= cap {
-            if let Some(victim_idx) = self
-                .nodes[n]
+            if let Some(victim_idx) = self.nodes[n]
                 .queues
                 .iter()
                 .enumerate()
@@ -573,12 +572,7 @@ mod tests {
         false
     }
 
-    fn tse_write(
-        dsm: &mut DsmSystem,
-        tse: &mut TemporalStreamingEngine,
-        node: NodeId,
-        line: Line,
-    ) {
+    fn tse_write(dsm: &mut DsmSystem, tse: &mut TemporalStreamingEngine, node: NodeId, line: Line) {
         dsm.write(node, line);
         tse.write(dsm, line);
     }
@@ -624,9 +618,11 @@ mod tests {
     /// a subsequent miss resolves the comparator.
     #[test]
     fn disagreeing_streams_stall_and_resolve() {
-        let mut tse_cfg = TseConfig::default();
-        tse_cfg.compared_streams = 2;
-        tse_cfg.directory_pointers = 2;
+        let tse_cfg = TseConfig {
+            compared_streams: 2,
+            directory_pointers: 2,
+            ..TseConfig::default()
+        };
         let (_, mut dsm, mut tse) = setup(tse_cfg);
         let producer = NodeId::new(0);
         let (c1, c2, c3) = (NodeId::new(1), NodeId::new(2), NodeId::new(3));
@@ -722,7 +718,10 @@ mod tests {
         let fetched_before = tse.stats().fetched;
         let discarded_before = tse.stats().discarded;
         tse_read(&mut dsm, &mut tse, consumer, seq[0]);
-        assert!(tse.stats().fetched > fetched_before, "head miss must stream");
+        assert!(
+            tse.stats().fetched > fetched_before,
+            "head miss must stream"
+        );
         // Producer rewrites everything: all streamed blocks invalidated.
         for &l in &seq {
             tse_write(&mut dsm, &mut tse, producer, l);
@@ -791,8 +790,10 @@ mod tests {
     /// Queue bound: allocating beyond the cap evicts the LRU queue.
     #[test]
     fn queue_cap_is_respected() {
-        let mut tse_cfg = TseConfig::default();
-        tse_cfg.stream_queues = Some(2);
+        let tse_cfg = TseConfig {
+            stream_queues: Some(2),
+            ..TseConfig::default()
+        };
         let (_, mut dsm, mut tse) = setup(tse_cfg);
         let producer = NodeId::new(0);
         let consumer = NodeId::new(1);
@@ -821,8 +822,10 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let cfg = SystemConfig::default();
-        let mut bad = TseConfig::default();
-        bad.lookahead = 0;
+        let bad = TseConfig {
+            lookahead: 0,
+            ..TseConfig::default()
+        };
         assert!(TemporalStreamingEngine::new(&cfg, &bad).is_err());
     }
 
@@ -842,7 +845,9 @@ mod tests {
             for &l in &seq {
                 dsm.count_read();
                 if dsm.probe_local(consumer, l).is_none()
-                    && tse.demand_read(&mut dsm, consumer, l, Cycle::ZERO).is_none()
+                    && tse
+                        .demand_read(&mut dsm, consumer, l, Cycle::ZERO)
+                        .is_none()
                 {
                     let miss = dsm.read_miss(consumer, l);
                     if miss.class == MissClass::Coherence {
@@ -858,7 +863,9 @@ mod tests {
         // in the future. Immediately reading the next line is a partial hit.
         dsm.count_read();
         assert!(dsm.probe_local(consumer, seq[0]).is_none());
-        assert!(tse.demand_read(&mut dsm, consumer, seq[0], Cycle::ZERO).is_none());
+        assert!(tse
+            .demand_read(&mut dsm, consumer, seq[0], Cycle::ZERO)
+            .is_none());
         let miss = dsm.read_miss(consumer, seq[0]);
         assert_eq!(miss.class, MissClass::Coherence);
         tse.consumption_miss(&mut dsm, consumer, seq[0], Cycle::ZERO);

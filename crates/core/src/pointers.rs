@@ -142,8 +142,20 @@ mod tests {
         dp.record(l, NodeId::new(0), 99);
         let ptrs = dp.lookup(l);
         assert_eq!(ptrs.len(), 2);
-        assert_eq!(ptrs[0], CmobPtr { node: NodeId::new(0), pos: 99 });
-        assert_eq!(ptrs[1], CmobPtr { node: NodeId::new(0), pos: 10 });
+        assert_eq!(
+            ptrs[0],
+            CmobPtr {
+                node: NodeId::new(0),
+                pos: 99
+            }
+        );
+        assert_eq!(
+            ptrs[1],
+            CmobPtr {
+                node: NodeId::new(0),
+                pos: 10
+            }
+        );
         // A third record evicts the oldest.
         dp.record(l, NodeId::new(1), 120);
         let ptrs = dp.lookup(l);

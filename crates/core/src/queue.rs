@@ -191,7 +191,9 @@ impl StreamQueue {
         if self.stalled {
             return Pop::Stalled;
         }
-        let live: Vec<usize> = (0..self.fifos.len()).filter(|&i| self.fifos[i].live()).collect();
+        let live: Vec<usize> = (0..self.fifos.len())
+            .filter(|&i| self.fifos[i].live())
+            .collect();
         if live.is_empty() {
             return Pop::Dead;
         }
@@ -257,13 +259,13 @@ impl StreamQueue {
         if self.stalled {
             return false;
         }
-        let live: Vec<usize> = (0..self.fifos.len()).filter(|&i| self.fifos[i].live()).collect();
+        let live: Vec<usize> = (0..self.fifos.len())
+            .filter(|&i| self.fifos[i].live())
+            .collect();
         if live.is_empty() || live.iter().any(|&i| self.fifos[i].is_empty()) {
             return false;
         }
-        let agree_on_line = live
-            .iter()
-            .all(|&i| self.fifos[i].head() == Some(line));
+        let agree_on_line = live.iter().all(|&i| self.fifos[i].head() == Some(line));
         if agree_on_line {
             for &i in &live {
                 self.fifos[i].addrs.pop_front();
@@ -404,6 +406,10 @@ mod tests {
         assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(2)));
         assert_eq!(q.pop_agreed(), Pop::Stalled);
         assert!(q.try_resolve(Line::new(3)));
-        assert_eq!(q.pop_agreed(), Pop::Dead, "3 was consumed by the resolving miss");
+        assert_eq!(
+            q.pop_agreed(),
+            Pop::Dead,
+            "3 was consumed by the resolving miss"
+        );
     }
 }

@@ -101,11 +101,7 @@ impl TseStats {
         if total == 0 {
             return 0.0;
         }
-        let within: u64 = self
-            .stream_lengths
-            .iter()
-            .filter(|&&l| l <= max_len)
-            .sum();
+        let within: u64 = self.stream_lengths.iter().filter(|&&l| l <= max_len).sum();
         within as f64 / total as f64
     }
 

@@ -23,8 +23,7 @@ fn main() {
     // 1. Stream-queue count (paper §5.3: little sensitivity).
     // ------------------------------------------------------------------
     println!("== Ablation: stream-queue count (DB2) ==");
-    let queue_counts: Vec<Option<usize>> =
-        vec![Some(1), Some(2), Some(4), Some(8), Some(16), None];
+    let queue_counts: Vec<Option<usize>> = vec![Some(1), Some(2), Some(4), Some(8), Some(16), None];
     let results = run_parallel(queue_counts.clone(), 0, |queues| {
         let wl = Tpcc::scaled(OltpFlavor::Db2, ctx.scale);
         let tse = TseConfig {
@@ -42,7 +41,10 @@ fn main() {
         .expect("run");
         (queues, r.coverage(), r.discard_rate())
     });
-    println!("{}", row(&["queues".into(), "coverage".into(), "discards".into()]));
+    println!(
+        "{}",
+        row(&["queues".into(), "coverage".into(), "discards".into()])
+    );
     for (q, cov, disc) in &results {
         let label = q.map(|v| v.to_string()).unwrap_or_else(|| "inf".into());
         println!("{}", row(&[format!("{label:4}"), pct(*cov), pct(*disc)]));
@@ -73,13 +75,20 @@ fn main() {
         .expect("run");
         (chunk, r.coverage(), r.traffic.overhead_ratio())
     });
-    println!("{}", row(&["chunk".into(), "coverage".into(), "overhead ratio".into()]));
+    println!(
+        "{}",
+        row(&["chunk".into(), "coverage".into(), "overhead ratio".into()])
+    );
     for (c, cov, ratio) in &results {
         println!("{}", row(&[format!("{c:4}"), pct(*cov), pct(*ratio)]));
-        all.push(json!({ "ablation": "chunk", "chunk": c, "coverage": cov, "overhead_ratio": ratio }));
+        all.push(
+            json!({ "ablation": "chunk", "chunk": c, "coverage": cov, "overhead_ratio": ratio }),
+        );
     }
-    println!("(expect: coverage insensitive — refills are off the critical path; \
-              smaller chunks raise per-address header overhead)\n");
+    println!(
+        "(expect: coverage insensitive — refills are off the critical path; \
+              smaller chunks raise per-address header overhead)\n"
+    );
 
     // ------------------------------------------------------------------
     // 3. Spin filter on/off.
@@ -124,7 +133,13 @@ fn main() {
     println!("== Extension: generalized address streams (all read misses) ==");
     println!(
         "{}",
-        row(&["app".into(), "scope".into(), "coverage".into(), "discards".into(), "overhead".into()])
+        row(&[
+            "app".into(),
+            "scope".into(),
+            "coverage".into(),
+            "discards".into(),
+            "overhead".into()
+        ])
     );
     for wl in ctx.suite() {
         for scope in [StreamScope::CoherentReads, StreamScope::AllReads] {

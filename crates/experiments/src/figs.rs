@@ -29,13 +29,35 @@ fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
 pub fn tables12(ctx: &ExperimentCtx) -> Value {
     println!("== Table 1: DSM system parameters ==");
     let s = &ctx.sys;
-    println!("  nodes: {} ({}x{} 2D torus)", s.nodes, s.torus_width, s.torus_height);
-    println!("  clock: {} GHz, {}-wide, {}-entry ROB, {} MSHRs", s.clock_ghz, s.issue_width, s.rob_entries, s.mshrs);
-    println!("  L1: {} KB {}-way, {} cycles", s.l1_bytes / 1024, s.l1_ways, s.l1_latency.raw());
-    println!("  L2: {} MB {}-way, {} cycles", s.l2_bytes / 1024 / 1024, s.l2_ways, s.l2_latency.raw());
-    println!("  memory: {} ns; interconnect: {} ns/hop", s.memory_latency_ns, s.hop_latency_ns);
+    println!(
+        "  nodes: {} ({}x{} 2D torus)",
+        s.nodes, s.torus_width, s.torus_height
+    );
+    println!(
+        "  clock: {} GHz, {}-wide, {}-entry ROB, {} MSHRs",
+        s.clock_ghz, s.issue_width, s.rob_entries, s.mshrs
+    );
+    println!(
+        "  L1: {} KB {}-way, {} cycles",
+        s.l1_bytes / 1024,
+        s.l1_ways,
+        s.l1_latency.raw()
+    );
+    println!(
+        "  L2: {} MB {}-way, {} cycles",
+        s.l2_bytes / 1024 / 1024,
+        s.l2_ways,
+        s.l2_latency.raw()
+    );
+    println!(
+        "  memory: {} ns; interconnect: {} ns/hop",
+        s.memory_latency_ns, s.hop_latency_ns
+    );
     println!();
-    println!("== Table 2: applications and parameters (scale {}) ==", ctx.scale);
+    println!(
+        "== Table 2: applications and parameters (scale {}) ==",
+        ctx.scale
+    );
     let mut apps = Vec::new();
     for wl in ctx.suite() {
         println!("  {:8} {}", wl.name(), wl.table2_params());
@@ -93,7 +115,9 @@ pub fn fig06(ctx: &ExperimentCtx) -> Value {
 /// Figure 7: coverage and discards vs. number of compared streams (1-4),
 /// with unconstrained TSE hardware and lookahead 8.
 pub fn fig07(ctx: &ExperimentCtx) -> Value {
-    println!("== Figure 7: coverage/discards vs compared streams (unconstrained HW, lookahead 8) ==");
+    println!(
+        "== Figure 7: coverage/discards vs compared streams (unconstrained HW, lookahead 8) =="
+    );
     let mut jobs = Vec::new();
     for wl in ctx.suite() {
         for k in 1..=4usize {
@@ -113,7 +137,15 @@ pub fn fig07(ctx: &ExperimentCtx) -> Value {
         (name, k, r.coverage(), r.discard_rate())
     });
 
-    println!("{}", row(&["app".into(), "k".into(), "coverage".into(), "discards".into()]));
+    println!(
+        "{}",
+        row(&[
+            "app".into(),
+            "k".into(),
+            "coverage".into(),
+            "discards".into()
+        ])
+    );
     let mut out = Vec::new();
     for (name, k, cov, disc) in &results {
         println!(
@@ -163,12 +195,16 @@ pub fn fig08(ctx: &ExperimentCtx) -> Value {
         for &(ref name, la, disc, cov) in &results {
             if *name == wl_name {
                 cells.push(pct(disc));
-                out.push(json!({ "app": name, "lookahead": la, "discards": disc, "coverage": cov }));
+                out.push(
+                    json!({ "app": name, "lookahead": la, "discards": disc, "coverage": cov }),
+                );
             }
         }
         println!("{}", row(&cells));
     }
-    println!("(paper: scientific discards stay near zero; commercial discards grow with lookahead)");
+    println!(
+        "(paper: scientific discards stay near zero; commercial discards grow with lookahead)"
+    );
     let v = json!({ "lookaheads": lookaheads, "results": out });
     ctx.save("fig08", &v);
     v
@@ -183,8 +219,12 @@ pub fn fig08(ctx: &ExperimentCtx) -> Value {
 pub fn fig09(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 9: sensitivity to SVB size ==");
     // 64-byte blocks: 512 B = 8 entries, 2 KB = 32, 8 KB = 128.
-    let sizes: [(&str, Option<usize>); 4] =
-        [("512", Some(8)), ("2k", Some(32)), ("8k", Some(128)), ("inf", None)];
+    let sizes: [(&str, Option<usize>); 4] = [
+        ("512", Some(8)),
+        ("2k", Some(32)),
+        ("8k", Some(128)),
+        ("inf", None),
+    ];
     let mut jobs = Vec::new();
     for wl in ctx.suite() {
         for (label, entries) in sizes {
@@ -205,12 +245,25 @@ pub fn fig09(ctx: &ExperimentCtx) -> Value {
         (name, label, r.coverage(), r.discard_rate())
     });
 
-    println!("{}", row(&["app".into(), "svb".into(), "coverage".into(), "discards".into()]));
+    println!(
+        "{}",
+        row(&[
+            "app".into(),
+            "svb".into(),
+            "coverage".into(),
+            "discards".into()
+        ])
+    );
     let mut out = Vec::new();
     for (name, label, cov, disc) in &results {
         println!(
             "{}",
-            row(&[format!("{name:7}"), format!("{label:4}"), pct(*cov), pct(*disc)])
+            row(&[
+                format!("{name:7}"),
+                format!("{label:4}"),
+                pct(*cov),
+                pct(*disc)
+            ])
         );
         out.push(json!({ "app": name, "svb": label, "coverage": cov, "discards": disc }));
     }
@@ -250,7 +303,11 @@ pub fn fig10(ctx: &ExperimentCtx) -> Value {
 
     let entry_bytes = ctx.sys.cmob_entry_bytes;
     let mut header = vec!["app".to_string()];
-    header.extend(capacities.iter().map(|c| format!("{}B", c * entry_bytes as usize)));
+    header.extend(
+        capacities
+            .iter()
+            .map(|c| format!("{}B", c * entry_bytes as usize)),
+    );
     println!("{}", row(&header));
     let mut out = Vec::new();
     for wl_name in ctx.suite().iter().map(|w| w.name().to_string()) {
@@ -287,12 +344,19 @@ pub fn fig11(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 11: interconnect bisection bandwidth overhead ==");
     let results = run_parallel(ctx.suite(), 0, |wl| {
         let tse = tse_config_for(wl.name());
-        let r = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Tse(tse), 42, 0.25)
-            .expect("timing run");
+        let r =
+            run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Tse(tse), 42, 0.25).expect("timing run");
         (wl.name().to_string(), r)
     });
 
-    println!("{}", row(&["app".into(), "overhead GB/s (bisection)".into(), "overhead/base ratio".into()]));
+    println!(
+        "{}",
+        row(&[
+            "app".into(),
+            "overhead GB/s (bisection)".into(),
+            "overhead/base ratio".into()
+        ])
+    );
     let mut out = Vec::new();
     for (name, r) in &results {
         let gbps = r.traffic.overhead_bisection_gbps(r.seconds);
@@ -326,8 +390,14 @@ pub fn fig12(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 12: TSE vs stride and GHB prefetchers ==");
     let engines: Vec<(&str, EngineKind)> = vec![
         ("Stride", EngineKind::paper_stride()),
-        ("G/DC", EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation)),
-        ("G/AC", EngineKind::paper_ghb(GhbIndexing::AddressCorrelation)),
+        (
+            "G/DC",
+            EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation),
+        ),
+        (
+            "G/AC",
+            EngineKind::paper_ghb(GhbIndexing::AddressCorrelation),
+        ),
         ("TSE", EngineKind::Tse(TseConfig::default())),
     ];
     let mut jobs = Vec::new();
@@ -346,12 +416,25 @@ pub fn fig12(ctx: &ExperimentCtx) -> Value {
         (name, label, r.coverage(), r.discard_rate())
     });
 
-    println!("{}", row(&["app".into(), "engine".into(), "coverage".into(), "discards".into()]));
+    println!(
+        "{}",
+        row(&[
+            "app".into(),
+            "engine".into(),
+            "coverage".into(),
+            "discards".into()
+        ])
+    );
     let mut out = Vec::new();
     for (name, label, cov, disc) in &results {
         println!(
             "{}",
-            row(&[format!("{name:7}"), format!("{label:6}"), pct(*cov), pct(*disc)])
+            row(&[
+                format!("{name:7}"),
+                format!("{label:6}"),
+                pct(*cov),
+                pct(*disc)
+            ])
         );
         out.push(json!({ "app": name, "engine": label, "coverage": cov, "discards": disc }));
     }
@@ -502,7 +585,12 @@ pub fn fig14(ctx: &ExperimentCtx) -> Value {
                 tse_repr = Some(tse);
             }
         }
-        (name, base_repr.expect("ran"), tse_repr.expect("ran"), speedups)
+        (
+            name,
+            base_repr.expect("ran"),
+            tse_repr.expect("ran"),
+            speedups,
+        )
     });
 
     println!(

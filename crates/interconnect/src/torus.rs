@@ -73,7 +73,12 @@ impl Torus {
     /// Panics if `node` is outside this torus.
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         let i = node.index();
-        assert!(i < self.nodes(), "node {node} outside {}x{} torus", self.width, self.height);
+        assert!(
+            i < self.nodes(),
+            "node {node} outside {}x{} torus",
+            self.width,
+            self.height
+        );
         (i % self.width, i / self.width)
     }
 
@@ -140,7 +145,11 @@ impl Torus {
         // Walk the shorter ring direction and count cut crossings.
         let fwd = (dx + self.width - sx) % self.width; // steps going +1
         let bwd = (sx + self.width - dx) % self.width; // steps going -1
-        let (dir, steps) = if fwd <= bwd { (1i64, fwd) } else { (-1i64, bwd) };
+        let (dir, steps) = if fwd <= bwd {
+            (1i64, fwd)
+        } else {
+            (-1i64, bwd)
+        };
         let mut x = sx as i64;
         let mut crossings = 0;
         for _ in 0..steps {

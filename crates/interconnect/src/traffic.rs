@@ -145,7 +145,10 @@ impl Traffic {
     ///
     /// Panics if the accumulators were built over different topologies.
     pub fn merge(&mut self, other: &Traffic) {
-        assert_eq!(self.torus, other.torus, "merging traffic from different topologies");
+        assert_eq!(
+            self.torus, other.torus,
+            "merging traffic from different topologies"
+        );
         for i in 0..4 {
             self.total[i] += other.total[i];
             self.bisection[i] += other.bisection[i];
@@ -232,9 +235,24 @@ mod tests {
     fn classes_accumulate_independently() {
         let mut t = Traffic::new(&torus());
         t.record(NodeId::new(0), NodeId::new(1), TrafficClass::Demand, 10);
-        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::StreamAddresses, 20);
-        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::DiscardedData, 30);
-        t.record(NodeId::new(0), NodeId::new(1), TrafficClass::CmobMaintenance, 40);
+        t.record(
+            NodeId::new(0),
+            NodeId::new(1),
+            TrafficClass::StreamAddresses,
+            20,
+        );
+        t.record(
+            NodeId::new(0),
+            NodeId::new(1),
+            TrafficClass::DiscardedData,
+            30,
+        );
+        t.record(
+            NodeId::new(0),
+            NodeId::new(1),
+            TrafficClass::CmobMaintenance,
+            40,
+        );
         assert_eq!(t.class_bytes(TrafficClass::Demand), 10);
         assert_eq!(t.class_bytes(TrafficClass::StreamAddresses), 20);
         assert_eq!(t.class_bytes(TrafficClass::DiscardedData), 30);
@@ -260,7 +278,12 @@ mod tests {
         let mut a = Traffic::new(&torus());
         let mut b = Traffic::new(&torus());
         a.record(NodeId::new(0), NodeId::new(2), TrafficClass::Demand, 64);
-        b.record(NodeId::new(0), NodeId::new(2), TrafficClass::StreamAddresses, 16);
+        b.record(
+            NodeId::new(0),
+            NodeId::new(2),
+            TrafficClass::StreamAddresses,
+            16,
+        );
         a.merge(&b);
         let r = a.report();
         assert_eq!(r.total_bytes, 80);
@@ -271,7 +294,12 @@ mod tests {
     fn gbps_computation() {
         let mut t = Traffic::new(&torus());
         // 1 GB of overhead crossing the bisection in 1 s = 1 GB/s.
-        t.record(NodeId::new(1), NodeId::new(2), TrafficClass::StreamAddresses, 1_000_000_000);
+        t.record(
+            NodeId::new(1),
+            NodeId::new(2),
+            TrafficClass::StreamAddresses,
+            1_000_000_000,
+        );
         let r = t.report();
         assert!((r.overhead_bisection_gbps(1.0) - 1.0).abs() < 1e-9);
         assert_eq!(r.overhead_bisection_gbps(0.0), 0.0);

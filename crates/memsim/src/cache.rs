@@ -58,7 +58,9 @@ impl<V: Copy> SetAssocCache<V> {
         }
         let sets = lines / ways;
         if !sets.is_power_of_two() {
-            return Err(ConfigError::new(format!("set count {sets} must be a power of two")));
+            return Err(ConfigError::new(format!(
+                "set count {sets} must be a power of two"
+            )));
         }
         Ok(SetAssocCache {
             sets,
@@ -337,7 +339,7 @@ mod tests {
             // Fully-associative view: 1 set x 4 ways.
             let mut c: SetAssocCache<u64> = SetAssocCache::new(256, 4).unwrap();
             for &l in &lines {
-                c.insert(Line::new(l * 0), 0); // keep set 0 only? no-op guard
+                c.insert(Line::new(0), 0); // churn the set with a fixed line between inserts
                 c.insert(Line::new(l), l);
             }
             // The most recently inserted distinct lines (up to 4) must be resident.

@@ -73,7 +73,10 @@ impl Directory {
     /// Panics if `nodes` exceeds 64 (sharers are tracked in a `u64`
     /// bitmask) or is zero.
     pub fn new(nodes: usize) -> Self {
-        assert!(nodes > 0 && nodes <= 64, "directory supports 1..=64 nodes, got {nodes}");
+        assert!(
+            nodes > 0 && nodes <= 64,
+            "directory supports 1..=64 nodes, got {nodes}"
+        );
         Directory {
             entries: FastHashMap::default(),
             nodes,
@@ -98,7 +101,10 @@ impl Directory {
     /// Returns the entry for a line (an `Uncached`, never-written entry if
     /// the line has no state yet).
     pub fn entry(&self, line: Line) -> DirectoryEntry {
-        self.entries.get(&line).copied().unwrap_or_else(DirectoryEntry::new)
+        self.entries
+            .get(&line)
+            .copied()
+            .unwrap_or_else(DirectoryEntry::new)
     }
 
     fn entry_mut(&mut self, line: Line) -> &mut DirectoryEntry {
@@ -174,7 +180,11 @@ impl Directory {
             DirState::Uncached => false,
             DirState::Shared(m) => {
                 let m = m & !Self::mask(node);
-                e.state = if m == 0 { DirState::Uncached } else { DirState::Shared(m) };
+                e.state = if m == 0 {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(m)
+                };
                 false
             }
             DirState::Modified(owner) => {
@@ -267,7 +277,11 @@ mod tests {
         assert_eq!(d.acquire_exclusive(w, l), 0);
         assert_eq!(d.entry(l).version, 1);
         assert_eq!(d.acquire_exclusive(w, l), 0);
-        assert_eq!(d.entry(l).version, 1, "same-owner rewrite must not bump version");
+        assert_eq!(
+            d.entry(l).version,
+            1,
+            "same-owner rewrite must not bump version"
+        );
     }
 
     #[test]
@@ -291,7 +305,10 @@ mod tests {
         assert_eq!(d.entry(l).state, DirState::Uncached);
 
         d.acquire_exclusive(NodeId::new(1), l);
-        assert!(d.remove_node(NodeId::new(1), l), "owner eviction is a dirty writeback");
+        assert!(
+            d.remove_node(NodeId::new(1), l),
+            "owner eviction is a dirty writeback"
+        );
         assert_eq!(d.entry(l).state, DirState::Uncached);
         assert!(!d.remove_node(NodeId::new(2), Line::new(999)));
     }

@@ -408,7 +408,8 @@ impl DsmSystem {
         // Request + grant/data.
         self.traffic.record(node, home, TrafficClass::Demand, hdr);
         let fill_bytes = if had_line { hdr } else { hdr + LINE_BYTES };
-        self.traffic.record(home, node, TrafficClass::Demand, fill_bytes);
+        self.traffic
+            .record(home, node, TrafficClass::Demand, fill_bytes);
 
         // Invalidations + acks.
         let mut mask = invalidated;
@@ -453,14 +454,17 @@ impl DsmSystem {
         let hop = self.cfg.hop_latency();
         let ctrl = self.cfg.controller_occupancy;
         let mem = self.cfg.memory_latency();
-        let hops = |a: NodeId, b: NodeId| {
-            tse_types::Cycle::new(self.torus.hops(a, b) as u64 * hop.raw())
-        };
+        let hops =
+            |a: NodeId, b: NodeId| tse_types::Cycle::new(self.torus.hops(a, b) as u64 * hop.raw());
         match fill {
             FillPath::LocalMemory => ctrl + mem,
             FillPath::RemoteMemory { home } => hops(node, home) + ctrl + mem + hops(home, node),
             FillPath::RemoteCache { home, owner } => {
-                hops(node, home) + ctrl + hops(home, owner) + ctrl + self.cfg.l2_latency
+                hops(node, home)
+                    + ctrl
+                    + hops(home, owner)
+                    + ctrl
+                    + self.cfg.l2_latency
                     + hops(owner, node)
             }
         }
@@ -616,7 +620,11 @@ mod tests {
         d.stream_fetch(consumer, l);
         d.drop_sharer(consumer, l);
         let w = d.write(producer, l);
-        assert_eq!(w.invalidated & 0b10, 0, "dropped sharer must not be invalidated");
+        assert_eq!(
+            w.invalidated & 0b10,
+            0,
+            "dropped sharer must not be invalidated"
+        );
     }
 
     #[test]
@@ -670,11 +678,18 @@ mod tests {
         let n0 = NodeId::new(0);
         assert_eq!(FillPath::LocalMemory.supplier(n0), n0);
         assert_eq!(
-            FillPath::RemoteMemory { home: NodeId::new(2) }.supplier(n0),
+            FillPath::RemoteMemory {
+                home: NodeId::new(2)
+            }
+            .supplier(n0),
             NodeId::new(2)
         );
         assert_eq!(
-            FillPath::RemoteCache { home: NodeId::new(2), owner: NodeId::new(3) }.supplier(n0),
+            FillPath::RemoteCache {
+                home: NodeId::new(2),
+                owner: NodeId::new(3)
+            }
+            .supplier(n0),
             NodeId::new(3)
         );
     }
@@ -684,10 +699,18 @@ mod tests {
         let d = dsm();
         let n = NodeId::new(0);
         let local = d.fill_latency(n, FillPath::LocalMemory);
-        let two_hop = d.fill_latency(n, FillPath::RemoteMemory { home: NodeId::new(1) });
+        let two_hop = d.fill_latency(
+            n,
+            FillPath::RemoteMemory {
+                home: NodeId::new(1),
+            },
+        );
         let three_hop = d.fill_latency(
             n,
-            FillPath::RemoteCache { home: NodeId::new(1), owner: NodeId::new(3) },
+            FillPath::RemoteCache {
+                home: NodeId::new(1),
+                owner: NodeId::new(3),
+            },
         );
         assert!(local < two_hop, "{local} !< {two_hop}");
         assert!(two_hop < three_hop, "{two_hop} !< {three_hop}");
@@ -697,7 +720,11 @@ mod tests {
 
     #[test]
     fn rejects_oversized_system() {
-        let cfg = SystemConfig::builder().nodes(128).torus(16, 8).build().unwrap();
+        let cfg = SystemConfig::builder()
+            .nodes(128)
+            .torus(16, 8)
+            .build()
+            .unwrap();
         assert!(DsmSystem::new(&cfg).is_err());
     }
 }

@@ -116,7 +116,11 @@ impl GhbPrefetcher {
 
     fn push(&mut self, line: Line, key: Key) -> Option<u64> {
         // Link to the previous entry with this key, if still resident.
-        let link = self.index.get(&key).copied().filter(|&p| p >= self.oldest());
+        let link = self
+            .index
+            .get(&key)
+            .copied()
+            .filter(|&p| p >= self.oldest());
         let slot = (self.head % self.capacity as u64) as usize;
         let e = Entry { line };
         if slot < self.buf.len() {
@@ -257,7 +261,10 @@ mod tests {
         let mut g = GhbPrefetcher::new(GhbIndexing::DistanceCorrelation, 512, 4);
         // Deltas: +3 +3 +3 ... after the second +3, the previous +3 is found.
         assert!(g.on_miss(Line::new(0)).is_empty());
-        assert!(g.on_miss(Line::new(3)).is_empty(), "first +3 has no precedent");
+        assert!(
+            g.on_miss(Line::new(3)).is_empty(),
+            "first +3 has no precedent"
+        );
         let pred = g.on_miss(Line::new(6));
         // Previous occurrence of delta +3 was at entry(3); the delta that
         // followed it is +3 (3 -> 6), chained from base 6: 9, then stops?
@@ -286,8 +293,14 @@ mod tests {
 
     #[test]
     fn names_match_modes() {
-        assert_eq!(GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 8, 1).name(), "G/AC");
-        assert_eq!(GhbPrefetcher::new(GhbIndexing::DistanceCorrelation, 8, 1).name(), "G/DC");
+        assert_eq!(
+            GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 8, 1).name(),
+            "G/AC"
+        );
+        assert_eq!(
+            GhbPrefetcher::new(GhbIndexing::DistanceCorrelation, 8, 1).name(),
+            "G/DC"
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl Prefetcher for StridePrefetcher {
                 self.stride = Some(d);
                 self.confirmed = confirmed;
                 if confirmed {
-                    (1..=self.depth as i64).map(|i| line.offset(d * i)).collect()
+                    (1..=self.depth as i64)
+                        .map(|i| line.offset(d * i))
+                        .collect()
                 } else {
                     Vec::new()
                 }
@@ -127,8 +129,14 @@ mod tests {
         let mut p = StridePrefetcher::new(4);
         p.on_miss(Line::new(0));
         p.on_miss(Line::new(2)); // d=2
-        assert!(p.on_miss(Line::new(7)).is_empty(), "d=5 != d=2: no prediction");
-        assert!(p.on_miss(Line::new(9)).is_empty(), "d=2 != d=5: no prediction");
+        assert!(
+            p.on_miss(Line::new(7)).is_empty(),
+            "d=5 != d=2: no prediction"
+        );
+        assert!(
+            p.on_miss(Line::new(9)).is_empty(),
+            "d=2 != d=5: no prediction"
+        );
     }
 
     #[test]
@@ -138,7 +146,11 @@ mod tests {
         p.on_miss(Line::new(2)); // d=2
         assert_eq!(p.on_miss(Line::new(4)).len(), 2); // confirmed
         assert!(p.on_miss(Line::new(9)).is_empty()); // d=5: broken
-        assert_eq!(p.on_miss(Line::new(14)).len(), 2, "d=5 repeated: reconfirmed");
+        assert_eq!(
+            p.on_miss(Line::new(14)).len(),
+            2,
+            "d=5 repeated: reconfirmed"
+        );
     }
 
     #[test]
@@ -147,7 +159,10 @@ mod tests {
         let seq = [3u64, 100, 7, 250, 12, 900, 41];
         let mut p = StridePrefetcher::new(8);
         let total: usize = seq.iter().map(|&l| p.on_miss(Line::new(l)).len()).sum();
-        assert_eq!(total, 0, "irregular sequence must not trigger the stride engine");
+        assert_eq!(
+            total, 0,
+            "irregular sequence must not trigger the stride engine"
+        );
     }
 
     #[test]

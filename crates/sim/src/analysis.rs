@@ -41,7 +41,10 @@ impl CorrelationCurve {
     ///
     /// Panics if `d` is zero or greater than [`MAX_DISTANCE`].
     pub fn at_distance(&self, d: usize) -> f64 {
-        assert!((1..=MAX_DISTANCE).contains(&d), "distance must be in 1..={MAX_DISTANCE}");
+        assert!(
+            (1..=MAX_DISTANCE).contains(&d),
+            "distance must be in 1..={MAX_DISTANCE}"
+        );
         self.cumulative[d - 1]
     }
 }
@@ -217,7 +220,16 @@ mod tests {
         // Node 0 records 1..=8; node 1 replays with adjacent swaps:
         // 2,1,4,3,6,5,8,7 — every other distance is ±2.
         let mut pairs: Vec<(u16, u64)> = (1..=8).map(|l| (0, l)).collect();
-        pairs.extend([(1u16, 2u64), (1, 1), (1, 4), (1, 3), (1, 6), (1, 5), (1, 8), (1, 7)]);
+        pairs.extend([
+            (1u16, 2u64),
+            (1, 1),
+            (1, 4),
+            (1, 3),
+            (1, 6),
+            (1, 5),
+            (1, 8),
+            (1, 7),
+        ]);
         let curve = feed(&pairs);
         // Following a swapped replay, the context hops backward then
         // forward: distances alternate 1 and 3.

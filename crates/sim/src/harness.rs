@@ -119,9 +119,9 @@ pub fn run_trace(workload: &dyn Workload, cfg: &RunConfig) -> Result<RunResult, 
 
     let mut engine = match &cfg.engine {
         EngineKind::Baseline => Engine::Baseline,
-        EngineKind::Tse(tse_cfg) => Engine::Tse(Box::new(TemporalStreamingEngine::new(
-            &cfg.sys, tse_cfg,
-        )?)),
+        EngineKind::Tse(tse_cfg) => {
+            Engine::Tse(Box::new(TemporalStreamingEngine::new(&cfg.sys, tse_cfg)?))
+        }
         EngineKind::Stride { depth, buffer } => Engine::Prefetch(
             (0..nodes)
                 .map(|_| PfNode {
@@ -226,7 +226,10 @@ pub fn run_trace(workload: &dyn Workload, cfg: &RunConfig) -> Result<RunResult, 
                         }
                     }
                     Engine::Tse(tse) => {
-                        if tse.demand_read(&mut dsm, rec.node, rec.line, Cycle::ZERO).is_some() {
+                        if tse
+                            .demand_read(&mut dsm, rec.node, rec.line, Cycle::ZERO)
+                            .is_some()
+                        {
                             continue;
                         }
                         let miss = dsm.read_miss(rec.node, rec.line);
@@ -279,9 +282,7 @@ pub fn run_trace(workload: &dyn Workload, cfg: &RunConfig) -> Result<RunResult, 
                             }
                             let fill = dsm.stream_fetch(rec.node, line);
                             baseline_stats.fetched += 1;
-                            if let Some(victim) =
-                                pf[n].buffer.insert(line, 0, fill, Cycle::ZERO)
-                            {
+                            if let Some(victim) = pf[n].buffer.insert(line, 0, fill, Cycle::ZERO) {
                                 baseline_stats.discarded += 1;
                                 dsm.account_fill_traffic(
                                     rec.node,
@@ -374,7 +375,10 @@ mod tests {
     #[test]
     fn baseline_em3d_has_coherent_misses_in_order() {
         let r = run_baseline_collecting(&em3d(), &sys(), 1).unwrap();
-        assert!(r.consumption_count() > 100, "em3d must produce consumptions");
+        assert!(
+            r.consumption_count() > 100,
+            "em3d must produce consumptions"
+        );
         assert!(!r.consumptions.is_empty());
         assert_eq!(r.coverage(), 0.0);
         // em3d's coherence misses dominate its read misses after warmup.
@@ -422,12 +426,23 @@ mod tests {
     #[ignore = "diagnostic"]
     fn diag_k_sweep() {
         let wl = Tpcc::scaled(OltpFlavor::Db2, 0.1);
-        let sys = SystemConfig::builder().l2(2 * 1024 * 1024, 8).build().unwrap();
+        let sys = SystemConfig::builder()
+            .l2(2 * 1024 * 1024, 8)
+            .build()
+            .unwrap();
         for k in [1usize, 2, 3, 4] {
             let mut t = TseConfig::unconstrained();
             t.compared_streams = k;
             t.directory_pointers = k.max(2);
-            let r = run_trace(&wl, &RunConfig { sys: sys.clone(), engine: EngineKind::Tse(t), ..RunConfig::default() }).unwrap();
+            let r = run_trace(
+                &wl,
+                &RunConfig {
+                    sys: sys.clone(),
+                    engine: EngineKind::Tse(t),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
             eprintln!("k={k}: cov={:.3} disc={:.3} cons={} fetched={} skipped={} stalls={} resol={} queues={}",
                 r.coverage(), r.discard_rate(), r.consumption_count(), r.engine.fetched,
                 r.engine.skipped_fetches, r.engine.queue_stalls, r.engine.queue_resolutions, r.engine.queues_allocated);
@@ -439,10 +454,15 @@ mod tests {
         let wl = Tpcc::scaled(OltpFlavor::Db2, 0.1);
         // A 2 MB L2 keeps the (scaled-down) stock pool uncacheable, as
         // the 10 GB database is against the paper's 8 MB L2.
-        let sys = SystemConfig::builder().l2(2 * 1024 * 1024, 8).build().unwrap();
-        let mut one = TseConfig::default();
-        one.compared_streams = 1;
-        one.directory_pointers = 1;
+        let sys = SystemConfig::builder()
+            .l2(2 * 1024 * 1024, 8)
+            .build()
+            .unwrap();
+        let one = TseConfig {
+            compared_streams: 1,
+            directory_pointers: 1,
+            ..TseConfig::default()
+        };
         let r1 = run_trace(
             &wl,
             &RunConfig {
@@ -523,14 +543,21 @@ mod tests {
         let mut wl = Tpcc::scaled(OltpFlavor::Db2, 0.05);
         wl.spin_prob = 0.8;
         let r = run_baseline_collecting(&wl, &sys(), 3).unwrap();
-        assert!(r.spin_misses > 0, "spin misses must be detected and excluded");
+        assert!(
+            r.spin_misses > 0,
+            "spin misses must be detected and excluded"
+        );
     }
 
     #[test]
     fn node_count_mismatch_is_rejected() {
         let wl = em3d(); // 16 nodes
         let cfg = RunConfig {
-            sys: SystemConfig::builder().nodes(4).torus(2, 2).build().unwrap(),
+            sys: SystemConfig::builder()
+                .nodes(4)
+                .torus(2, 2)
+                .build()
+                .unwrap(),
             ..RunConfig::default()
         };
         assert!(run_trace(&wl, &cfg).is_err());

@@ -49,8 +49,7 @@ where
     }
     drop(tx);
 
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..n_jobs).map(|_| None).collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();

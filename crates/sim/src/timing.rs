@@ -310,9 +310,8 @@ pub fn run_timing(
                                     // residual flight time (overlapping
                                     // with other accesses exactly as a
                                     // demand miss would).
-                                    let residual = (hit.ready_at - now)
-                                        .raw()
-                                        .min(hit.full_latency.raw());
+                                    let residual =
+                                        (hit.ready_at - now).raw().min(hit.full_latency.raw());
                                     cores[n].read_miss(residual, true, rec.dependent);
                                 }
                                 continue;
@@ -321,8 +320,7 @@ pub fn run_timing(
                         let miss = dsm.read_miss(rec.node, rec.line);
                         let latency = dsm.fill_latency(rec.node, miss.fill).raw();
                         let is_coh = miss.class == MissClass::Coherence;
-                        let spin = is_coh
-                            && (rec.spin || spin_filter.is_spin(rec.node, rec.line));
+                        let spin = is_coh && (rec.spin || spin_filter.is_spin(rec.node, rec.line));
                         let consumption = is_coh && !spin;
                         cores[n].read_miss(latency, consumption, rec.dependent);
                         if let Some(t) = tse.as_mut() {
@@ -363,7 +361,11 @@ pub fn run_timing(
         mlp_sum += core.mlp() * core.mlp_events as f64;
         mlp_w += core.mlp_events;
     }
-    let mlp = if mlp_w == 0 { 1.0 } else { mlp_sum / mlp_w as f64 };
+    let mlp = if mlp_w == 0 {
+        1.0
+    } else {
+        mlp_sum / mlp_w as f64
+    };
 
     Ok(TimingResult {
         workload: workload.name().to_string(),
@@ -434,7 +436,8 @@ mod tests {
             0.15,
         )
         .unwrap();
-        let ocean = run_timing(&Ocean::scaled(0.5), &sys(), &EngineKind::Baseline, 1, 0.15).unwrap();
+        let ocean =
+            run_timing(&Ocean::scaled(0.5), &sys(), &EngineKind::Baseline, 1, 0.15).unwrap();
         assert!(
             oltp.mlp < 2.0,
             "OLTP consumptions are serial, got MLP {:.2}",
@@ -484,7 +487,7 @@ mod tests {
     fn breakdown_sums_match_time_accounting() {
         let r = run_timing(&Em3d::scaled(0.02), &sys(), &EngineKind::Baseline, 1, 0.0).unwrap();
         // Every node's t equals busy + stalls; summed equality holds.
-        assert_eq!(r.total_cycles() > 0, true);
+        assert!(r.total_cycles() > 0);
         assert!(r.busy > 0);
         // Makespan cannot exceed the total over nodes.
         assert!(r.cycles <= r.total_cycles());

@@ -247,8 +247,7 @@ mod tests {
     fn interleave_handles_empty_streams() {
         let empty: Vec<AccessRecord> = vec![];
         let a = vec![rec(0, 1)];
-        let merged: Vec<_> =
-            interleave(vec![empty.into_iter(), a.into_iter()]).collect();
+        let merged: Vec<_> = interleave(vec![empty.into_iter(), a.into_iter()]).collect();
         assert_eq!(merged.len(), 1);
         let none: Vec<AccessRecord> = vec![];
         assert_eq!(interleave(vec![none.into_iter()]).count(), 0);

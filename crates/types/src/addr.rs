@@ -27,7 +27,9 @@ pub const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
 /// assert_eq!(a.line().index(), 0x1040 / LINE_BYTES);
 /// assert_eq!(a.offset_in_line(), 0x00);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Addr(u64);
 
@@ -104,7 +106,9 @@ impl From<Addr> for u64 {
 /// assert_eq!(l.base_addr(), Addr::new(5 * 64));
 /// assert_eq!(l.next(), Line::new(6));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Line(u64);
 

@@ -495,9 +495,11 @@ mod tests {
 
     #[test]
     fn validate_rejects_non_pow2_sets() {
-        let mut cfg = SystemConfig::default();
-        cfg.l1_bytes = 3 * 64; // 3 lines, 1 way -> 3 sets
-        cfg.l1_ways = 1;
+        let cfg = SystemConfig {
+            l1_bytes: 3 * 64, // 3 lines, 1 way -> 3 sets
+            l1_ways: 1,
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -519,8 +521,10 @@ mod tests {
 
     #[test]
     fn tse_rejects_zero_lookahead() {
-        let mut t = TseConfig::default();
-        t.lookahead = 0;
+        let t = TseConfig {
+            lookahead: 0,
+            ..TseConfig::default()
+        };
         assert!(t.validate().is_err());
     }
 

@@ -42,7 +42,10 @@ mod tests {
     #[test]
     fn display_includes_message() {
         let e = ConfigError::new("lookahead must be nonzero");
-        assert_eq!(e.to_string(), "invalid configuration: lookahead must be nonzero");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: lookahead must be nonzero"
+        );
     }
 
     #[test]

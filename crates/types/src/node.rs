@@ -18,7 +18,9 @@ use std::fmt;
 /// assert_eq!(n.index(), 3);
 /// assert_eq!(format!("{n}"), "n3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct NodeId(u16);
 

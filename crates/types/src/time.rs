@@ -24,7 +24,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t - Cycle::new(25), Cycle::new(100));
 /// assert_eq!(Cycle::ZERO.saturating_sub(t), Cycle::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Cycle(u64);
 
@@ -84,7 +86,11 @@ impl Sub for Cycle {
     /// Panics on underflow (subtracting a later time from an earlier one);
     /// use [`Cycle::saturating_sub`] when the ordering is not guaranteed.
     fn sub(self, rhs: Cycle) -> Cycle {
-        Cycle(self.0.checked_sub(rhs.0).expect("Cycle subtraction underflow"))
+        Cycle(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Cycle subtraction underflow"),
+        )
     }
 }
 

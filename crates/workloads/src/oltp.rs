@@ -233,7 +233,8 @@ impl Workload for Tpcc {
                 // consumer's copy is invalid by its next touch) and build
                 // up consumption history whose successors never agree.
                 for j in 0..self.stock_per_txn {
-                    let s = Line::new(stock_base.index() + rng.gen_range(0..self.stock_lines) as u64);
+                    let s =
+                        Line::new(stock_base.index() + rng.gen_range(0..self.stock_lines) as u64);
                     // Hashed key lookups occasionally overlap, keeping
                     // consumption MLP near the measured 1.2-1.3.
                     read(ctx, s, 0x420, j % 4 != 0, false);
@@ -322,7 +323,10 @@ mod tests {
                     current.push(r.line.index());
                 } else if !current.is_empty() {
                     let min = *current.iter().min().unwrap();
-                    by_base.entry(min).or_default().push(std::mem::take(&mut current));
+                    by_base
+                        .entry(min)
+                        .or_default()
+                        .push(std::mem::take(&mut current));
                 }
             }
         }
@@ -344,11 +348,7 @@ mod tests {
         let mut wl = small();
         wl.spin_prob = 0.5;
         let per_node = wl.generate(3);
-        let spins: usize = per_node
-            .iter()
-            .flatten()
-            .filter(|r| r.spin)
-            .count();
+        let spins: usize = per_node.iter().flatten().filter(|r| r.spin).count();
         assert!(spins > 0, "spin reads must be generated and tagged");
     }
 
@@ -357,7 +357,10 @@ mod tests {
         // Hot-walk reads (0x410) vs random stock reads (0x420): the ratio
         // drives Figure 6's commercial curves (scans contribute partially
         // and are calibrated at the consumption level in fig06).
-        for (flavor, lo, hi) in [(OltpFlavor::Db2, 0.55, 0.70), (OltpFlavor::Oracle, 0.45, 0.60)] {
+        for (flavor, lo, hi) in [
+            (OltpFlavor::Db2, 0.55, 0.70),
+            (OltpFlavor::Oracle, 0.45, 0.60),
+        ] {
             let wl = Tpcc::scaled(flavor, 0.1);
             let per_node = wl.generate(19);
             let mut structured = 0u64;

@@ -310,8 +310,8 @@ impl Workload for Moldyn {
 
         const W_WRITE: u64 = 6;
         const W_READ: u64 = 20;
-        let iter_work = self.mols_per_node as u64 * W_WRITE
-            + self.interactions_per_node as u64 * W_READ;
+        let iter_work =
+            self.mols_per_node as u64 * W_WRITE + self.interactions_per_node as u64 * W_READ;
 
         let mut traces: Vec<NodeTrace> = (0..self.nodes)
             .map(|n| NodeTrace::new(NodeId::new(n as u16)))
@@ -408,9 +408,8 @@ impl Workload for Ocean {
         let mut alloc = RegionAllocator::new();
         let total_rows = self.nodes * self.rows_per_node;
         let grid = alloc.region((total_rows * self.row_lines) as u64);
-        let row_line = |row: usize, col: usize| {
-            Line::new(grid.index() + (row * self.row_lines + col) as u64)
-        };
+        let row_line =
+            |row: usize, col: usize| Line::new(grid.index() + (row * self.row_lines + col) as u64);
 
         const W_READ: u64 = 8; // tight boundary-exchange bursts
         const W_WRITE: u64 = 16; // relaxation compute per point
@@ -518,7 +517,8 @@ mod tests {
         // Iterations 0..rebuild_every are identical.
         assert_eq!(&reads[0..per_iter], &reads[per_iter..2 * per_iter]);
         // After a rebuild (iteration 4), most but not all entries match.
-        let before: &[Line] = &reads[(wl.rebuild_every - 1) * per_iter..wl.rebuild_every * per_iter];
+        let before: &[Line] =
+            &reads[(wl.rebuild_every - 1) * per_iter..wl.rebuild_every * per_iter];
         let after: &[Line] = &reads[wl.rebuild_every * per_iter..(wl.rebuild_every + 1) * per_iter];
         let same = before.iter().zip(after).filter(|(a, b)| a == b).count();
         assert!(same < per_iter, "rebuild must change something");
@@ -540,7 +540,9 @@ mod tests {
             .collect();
         let base = 1024u64;
         let row = wl.row_lines as u64;
-        let above_last_start = base + (1 * wl.rows_per_node as u64 + wl.rows_per_node as u64 - 1) * row;
+        // Node 1's last row: rows 0..rows_per_node per node, so row
+        // index 2 * rows_per_node - 1.
+        let above_last_start = base + (2 * wl.rows_per_node as u64 - 1) * row;
         let below_first_start = base + (3 * wl.rows_per_node as u64) * row;
         // Boundary reads interleave the two rows: above[0], below[0],
         // above[1], below[1], ...

@@ -256,7 +256,10 @@ mod tests {
                     current.push(r.line.index());
                 } else if !current.is_empty() {
                     let key = *current.iter().min().unwrap();
-                    by_file.entry(key).or_default().push(std::mem::take(&mut current));
+                    by_file
+                        .entry(key)
+                        .or_default()
+                        .push(std::mem::take(&mut current));
                 }
             }
         }

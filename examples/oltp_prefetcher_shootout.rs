@@ -16,13 +16,26 @@ use temporal_streaming::workloads::{OltpFlavor, Tpcc, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Tpcc::scaled(OltpFlavor::Db2, 0.25);
-    println!("workload: {} ({})\n", workload.name(), workload.table2_params());
+    println!(
+        "workload: {} ({})\n",
+        workload.name(),
+        workload.table2_params()
+    );
 
     let engines: Vec<(&str, EngineKind)> = vec![
         ("Stride (depth 8)", EngineKind::paper_stride()),
-        ("GHB G/DC (512 entries)", EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation)),
-        ("GHB G/AC (512 entries)", EngineKind::paper_ghb(GhbIndexing::AddressCorrelation)),
-        ("TSE (2 streams, 1.5MB CMOB)", EngineKind::Tse(TseConfig::default())),
+        (
+            "GHB G/DC (512 entries)",
+            EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation),
+        ),
+        (
+            "GHB G/AC (512 entries)",
+            EngineKind::paper_ghb(GhbIndexing::AddressCorrelation),
+        ),
+        (
+            "TSE (2 streams, 1.5MB CMOB)",
+            EngineKind::Tse(TseConfig::default()),
+        ),
     ];
 
     println!("{:<30} {:>10} {:>10}", "engine", "coverage", "discards");

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // references) — an iterative scientific code with near-perfect
     // temporal address correlation.
     let workload = Em3d::scaled(0.2);
-    println!("workload: {} ({})", workload.name(), workload.table2_params());
+    println!(
+        "workload: {} ({})",
+        workload.name(),
+        workload.table2_params()
+    );
 
     let result = run_trace(
         &workload,
@@ -38,8 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = &result.engine;
     println!("records simulated:    {}", result.records);
     println!("consumptions:         {}", s.consumptions());
-    println!("coverage:             {:.1}%  (coherent read misses eliminated)", s.coverage() * 100.0);
-    println!("discards:             {:.1}%  (blocks streamed but never used)", s.discard_rate() * 100.0);
+    println!(
+        "coverage:             {:.1}%  (coherent read misses eliminated)",
+        s.coverage() * 100.0
+    );
+    println!(
+        "discards:             {:.1}%  (blocks streamed but never used)",
+        s.discard_rate() * 100.0
+    );
     println!("streams launched:     {}", s.queues_allocated);
     println!("CMOB appends:         {}", s.cmob_appends);
     println!(
@@ -48,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     assert!(s.coverage() > 0.9, "em3d should stream almost perfectly");
-    println!("\nem3d re-reads the same remote values in the same order every \
-              iteration, so the TSE eliminates nearly all of its coherent read misses.");
+    println!(
+        "\nem3d re-reads the same remote values in the same order every \
+              iteration, so the TSE eliminates nearly all of its coherent read misses."
+    );
     Ok(())
 }

@@ -9,9 +9,7 @@
 //! cargo run --release --example scientific_streams
 //! ```
 
-use temporal_streaming::sim::{
-    correlation_curve, run_trace, EngineKind, RunConfig,
-};
+use temporal_streaming::sim::{correlation_curve, run_trace, EngineKind, RunConfig};
 use temporal_streaming::types::{SystemConfig, TseConfig};
 use temporal_streaming::workloads::{Em3d, Ocean, Workload};
 

@@ -197,9 +197,11 @@ fn traffic_reports_are_internally_consistent() {
 #[test]
 fn svb_and_queue_bounds_are_respected_under_load() {
     let wl = Tpcc::scaled(OltpFlavor::Oracle, SCALE);
-    let mut tse = TseConfig::default();
-    tse.svb_entries = Some(8);
-    tse.stream_queues = Some(2);
+    let tse = TseConfig {
+        svb_entries: Some(8),
+        stream_queues: Some(2),
+        ..TseConfig::default()
+    };
     let r = run_trace(
         &wl,
         &RunConfig {

@@ -15,10 +15,12 @@ const SCALE: f64 = 0.08;
 #[test]
 fn headline_coverage_bands() {
     for wl in suite(SCALE) {
-        let mut tse = TseConfig::default();
-        tse.lookahead = match wl.kind() {
-            WorkloadKind::Scientific => 16,
-            _ => 8,
+        let tse = TseConfig {
+            lookahead: match wl.kind() {
+                WorkloadKind::Scientific => 16,
+                _ => 8,
+            },
+            ..TseConfig::default()
         };
         let r = run_trace(
             wl.as_ref(),
@@ -117,8 +119,10 @@ fn lookahead_grows_commercial_discards() {
 fn cmob_capacity_gates_scientific_coverage() {
     let wl = Em3d::scaled(SCALE);
     let run = |cap: usize| {
-        let mut tse = TseConfig::default();
-        tse.cmob_capacity = cap;
+        let tse = TseConfig {
+            cmob_capacity: cap,
+            ..TseConfig::default()
+        };
         run_trace(
             &wl,
             &RunConfig {
@@ -131,7 +135,10 @@ fn cmob_capacity_gates_scientific_coverage() {
     };
     let tiny = run(16);
     let big = run(64 * 1024);
-    assert!(tiny < 0.05, "a 16-entry CMOB cannot hold em3d's order ({tiny:.2})");
+    assert!(
+        tiny < 0.05,
+        "a 16-entry CMOB cannot hold em3d's order ({tiny:.2})"
+    );
     assert!(big > 0.85, "a large CMOB must stream em3d ({big:.2})");
 }
 
@@ -141,12 +148,14 @@ fn cmob_capacity_gates_scientific_coverage() {
 fn speedup_bands() {
     let sys = SystemConfig::default();
     for wl in suite(SCALE) {
-        let mut tse = TseConfig::default();
-        tse.lookahead = match wl.name() {
-            "em3d" => 18,
-            "moldyn" => 16,
-            "ocean" => 24,
-            _ => 8,
+        let tse = TseConfig {
+            lookahead: match wl.name() {
+                "em3d" => 18,
+                "moldyn" => 16,
+                "ocean" => 24,
+                _ => 8,
+            },
+            ..TseConfig::default()
         };
         let base = run_timing(wl.as_ref(), &sys, &EngineKind::Baseline, 42, 0.25).unwrap();
         let timed = run_timing(wl.as_ref(), &sys, &EngineKind::Tse(tse), 42, 0.25).unwrap();
@@ -162,7 +171,11 @@ fn speedup_bands() {
                 wl.name()
             ),
         }
-        assert!(speedup < 15.0, "{}: implausible speedup {speedup:.2}", wl.name());
+        assert!(
+            speedup < 15.0,
+            "{}: implausible speedup {speedup:.2}",
+            wl.name()
+        );
     }
 }
 

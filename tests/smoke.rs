@@ -1,0 +1,71 @@
+//! Facade smoke tests: every re-exported module is reachable through
+//! `temporal_streaming`, and the workload suite is well-formed. These
+//! guard the workspace wiring itself — a broken re-export or a renamed
+//! crate fails here before anything subtle does.
+
+use temporal_streaming::{engine, interconnect, memsim, prefetch, sim, trace, types, workloads};
+
+const SCALE: f64 = 0.05;
+
+#[test]
+fn workload_suite_is_nonempty_with_unique_names() {
+    let suite = workloads::suite(SCALE);
+    assert!(!suite.is_empty(), "workloads::suite must not be empty");
+    let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+    let mut deduped = names.clone();
+    deduped.sort_unstable();
+    deduped.dedup();
+    assert_eq!(
+        deduped.len(),
+        names.len(),
+        "workload names must be unique: {names:?}"
+    );
+    for wl in &suite {
+        assert!(!wl.name().is_empty(), "workload names must be non-empty");
+        assert!(
+            !wl.table2_params().is_empty(),
+            "{} must describe its Table 2 parameters",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn every_facade_module_is_reachable() {
+    // One cheap, load-bearing symbol per re-exported module.
+    let sys = types::SystemConfig::default();
+    assert_eq!(sys.nodes, 16);
+
+    let tse = types::TseConfig::default();
+    let eng = engine::TemporalStreamingEngine::new(&sys, &tse).expect("default TSE is valid");
+    assert_eq!(eng.stats().covered, 0);
+
+    let torus = interconnect::Torus::new(sys.torus_width, sys.torus_height).expect("4x4 torus");
+    assert_eq!(torus.nodes(), 16);
+
+    let dsm = memsim::DsmSystem::new(&sys).expect("default DSM is valid");
+    assert_eq!(dsm.stats().reads, 0);
+
+    let _stride = prefetch::StridePrefetcher::new(2);
+    let _ghb = prefetch::GhbIndexing::AddressCorrelation;
+
+    let rec = trace::AccessRecord::read(types::NodeId::new(0), 1, types::Line::new(7));
+    assert_eq!(rec.line.index(), 7);
+
+    let squares = sim::run_parallel(vec![1u64, 2, 3], 2, |x| x * x);
+    assert_eq!(squares, vec![1, 4, 9]);
+}
+
+#[test]
+fn facade_supports_a_minimal_trace_run() {
+    let wl = workloads::Em3d::scaled(SCALE);
+    let r = sim::run_trace(
+        &wl,
+        &sim::RunConfig {
+            engine: sim::EngineKind::Tse(types::TseConfig::default()),
+            ..sim::RunConfig::default()
+        },
+    )
+    .expect("trace run succeeds through the facade");
+    assert!(r.consumption_count() > 0);
+}

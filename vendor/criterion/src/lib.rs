@@ -1,0 +1,229 @@
+//! Offline API-subset shim for `criterion` (see `vendor/README.md`).
+//!
+//! Compiles the workspace's benches unmodified and, when run, times each
+//! benchmark with a simple calibrated loop and prints median ns/iter.
+//! There is no statistical analysis, HTML report, or baseline comparison;
+//! the numbers are honest wall-clock medians good enough for spotting
+//! hot-path regressions by eye.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Samples collected per benchmark.
+const SAMPLES: usize = 11;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: SAMPLES,
+            target_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, self.target_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; benchmarks are reported as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_bench(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.target_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (report formatting hook; a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// How `iter_batched` amortizes setup cost; the shim times routine+setup
+/// together and reports routine-only estimates as best effort.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup` each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, target: Duration, f: &mut F) {
+    // Calibrate: find an iteration count that runs for ~1/samples of the
+    // target time, starting from one timed iteration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = (target / samples as u32).max(Duration::from_micros(50));
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+    println!(
+        "{name:<40} {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {iters} iters x {samples})"
+    );
+}
+
+/// Declares a benchmark group, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 16],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn shim_runs_benches() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        quick(&mut c);
+    }
+
+    criterion_group!(smoke, quick);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        targets = quick
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        // Only `configured` is cheap enough to actually run here.
+        let _ = smoke;
+        configured();
+    }
+}

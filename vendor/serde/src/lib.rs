@@ -1,0 +1,243 @@
+//! Offline API-subset shim for `serde`.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of third-party crates the seed code uses are replaced by
+//! minimal, API-compatible local implementations (see `vendor/README.md`).
+//!
+//! Unlike real serde's format-agnostic serializer architecture, this shim
+//! serializes directly to an owned JSON tree ([`json::Value`]): the only
+//! format the workspace uses is JSON. The derive macros re-exported from
+//! `serde_derive` generate real `Serialize`/`Deserialize` impls for the
+//! shapes the workspace needs (named structs, `#[serde(transparent)]`
+//! newtypes, unit enums, `#[serde(default)]` fields).
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Types that can serialize themselves to a JSON tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can deserialize themselves from a JSON tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `value` does not have the expected shape.
+    fn from_json(value: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of serde's `de` module: just enough for `DeserializeOwned` bounds.
+pub mod de {
+    /// Owned deserialization marker; in this shim every [`Deserialize`]
+    /// implementor is owned, so this is a blanket alias.
+    ///
+    /// [`Deserialize`]: super::Deserialize
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+// --- Serialize impls for primitives and containers -----------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::from(u64::from(*self))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_json(&self) -> Value {
+        Value::from(*self as u64)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::from(i64::from(*self))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_json(&self) -> Value {
+        Value::from(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::from(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+// --- Deserialize impls ----------------------------------------------------
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected unsigned integer, got {value}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected integer, got {value}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {value}")))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(Error::custom(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,303 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Without network access there is no `syn`/`quote`, so the input item is
+//! parsed directly from the `proc_macro` token stream and the generated
+//! impls are emitted as strings. Supported shapes — the ones this
+//! workspace uses:
+//!
+//! * structs with named fields (field-level `#[serde(default)]` honored)
+//! * single-field tuple structs marked `#[serde(transparent)]`
+//! * enums whose variants are all unit variants
+//!
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` (serialization to a JSON tree).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` (construction from a JSON tree).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: (field name, has `#[serde(default)]`).
+    Struct(Vec<(String, bool)>),
+    /// `#[serde(transparent)]` single-field tuple struct.
+    Transparent,
+    /// Enum of unit variants.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item, mode)
+            .parse()
+            .expect("generated impl must tokenize"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error message must tokenize"),
+    }
+}
+
+/// True if an attribute body (the tokens inside `#[...]`) is `serde(<word>)`.
+fn serde_attr_is(body: &[TokenTree], word: &str) -> bool {
+    match body {
+        [TokenTree::Ident(id), TokenTree::Group(g)] if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word)),
+        _ => false,
+    }
+}
+
+/// Consumes a leading run of `#[...]` attributes, returning their bodies.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<Vec<TokenTree>> {
+    let mut attrs = Vec::new();
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*pos), tokens.get(*pos + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        attrs.push(g.stream().into_iter().collect());
+        *pos += 2;
+    }
+    attrs
+}
+
+/// Consumes `pub`, `pub(...)` if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let item_attrs = take_attrs(&tokens, &mut pos);
+    let transparent = item_attrs.iter().any(|a| serde_attr_is(a, "transparent"));
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        _ => return Err("serde shim derive supports only structs and enums".into()),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected an item name".into()),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generics on `{name}`"
+        ));
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) => g,
+        _ => return Err(format!("expected a body for `{name}`")),
+    };
+
+    let shape = if kind == "enum" {
+        Shape::UnitEnum(parse_unit_variants(body, &name)?)
+    } else if body.delimiter() == Delimiter::Parenthesis {
+        if !transparent {
+            return Err(format!(
+                "serde shim derive requires #[serde(transparent)] on tuple struct `{name}`"
+            ));
+        }
+        Shape::Transparent
+    } else {
+        Shape::Struct(parse_named_fields(body, &name)?)
+    };
+
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(body: &proc_macro::Group, name: &str) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        let default = attrs.iter().any(|a| serde_attr_is(a, "default"));
+        skip_visibility(&tokens, &mut pos);
+        let field = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err(format!("expected a field name in `{name}`")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected ':' after `{name}.{field}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // the comma (or one past the end)
+        fields.push((field, default));
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: &proc_macro::Group, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        let variant = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err(format!("expected a variant name in `{name}`")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive supports only unit variants; `{name}::{variant}` has data"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let name = &item.name;
+    match (mode, &item.shape) {
+        (Mode::Serialize, Shape::Struct(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_json(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::json::Value {{\n\
+                 let mut obj = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::json::Value::Object(obj)\n\
+                 }}\n}}\n"
+            )
+        }
+        (Mode::Deserialize, Shape::Struct(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, default)| {
+                    let missing = if *default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return Err(::serde::json::Error::custom(\
+                             concat!(\"missing field `\", {f:?}, \"` in {name}\")))"
+                        )
+                    };
+                    format!(
+                        "{f}: match value.get({f:?}) {{\n\
+                         Some(v) => ::serde::Deserialize::from_json(v)?,\n\
+                         None => {missing},\n\
+                         }},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(value: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 if value.as_object().is_none() {{\n\
+                 return Err(::serde::json::Error::custom(\
+                 concat!(\"expected object for \", stringify!({name}))));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        (Mode::Serialize, Shape::Transparent) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::json::Value {{\n\
+             ::serde::Serialize::to_json(&self.0)\n\
+             }}\n}}\n"
+        ),
+        (Mode::Deserialize, Shape::Transparent) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(value: &::serde::json::Value) \
+             -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+             ::serde::Deserialize::from_json(value).map({name})\n\
+             }}\n}}\n"
+        ),
+        (Mode::Serialize, Shape::UnitEnum(variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::String(match self {{\n{arms}}}.to_string())\n\
+                 }}\n}}\n"
+            )
+        }
+        (Mode::Deserialize, Shape::UnitEnum(variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(value: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 match value.as_str() {{\n\
+                 {arms}\
+                 other => Err(::serde::json::Error::custom(format!(\
+                 \"unknown {name} variant: {{other:?}}\"))),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}

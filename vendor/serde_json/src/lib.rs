@@ -1,0 +1,143 @@
+//! Offline API-subset shim for `serde_json` (see `vendor/README.md`).
+//!
+//! A thin facade over the JSON tree in the `serde` shim: the [`Value`]
+//! model, [`to_string`]/[`to_string_pretty`]/[`from_str`], and a [`json!`]
+//! macro covering object/array literals with interpolated expressions.
+
+pub use serde::json::{Error, Number, Value};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim (the signature matches real serde_json).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in this shim (the signature matches real serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string_pretty(&value.to_json()))
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::de::DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = serde::json::parse(input)?;
+    T::from_json(&value)
+}
+
+/// Converts any serializable value to a [`Value`] (used by [`json!`]).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports the subset of real serde_json's `json!` that the workspace
+/// uses: object and array literals (arbitrarily nested), `null`, and
+/// interpolated Rust expressions as values (taken by reference).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal_object!([] () $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: accumulates array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // Done: no more input.
+    ([ $($done:expr,)* ]) => { $crate::Value::Array(vec![ $($done,)* ]) };
+    // Next element is a nested array or object literal or null.
+    ([ $($done:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    // Next element is a Rust expression.
+    ([ $($done:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::to_value(&$next), ] $($($rest)*)?)
+    };
+}
+
+/// Implementation detail of [`json!`]: accumulates object entries.
+/// State: `[ finished ("key", value) pairs ] (current key, if seen)`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Done: no more input.
+    ([ $($done:expr,)* ] ()) => { $crate::Value::Object(vec![ $($done,)* ]) };
+    // Key, then recurse with the key stashed.
+    ([ $($done:expr,)* ] () $key:literal : $($rest:tt)*) => {
+        $crate::json_internal_object!([ $($done,)* ] ($key) $($rest)*)
+    };
+    // Value for the stashed key: null / nested literal / expression.
+    ([ $($done:expr,)* ] ($key:literal) null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::Value::Null), ] () $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] ($key:literal) [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])), ] () $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] ($key:literal) { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::json!({ $($inner)* })), ] () $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] ($key:literal) $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::to_value(&$value)), ] () $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let n = 3u64;
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x", null],
+            "c": { "nested": n },
+            "d": null,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":1,"b":[1,2.5,"x",null],"c":{"nested":3},"d":null}"#
+        );
+    }
+
+    #[test]
+    fn round_trip_via_strings() {
+        let v = json!({ "k": [1, -2, 18446744073709551615u64], "s": "q\"uote" });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<Value>("{oops").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
