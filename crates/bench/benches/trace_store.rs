@@ -1,0 +1,120 @@
+//! Trace-store throughput: TSB1 (binary, varint + delta) vs JSONL.
+//!
+//! Two parts:
+//!
+//! * an **acceptance report** on a >=10^6-record Tpcc trace — file size
+//!   ratio and one-shot decode speedup vs JSONL, asserted against the
+//!   targets the format was built to (>=5x smaller, >=10x faster to
+//!   decode);
+//! * steady-state **criterion kernels** for encode/decode of both
+//!   formats on a 100k-record slice (full-trace JSONL decodes are too
+//!   slow to sample repeatedly).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::io::Cursor;
+use std::time::Instant;
+use tse_trace::store::{read_tsb1, write_tsb1};
+use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
+use tse_workloads::{OltpFlavor, Tpcc, Workload};
+
+/// Concatenates full-scale Tpcc/DB2 traces (one per seed) until at
+/// least `min_records` records are collected (~278k records/seed).
+fn tpcc_trace(min_records: usize) -> Vec<AccessRecord> {
+    let wl = Tpcc::scaled(OltpFlavor::Db2, 1.0);
+    let mut records = Vec::with_capacity(min_records + min_records / 4);
+    let mut seed = 0u64;
+    while records.len() < min_records {
+        records.extend(interleave(
+            wl.generate(seed).into_iter().map(Vec::into_iter).collect(),
+        ));
+        seed += 1;
+    }
+    records
+}
+
+fn encode_tsb1(records: &[AccessRecord]) -> Vec<u8> {
+    let mut cur = Cursor::new(Vec::new());
+    write_tsb1(&mut cur, records.iter().copied()).expect("in-memory write");
+    cur.into_inner()
+}
+
+fn encode_jsonl(records: &[AccessRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, records.iter().copied()).expect("in-memory write");
+    buf
+}
+
+/// The ISSUE-2 acceptance measurement: on a >=10^6-record Tpcc trace,
+/// TSB1 must be >=5x smaller than JSONL and decode >=10x faster.
+fn acceptance(_c: &mut Criterion) {
+    let records = tpcc_trace(1_000_000);
+    let tsb1 = encode_tsb1(&records);
+    let jsonl = encode_jsonl(&records);
+
+    // Min of three runs: a single cold pass is dominated by first-touch
+    // page faults on the ~50 MB output vector.
+    let mut tsb1_decode = std::time::Duration::MAX;
+    let mut jsonl_decode = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let a = read_tsb1(&tsb1[..]).expect("decode tsb1");
+        tsb1_decode = tsb1_decode.min(t0.elapsed());
+        assert_eq!(a, records);
+        let t0 = Instant::now();
+        let b = read_jsonl(&jsonl[..]).expect("decode jsonl");
+        jsonl_decode = jsonl_decode.min(t0.elapsed());
+        assert_eq!(b, records);
+    }
+
+    let size_ratio = jsonl.len() as f64 / tsb1.len() as f64;
+    let decode_speedup = jsonl_decode.as_secs_f64() / tsb1_decode.as_secs_f64();
+    println!(
+        "trace_store/acceptance: {} Tpcc records; TSB1 {} B ({:.2} B/rec) vs JSONL {} B -> {size_ratio:.1}x smaller",
+        records.len(),
+        tsb1.len(),
+        tsb1.len() as f64 / records.len() as f64,
+        jsonl.len(),
+    );
+    println!(
+        "trace_store/acceptance: decode TSB1 {:.1} ms vs JSONL {:.1} ms -> {decode_speedup:.1}x faster",
+        tsb1_decode.as_secs_f64() * 1e3,
+        jsonl_decode.as_secs_f64() * 1e3,
+    );
+    assert!(
+        records.len() >= 1_000_000,
+        "acceptance trace must have >=10^6 records"
+    );
+    assert!(
+        size_ratio >= 5.0,
+        "TSB1 must be >=5x smaller than JSONL, got {size_ratio:.2}x"
+    );
+    assert!(
+        decode_speedup >= 10.0,
+        "TSB1 must decode >=10x faster than JSONL, got {decode_speedup:.2}x"
+    );
+}
+
+fn bench_trace_store(c: &mut Criterion) {
+    let records = tpcc_trace(100_000);
+    let records = &records[..100_000];
+    let tsb1 = encode_tsb1(records);
+    let jsonl = encode_jsonl(records);
+
+    let mut g = c.benchmark_group("trace_store");
+    g.bench_function("encode_tsb1_100k", |b| {
+        b.iter(|| black_box(encode_tsb1(black_box(records))));
+    });
+    g.bench_function("encode_jsonl_100k", |b| {
+        b.iter(|| black_box(encode_jsonl(black_box(records))));
+    });
+    g.bench_function("decode_tsb1_100k", |b| {
+        b.iter(|| black_box(read_tsb1(black_box(&tsb1[..])).expect("decode")));
+    });
+    g.bench_function("decode_jsonl_100k", |b| {
+        b.iter(|| black_box(read_jsonl(black_box(&jsonl[..])).expect("decode")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, acceptance, bench_trace_store);
+criterion_main!(benches);

@@ -1,0 +1,336 @@
+//! `tracectl` — generate, inspect, convert and replay stored traces.
+//!
+//! The workspace's trace tooling in one binary, wrapping the TSB1
+//! binary store (`tse_trace::store`) and the JSONL interchange format:
+//!
+//! ```text
+//! tracectl gen --workload DB2 --scale 0.05 --out db2.tsb1
+//! tracectl inspect db2.tsb1
+//! tracectl convert db2.tsb1 db2.jsonl     # and back
+//! tracectl replay db2.tsb1 --lookahead 8
+//! ```
+//!
+//! Input formats are sniffed from the file's magic bytes; output
+//! formats follow the extension (`.tsb1`/`.tsb` = binary, anything
+//! else = JSONL).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read};
+use std::path::Path;
+use std::process::ExitCode;
+use tse_sim::{run_trace_stored, EngineKind, RunConfig, StoredTrace};
+use tse_trace::store::{is_tsb1, TraceReader, TraceWriter};
+use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
+use tse_types::{SystemConfig, TseConfig};
+use tse_workloads::suite;
+
+const USAGE: &str = "tracectl — generate, inspect, convert and replay memory traces
+
+USAGE:
+  tracectl gen --workload <name> --out <path> [--scale <f>] [--seed <n>]
+      generate a workload trace (em3d, moldyn, ocean, Apache, DB2,
+      Oracle, Zeus) in global interleaved order
+  tracectl inspect <path>
+      print header/trailer metadata of a trace
+  tracectl convert <in> <out> [--nodes <n>]
+      re-encode a trace; formats: .tsb1/.tsb = TSB1 binary, else JSONL
+      (input format is sniffed, not extension-derived; --nodes declares
+      a node count when the input carries none, e.g. JSONL)
+  tracectl replay <path> [--engine tse|base] [--lookahead <n>] [--nodes <n>]
+      replay a stored trace through the trace-driven harness
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tracectl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag` out of an option list.
+fn opt<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid {what}: `{value}`"))
+}
+
+fn positional<'a>(args: &'a [String], n: usize, what: &str) -> Result<&'a str, String> {
+    // Every tracectl flag takes a value, so skip `--flag value` pairs
+    // wherever they appear relative to the positionals.
+    let mut found = 0usize;
+    let mut i = 0usize;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+            continue;
+        }
+        if found == n {
+            return Ok(&args[i]);
+        }
+        found += 1;
+        i += 1;
+    }
+    Err(format!("missing {what}\n\n{USAGE}"))
+}
+
+/// Near-square torus factorization of `n` (w <= h, w * h == n).
+fn torus_dims(n: usize) -> (usize, usize) {
+    let mut w = (n.max(1) as f64).sqrt() as usize;
+    while w > 1 && !n.is_multiple_of(w) {
+        w -= 1;
+    }
+    let w = w.max(1);
+    (w, n / w)
+}
+
+fn is_tsb1_path(path: &str) -> bool {
+    matches!(
+        Path::new(path).extension().and_then(|e| e.to_str()),
+        Some("tsb1" | "tsb")
+    )
+}
+
+/// Sniffs whether the file at `path` is a TSB1 trace (magic bytes, not
+/// extension) — the one format-detection implementation every
+/// subcommand shares.
+fn sniff_tsb1(path: &str) -> Result<bool, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut magic = [0u8; 4];
+    let got = file.read(&mut magic).map_err(|e| e.to_string())?;
+    Ok(got == 4 && is_tsb1(&magic))
+}
+
+/// Writes records to `path` in the format its extension names,
+/// declaring the node count in TSB1 headers when known.
+fn write_records(
+    path: &str,
+    nodes: Option<u16>,
+    records: impl IntoIterator<Item = AccessRecord>,
+) -> Result<u64, String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    if is_tsb1_path(path) {
+        let mut w = TraceWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+        if let Some(n) = nodes {
+            w.declare_nodes(n);
+        }
+        w.extend(records).map_err(|e| e.to_string())?;
+        let (meta, _) = w.finish().map_err(|e| e.to_string())?;
+        Ok(meta.records)
+    } else {
+        let mut n = 0u64;
+        write_jsonl(
+            BufWriter::new(file),
+            records.into_iter().inspect(|_| n += 1),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(n)
+    }
+}
+
+/// Reads a whole trace from `path`, sniffing the format. Also returns
+/// the declared node count, if the file carries one.
+fn read_records(path: &str) -> Result<(Vec<AccessRecord>, Option<u16>), String> {
+    let binary = sniff_tsb1(path)?;
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    if binary {
+        let mut reader = TraceReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let declared = reader.declared_nodes();
+        let mut records = Vec::new();
+        for rec in reader.by_ref() {
+            records.push(rec.map_err(|e| e.to_string())?);
+        }
+        Ok((records, declared))
+    } else {
+        let records = read_jsonl(BufReader::new(file)).map_err(|e| e.to_string())?;
+        Ok((records, None))
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let name = opt(args, "--workload")?.ok_or(format!("gen needs --workload\n\n{USAGE}"))?;
+    let out = opt(args, "--out")?.ok_or(format!("gen needs --out\n\n{USAGE}"))?;
+    let scale: f64 = match opt(args, "--scale")? {
+        Some(v) => parse(v, "--scale")?,
+        None => 0.1,
+    };
+    // Scales above 1.0 grow the workload beyond the paper's operating
+    // point — the whole reason a compact trace store exists.
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err("--scale must be a positive number".into());
+    }
+    let seed: u64 = match opt(args, "--seed")? {
+        Some(v) => parse(v, "--seed")?,
+        None => 42,
+    };
+    let wl = suite(scale)
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}` (try em3d, DB2, Apache, ...)"))?;
+    let per_node = wl.generate(seed);
+    let records = write_records(
+        out,
+        u16::try_from(wl.nodes()).ok(),
+        interleave(per_node.into_iter().map(Vec::into_iter).collect()),
+    )?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "{}: {records} records, {} nodes, seed {seed}, scale {scale} -> {out} ({bytes} bytes, {:.2} B/record)",
+        wl.name(),
+        wl.nodes(),
+        bytes as f64 / records.max(1) as f64,
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0, "trace path")?;
+    let bytes = std::fs::metadata(path)
+        .map_err(|e| format!("cannot stat {path}: {e}"))?
+        .len();
+    if !sniff_tsb1(path)? {
+        // JSONL (or unknown): summarize by parsing.
+        let (recs, _) = read_records(path)?;
+        let nodes = recs
+            .iter()
+            .map(|r| r.node.index())
+            .max()
+            .map_or(0, |n| n + 1);
+        println!(
+            "{path}: JSONL, {} records, {nodes} nodes, {bytes} bytes",
+            recs.len()
+        );
+        return Ok(());
+    }
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    let reader = TraceReader::open(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let meta = reader.meta().expect("open loads metadata").clone();
+    println!("{path}: TSB1 v{}", meta.version);
+    println!(
+        "  {} records in {} blocks (<= {} records/block), {bytes} bytes ({:.2} B/record)",
+        meta.records,
+        meta.blocks.len(),
+        meta.block_len,
+        bytes as f64 / meta.records.max(1) as f64,
+    );
+    if let Some(n) = meta.declared_nodes {
+        println!("  declared nodes: {n}");
+    }
+    if let Some((lo, hi)) = meta.clock_range() {
+        println!("  clocks {lo}..={hi}");
+    }
+    println!("  node  records        clocks");
+    for n in &meta.nodes {
+        println!(
+            "  {:>4}  {:>10}     {}..={}",
+            n.node.index(),
+            n.records,
+            n.min_clock,
+            n.max_clock
+        );
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0, "input path")?;
+    let output = positional(args, 1, "output path")?;
+    let (recs, declared) = read_records(input)?;
+    let nodes = match opt(args, "--nodes")? {
+        Some(v) => Some(parse(v, "--nodes")?),
+        None => declared,
+    };
+    let n = write_records(output, nodes, recs.iter().copied())?;
+    let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let out_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "{input} ({in_bytes} B) -> {output} ({out_bytes} B): {n} records, size ratio {:.2}x",
+        in_bytes as f64 / out_bytes.max(1) as f64,
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0, "trace path")?;
+    let engine = match opt(args, "--engine")? {
+        None | Some("tse") => {
+            let lookahead: usize = match opt(args, "--lookahead")? {
+                Some(v) => parse(v, "--lookahead")?,
+                None => 8,
+            };
+            EngineKind::Tse(TseConfig {
+                lookahead,
+                ..TseConfig::default()
+            })
+        }
+        Some("base") => EngineKind::Baseline,
+        Some(other) => return Err(format!("unknown engine `{other}` (tse or base)")),
+    };
+    let nodes_override: Option<usize> = match opt(args, "--nodes")? {
+        Some(v) => Some(parse(v, "--nodes")?),
+        None => None,
+    };
+    let trace = if sniff_tsb1(path)? && nodes_override.is_none() {
+        StoredTrace::load_tsb1_path(path).map_err(|e| e.to_string())?
+    } else {
+        let (recs, declared) = read_records(path)?;
+        let nodes = nodes_override
+            .or(declared.map(usize::from))
+            .or(recs.iter().map(|r| r.node.index() + 1).max())
+            .unwrap_or(1);
+        StoredTrace::from_records(path.to_string(), nodes, recs).map_err(|e| e.to_string())?
+    };
+    // Simulate a machine of the trace's size (near-square torus), not
+    // the paper's fixed 16-node default.
+    let sys = if trace.nodes() == SystemConfig::default().nodes {
+        SystemConfig::default()
+    } else {
+        let (w, h) = torus_dims(trace.nodes());
+        SystemConfig::builder()
+            .nodes(trace.nodes())
+            .torus(w, h)
+            .build()
+            .map_err(|e| format!("no valid machine for {} nodes: {e}", trace.nodes()))?
+    };
+    let cfg = RunConfig {
+        engine,
+        sys,
+        ..RunConfig::default()
+    };
+    let r = run_trace_stored(&trace, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} [{}]: {} measured records, {} consumptions, coverage {:.1}%, discards {:.1}%, {} spin misses",
+        trace.name(),
+        r.engine_name,
+        r.records,
+        r.consumption_count(),
+        r.coverage() * 100.0,
+        r.discard_rate() * 100.0,
+        r.spin_misses,
+    );
+    Ok(())
+}

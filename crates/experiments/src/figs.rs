@@ -4,17 +4,20 @@ use crate::{lookahead_for, pct, row, tse_config_for, ExperimentCtx};
 use serde_json::{json, Value};
 use tse_prefetch::GhbIndexing;
 use tse_sim::{
-    correlation_curve, run_parallel, run_timing, run_trace, EngineKind, RunConfig, Samples,
-    TimingResult, MAX_DISTANCE,
+    correlation_curve, run_parallel, run_timing, run_trace, run_trace_stored, EngineKind,
+    RunConfig, Samples, StoredTrace, TimingResult, MAX_DISTANCE,
 };
 use tse_types::TseConfig;
 use tse_workloads::WorkloadKind;
+
+/// The seed every non-sampled figure runs (and stores traces) at.
+const FIG_SEED: u64 = 42;
 
 fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
     RunConfig {
         sys: ctx.sys.clone(),
         engine,
-        seed: 42,
+        seed: FIG_SEED,
         warm_fraction: 0.25,
         ..RunConfig::default()
     }
@@ -168,22 +171,28 @@ pub fn fig07(ctx: &ExperimentCtx) -> Value {
 pub fn fig08(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 8: discards vs stream lookahead ==");
     let lookaheads = [1usize, 2, 4, 8, 12, 16, 20, 24];
+    // Materialize each workload's interleaved trace once and replay it
+    // for every lookahead, instead of regenerating per grid cell.
+    let traces: Vec<StoredTrace> = run_parallel(ctx.suite(), 0, |wl| {
+        StoredTrace::from_workload(wl.as_ref(), FIG_SEED)
+    });
     let mut jobs = Vec::new();
-    for wl in ctx.suite() {
+    for idx in 0..traces.len() {
         for &la in &lookaheads {
-            jobs.push((wl.name().to_string(), la));
+            jobs.push((idx, la));
         }
     }
-    let results = run_parallel(jobs, 0, |(name, la)| {
-        let wl = ctx
-            .suite()
-            .into_iter()
-            .find(|w| w.name() == name)
-            .expect("known workload");
+    let results = run_parallel(jobs, 0, |(idx, la)| {
         let mut tse = TseConfig::unconstrained();
         tse.lookahead = la;
-        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
-        (name, la, r.discard_rate(), r.coverage())
+        let r =
+            run_trace_stored(&traces[idx], &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        (
+            traces[idx].name().to_string(),
+            la,
+            r.discard_rate(),
+            r.coverage(),
+        )
     });
 
     let mut header = vec!["app".to_string()];

@@ -12,6 +12,12 @@ use tse_types::{ConfigError, Line, LINE_BYTES};
 /// LRU order within a set is maintained by per-way sequence stamps (exact,
 /// not pseudo-LRU), which is what the paper's simulators model.
 ///
+/// Slots are stored as one packed array-of-structs (tag + stamp + meta,
+/// with `stamp == 0` marking an empty way) rather than parallel arrays:
+/// a multi-megabyte simulated L2 is sparse-randomly probed, so every
+/// probe touching one contiguous 24-byte-per-way region instead of three
+/// separate arrays (and pages) is a measurable win on the DSM hot path.
+///
 /// # Example
 ///
 /// ```
@@ -29,16 +35,23 @@ pub struct SetAssocCache<V> {
     sets: usize,
     ways: usize,
     set_mask: u64,
-    // ways-per-set arrays, flattened: slot = set * ways + way
-    tags: Vec<Option<Line>>,
-    meta: Vec<Option<V>>,
-    stamp: Vec<u64>,
+    // ways-per-set slots, flattened: slot = set * ways + way
+    slots: Vec<Slot<V>>,
     tick: u64,
     hits: u64,
     misses: u64,
 }
 
-impl<V: Copy> SetAssocCache<V> {
+/// One cache way. `stamp == 0` means empty (ticks start at 1, so every
+/// resident way has a nonzero stamp).
+#[derive(Debug, Clone, Copy)]
+struct Slot<V> {
+    tag: Line,
+    stamp: u64,
+    meta: V,
+}
+
+impl<V: Copy + Default> SetAssocCache<V> {
     /// Creates a cache of `bytes` capacity and `ways` associativity over
     /// 64-byte lines.
     ///
@@ -66,9 +79,14 @@ impl<V: Copy> SetAssocCache<V> {
             sets,
             ways,
             set_mask: sets as u64 - 1,
-            tags: vec![None; lines],
-            meta: vec![None; lines],
-            stamp: vec![0; lines],
+            slots: vec![
+                Slot {
+                    tag: Line::new(0),
+                    stamp: 0,
+                    meta: V::default(),
+                };
+                lines
+            ],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -110,17 +128,17 @@ impl<V: Copy> SetAssocCache<V> {
 
     fn find(&self, line: Line) -> Option<usize> {
         self.slot_range(self.set_of(line))
-            .find(|&slot| self.tags[slot] == Some(line))
+            .find(|&i| self.slots[i].stamp != 0 && self.slots[i].tag == line)
     }
 
     /// Looks up a line, updating LRU order and hit/miss counters.
     pub fn get(&mut self, line: Line) -> Option<V> {
         match self.find(line) {
-            Some(slot) => {
+            Some(i) => {
                 self.tick += 1;
-                self.stamp[slot] = self.tick;
+                self.slots[i].stamp = self.tick;
                 self.hits += 1;
-                self.meta[slot]
+                Some(self.slots[i].meta)
             }
             None => {
                 self.misses += 1;
@@ -131,7 +149,7 @@ impl<V: Copy> SetAssocCache<V> {
 
     /// Looks up a line without updating LRU order or counters.
     pub fn peek(&self, line: Line) -> Option<V> {
-        self.find(line).and_then(|slot| self.meta[slot])
+        self.find(line).map(|i| self.slots[i].meta)
     }
 
     /// Returns true if the line is resident (no LRU/counter side effects).
@@ -145,9 +163,9 @@ impl<V: Copy> SetAssocCache<V> {
     /// The inserted line becomes most-recently-used.
     pub fn insert(&mut self, line: Line, meta: V) -> Option<(Line, V)> {
         self.tick += 1;
-        if let Some(slot) = self.find(line) {
-            self.meta[slot] = Some(meta);
-            self.stamp[slot] = self.tick;
+        if let Some(i) = self.find(line) {
+            self.slots[i].meta = meta;
+            self.slots[i].stamp = self.tick;
             return None;
         }
         let set = self.set_of(line);
@@ -155,58 +173,60 @@ impl<V: Copy> SetAssocCache<V> {
         let mut victim_slot = None;
         let mut lru_slot = set * self.ways;
         let mut lru_stamp = u64::MAX;
-        for slot in self.slot_range(set) {
-            if self.tags[slot].is_none() {
-                victim_slot = Some(slot);
+        for i in self.slot_range(set) {
+            if self.slots[i].stamp == 0 {
+                victim_slot = Some(i);
                 break;
             }
-            if self.stamp[slot] < lru_stamp {
-                lru_stamp = self.stamp[slot];
-                lru_slot = slot;
+            if self.slots[i].stamp < lru_stamp {
+                lru_stamp = self.slots[i].stamp;
+                lru_slot = i;
             }
         }
-        let slot = victim_slot.unwrap_or(lru_slot);
-        let evicted = match (self.tags[slot], self.meta[slot]) {
-            (Some(t), Some(m)) => Some((t, m)),
-            _ => None,
+        let i = victim_slot.unwrap_or(lru_slot);
+        let evicted = if self.slots[i].stamp != 0 {
+            Some((self.slots[i].tag, self.slots[i].meta))
+        } else {
+            None
         };
-        self.tags[slot] = Some(line);
-        self.meta[slot] = Some(meta);
-        self.stamp[slot] = self.tick;
+        self.slots[i] = Slot {
+            tag: line,
+            stamp: self.tick,
+            meta,
+        };
         evicted
     }
 
     /// Removes a line if resident, returning its metadata.
     pub fn invalidate(&mut self, line: Line) -> Option<V> {
-        let slot = self.find(line)?;
-        self.tags[slot] = None;
-        self.stamp[slot] = 0;
-        self.meta[slot].take()
+        let i = self.find(line)?;
+        self.slots[i].stamp = 0;
+        Some(self.slots[i].meta)
     }
 
     /// Removes every resident line.
     pub fn clear(&mut self) {
-        self.tags.fill(None);
-        self.meta.fill(None);
-        self.stamp.fill(0);
+        for s in &mut self.slots {
+            s.stamp = 0;
+        }
     }
 
     /// Number of currently resident lines.
     pub fn len(&self) -> usize {
-        self.tags.iter().filter(|t| t.is_some()).count()
+        self.slots.iter().filter(|s| s.stamp != 0).count()
     }
 
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.tags.iter().all(|t| t.is_none())
+        self.slots.iter().all(|s| s.stamp == 0)
     }
 
     /// Iterates over resident `(line, metadata)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (Line, V)> + '_ {
-        self.tags
+        self.slots
             .iter()
-            .zip(self.meta.iter())
-            .filter_map(|(t, m)| Some((((*t)?), (*m)?)))
+            .filter(|s| s.stamp != 0)
+            .map(|s| (s.tag, s.meta))
     }
 }
 

@@ -41,6 +41,25 @@ impl DirectoryEntry {
     }
 }
 
+/// Outcome of a fused read-miss directory transaction
+/// ([`Directory::read_fill`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFill {
+    /// Node that had to supply dirty data (3-hop fill), if any.
+    pub supplier: Option<NodeId>,
+    /// The entry's write-generation counter (unchanged by reads).
+    pub version: u64,
+}
+
+/// Outcome of a fused write transaction ([`Directory::write_acquire`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteGrant {
+    /// Bitmask of nodes whose copies were invalidated.
+    pub invalidated: u64,
+    /// The entry's write-generation counter after the acquisition.
+    pub version: u64,
+}
+
 /// A full-map directory covering the whole simulated address space.
 ///
 /// Physically each entry lives at the line's home node (the `SystemConfig`
@@ -121,8 +140,18 @@ impl Directory {
     /// modified elsewhere (a 3-hop fill); the previous owner is downgraded
     /// to a sharer, as in MSI with a sharing writeback.
     pub fn add_sharer(&mut self, node: NodeId, line: Line) -> Option<NodeId> {
+        self.read_fill(node, line).supplier
+    }
+
+    /// The fused read-miss transaction: registers `node` as a sharer
+    /// (exactly as [`Directory::add_sharer`]) and reports the entry's
+    /// version in the same map lookup. [`crate::DsmSystem`] needs both
+    /// on every miss — the version classifies the miss and stamps the
+    /// fill — and the directory map sits on the hot path of every
+    /// simulated access.
+    pub fn read_fill(&mut self, node: NodeId, line: Line) -> ReadFill {
         let e = self.entry_mut(line);
-        match e.state {
+        let supplier = match e.state {
             DirState::Uncached => {
                 e.state = DirState::Shared(Self::mask(node));
                 None
@@ -139,6 +168,10 @@ impl Directory {
                     Some(owner)
                 }
             }
+        };
+        ReadFill {
+            supplier,
+            version: e.version,
         }
     }
 
@@ -149,6 +182,13 @@ impl Directory {
     /// caller must drop their cached/streamed copies). Bumps the version
     /// unless `node` already owned the line exclusively.
     pub fn acquire_exclusive(&mut self, node: NodeId, line: Line) -> u64 {
+        self.write_acquire(node, line).invalidated
+    }
+
+    /// The fused write transaction: [`Directory::acquire_exclusive`]
+    /// plus the resulting version, in one map lookup (the version tags
+    /// the writer's cache fill).
+    pub fn write_acquire(&mut self, node: NodeId, line: Line) -> WriteGrant {
         let e = self.entry_mut(line);
         let invalidated = match e.state {
             DirState::Uncached => 0,
@@ -156,7 +196,10 @@ impl Directory {
             DirState::Modified(owner) => {
                 if owner == node {
                     // Silent upgrade: still the exclusive owner.
-                    return 0;
+                    return WriteGrant {
+                        invalidated: 0,
+                        version: e.version,
+                    };
                 }
                 Self::mask(owner)
             }
@@ -164,7 +207,10 @@ impl Directory {
         e.state = DirState::Modified(node);
         e.last_writer = Some(node);
         e.version += 1;
-        invalidated
+        WriteGrant {
+            invalidated,
+            version: e.version,
+        }
     }
 
     /// Removes `node` from the sharer set / ownership of `line` (cache
@@ -294,6 +340,42 @@ mod tests {
         let inval = d.acquire_exclusive(NodeId::new(0), l);
         assert_eq!(inval, 0b10);
         assert_eq!(d.entry(l).version, 2);
+    }
+
+    #[test]
+    fn fused_ops_agree_with_split_ops() {
+        let mut fused = Directory::new(4);
+        let mut split = Directory::new(4);
+        let l = Line::new(3);
+        for (op, node) in [(0u8, 0u16), (1, 1), (0, 2), (1, 2), (0, 3), (1, 0)] {
+            let n = NodeId::new(node);
+            match op {
+                0 => {
+                    let f = fused.read_fill(n, l);
+                    let supplier = split.add_sharer(n, l);
+                    assert_eq!(f.supplier, supplier);
+                    assert_eq!(f.version, split.entry(l).version);
+                }
+                _ => {
+                    let g = fused.write_acquire(n, l);
+                    let invalidated = split.acquire_exclusive(n, l);
+                    assert_eq!(g.invalidated, invalidated);
+                    assert_eq!(g.version, split.entry(l).version);
+                }
+            }
+            assert_eq!(fused.entry(l), split.entry(l));
+        }
+    }
+
+    #[test]
+    fn silent_upgrade_grant_reports_version() {
+        let mut d = Directory::new(4);
+        let l = Line::new(5);
+        let w = NodeId::new(0);
+        assert_eq!(d.write_acquire(w, l).version, 1);
+        let g = d.write_acquire(w, l);
+        assert_eq!(g.invalidated, 0);
+        assert_eq!(g.version, 1, "silent upgrade keeps the version");
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod stats;
 mod system;
 
 pub use cache::SetAssocCache;
-pub use directory::{DirState, Directory, DirectoryEntry};
+pub use directory::{DirState, Directory, DirectoryEntry, ReadFill, WriteGrant};
 pub use hasher::{FastHashMap, FastHashSet, FastHasher};
 pub use stats::MemStats;
 pub use system::{DsmSystem, FillPath, HitLevel, MissClass, MissInfo, ReadOutcome, WriteOutcome};

@@ -291,9 +291,11 @@ impl DsmSystem {
     /// traffic. Callers must have established that the local hierarchy
     /// (and any SVB) missed.
     pub fn read_miss(&mut self, node: NodeId, line: Line) -> MissInfo {
-        let entry = self.directory.entry(line);
         let v_seen = self.seen[node.index()].get(&line).copied();
-        let class = match (v_seen, entry.version) {
+        // One fused directory transaction: sharer registration + version
+        // (reads never change the version, so it also classifies).
+        let grant = self.directory.read_fill(node, line);
+        let class = match (v_seen, grant.version) {
             (_, 0) => MissClass::Cold,
             (None, _) => MissClass::Coherence,
             (Some(v), cur) if cur > v => MissClass::Coherence,
@@ -301,16 +303,14 @@ impl DsmSystem {
         };
 
         let home = self.cfg.home_node(line);
-        let supplier = self.directory.add_sharer(node, line);
-        let fill = match supplier {
+        let fill = match grant.supplier {
             Some(owner) if owner != node => FillPath::RemoteCache { home, owner },
             _ if home == node => FillPath::LocalMemory,
             _ => FillPath::RemoteMemory { home },
         };
         self.account_fill_traffic(node, fill, TrafficClass::Demand);
 
-        let version = self.directory.entry(line).version;
-        self.fill_caches(node, line, version);
+        self.fill_caches(node, line, grant.version);
 
         match class {
             MissClass::Cold => self.stats.cold_misses += 1,
@@ -356,10 +356,9 @@ impl DsmSystem {
     /// live in the SVB until they are used, per Section 3.3).
     pub fn stream_fetch(&mut self, node: NodeId, line: Line) -> FillPath {
         let home = self.cfg.home_node(line);
-        let supplier = self.directory.add_sharer(node, line);
-        let version = self.directory.entry(line).version;
-        self.seen[node.index()].insert(line, version);
-        match supplier {
+        let grant = self.directory.read_fill(node, line);
+        self.seen[node.index()].insert(line, grant.version);
+        match grant.supplier {
             Some(owner) if owner != node => FillPath::RemoteCache { home, owner },
             _ if home == node => FillPath::LocalMemory,
             _ => FillPath::RemoteMemory { home },
@@ -400,7 +399,8 @@ impl DsmSystem {
         }
 
         let had_line = self.l2[n].contains(line);
-        let invalidated = self.directory.acquire_exclusive(node, line);
+        let grant = self.directory.write_acquire(node, line);
+        let invalidated = grant.invalidated;
         self.stats.write_transactions += 1;
         let home = self.cfg.home_node(line);
         let hdr = self.cfg.header_bytes;
@@ -426,8 +426,7 @@ impl DsmSystem {
             self.l2[v].invalidate(line);
         }
 
-        let version = self.directory.entry(line).version;
-        self.fill_caches(node, line, version);
+        self.fill_caches(node, line, grant.version);
         WriteOutcome {
             silent: false,
             invalidated,

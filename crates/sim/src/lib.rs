@@ -12,8 +12,11 @@
 //!   Table 3's MLP and full/partial coverage).
 //!
 //! Plus the [`CorrelationAnalysis`] (Figure 6's measurement),
-//! [`Samples`] statistics with 95% confidence intervals, and a parallel
-//! sweep driver ([`run_parallel`]).
+//! [`Samples`] statistics with 95% confidence intervals, a parallel
+//! sweep driver ([`run_parallel`]), and stored-trace replay
+//! ([`StoredTrace`], [`run_trace_stored`]) so sweeps replay one
+//! materialized (or TSB1-loaded) trace instead of regenerating the
+//! workload per grid cell.
 //!
 //! # Example
 //!
@@ -37,12 +40,14 @@
 
 mod analysis;
 mod harness;
+mod replay;
 mod runner;
 mod stats;
 mod timing;
 
 pub use analysis::{correlation_curve, CorrelationAnalysis, CorrelationCurve, MAX_DISTANCE};
 pub use harness::{run_baseline_collecting, run_trace, RunConfig, RunResult};
+pub use replay::{run_trace_stored, StoredTrace};
 pub use runner::run_parallel;
 pub use stats::Samples;
 pub use timing::{run_timing, TimingResult};

@@ -1,0 +1,293 @@
+//! Replay of stored traces.
+//!
+//! Figure sweeps run the same workload under many engine
+//! configurations; [`run_trace`](crate::run_trace) regenerates and
+//! re-interleaves the workload for every grid cell. A [`StoredTrace`]
+//! materializes the globally interleaved record stream once — generated
+//! from a workload, or loaded from a TSB1 file written by `tracectl` —
+//! and [`run_trace_stored`] replays it through the harness as many
+//! times as needed.
+
+use crate::harness::run_interleaved;
+use crate::{RunConfig, RunResult};
+use std::io::{Read, Seek, Write};
+use std::path::Path;
+use tse_trace::store::{TraceMeta, TraceReader, TraceWriter};
+use tse_trace::{interleave, AccessRecord, TraceIoError};
+use tse_types::ConfigError;
+use tse_workloads::Workload;
+
+/// A trace held in memory in global (interleaved) order, ready to be
+/// replayed under any number of configurations.
+///
+/// # Example
+///
+/// ```no_run
+/// use tse_sim::{run_trace_stored, EngineKind, RunConfig, StoredTrace};
+/// use tse_types::TseConfig;
+/// use tse_workloads::Em3d;
+///
+/// // Generate + interleave once...
+/// let trace = StoredTrace::from_workload(&Em3d::scaled(0.05), 42);
+/// // ...replay under every lookahead of a sweep.
+/// for lookahead in [4usize, 8, 16] {
+///     let tse = TseConfig { lookahead, ..TseConfig::default() };
+///     let cfg = RunConfig { engine: EngineKind::Tse(tse), ..RunConfig::default() };
+///     let r = run_trace_stored(&trace, &cfg)?;
+///     println!("la={lookahead}: {:.3}", r.coverage());
+/// }
+/// # Ok::<(), tse_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredTrace {
+    name: String,
+    nodes: usize,
+    records: Vec<AccessRecord>,
+}
+
+impl StoredTrace {
+    /// Generates a workload at `seed` and interleaves it into the
+    /// deterministic global order, exactly as
+    /// [`run_trace`](crate::run_trace) would.
+    pub fn from_workload(workload: &dyn Workload, seed: u64) -> Self {
+        let per_node = workload.generate(seed);
+        StoredTrace {
+            name: workload.name().to_string(),
+            nodes: workload.nodes(),
+            records: interleave(per_node.into_iter().map(Vec::into_iter).collect()).collect(),
+        }
+    }
+
+    /// Wraps an already-interleaved record sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any record's node index is outside
+    /// `0..nodes`.
+    pub fn from_records(
+        name: impl Into<String>,
+        nodes: usize,
+        records: Vec<AccessRecord>,
+    ) -> Result<Self, ConfigError> {
+        if let Some(r) = records.iter().find(|r| r.node.index() >= nodes) {
+            return Err(ConfigError::new(format!(
+                "record on node {} but the trace declares {nodes} nodes",
+                r.node
+            )));
+        }
+        Ok(StoredTrace {
+            name: name.into(),
+            nodes,
+            records,
+        })
+    }
+
+    /// Reads a TSB1 trace. The node count is the writer's declared
+    /// count when the file carries one (as [`StoredTrace::save_tsb1`]
+    /// always does), falling back to highest-emitting-node + 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TraceIoError`] from the TSB1 reader.
+    pub fn load_tsb1(name: impl Into<String>, src: impl Read) -> Result<Self, TraceIoError> {
+        let mut reader = TraceReader::new(src)?;
+        let mut records =
+            Vec::with_capacity(usize::try_from(reader.records()).unwrap_or(0).min(1 << 22));
+        for rec in reader.by_ref() {
+            records.push(rec?);
+        }
+        let nodes = match reader.declared_nodes() {
+            Some(n) => usize::from(n),
+            None => reader
+                .meta()
+                .and_then(|m| m.nodes.last().map(|n| n.node.index() + 1))
+                .unwrap_or(1),
+        };
+        // Same invariant from_records enforces: no decoded record may
+        // reference a node outside 0..nodes, or the replay harness
+        // would index out of bounds. A crafted trailer can satisfy the
+        // reader's own cross-checks while the payload does not.
+        if let Some(r) = records.iter().find(|r| r.node.index() >= nodes) {
+            return Err(TraceIoError::Corrupt {
+                offset: 0,
+                reason: format!(
+                    "record on node {} but the trace declares {nodes} nodes",
+                    r.node
+                ),
+            });
+        }
+        Ok(StoredTrace {
+            name: name.into(),
+            nodes,
+            records,
+        })
+    }
+
+    /// Reads a TSB1 trace from a file, naming it after the file stem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open failures as [`TraceIoError::Io`] and format
+    /// failures from [`StoredTrace::load_tsb1`].
+    pub fn load_tsb1_path(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        let file = std::fs::File::open(path)?;
+        Self::load_tsb1(name, std::io::BufReader::new(file))
+    }
+
+    /// Writes the trace as TSB1, declaring its node count in the
+    /// header so idle trailing nodes survive the round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from the TSB1 writer.
+    pub fn save_tsb1(&self, sink: impl Write + Seek) -> Result<TraceMeta, TraceIoError> {
+        let mut w = TraceWriter::new(sink)?;
+        if let Ok(n) = u16::try_from(self.nodes) {
+            w.declare_nodes(n);
+        }
+        w.extend(self.records.iter().copied())?;
+        let (meta, _) = w.finish()?;
+        Ok(meta)
+    }
+
+    /// Trace name (workload name or file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes the trace was collected on.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The records, in global order.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Replays a stored trace through the trace-driven harness.
+///
+/// Identical semantics to [`run_trace`](crate::run_trace) — warm-up,
+/// spin filtering, engine accounting — except that the records come
+/// from `trace` rather than being regenerated, so `cfg.seed` is
+/// ignored. Replaying a [`StoredTrace::from_workload`] trace produces
+/// bit-identical results to `run_trace` at the same seed.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is invalid or the
+/// trace's node count differs from `cfg.sys.nodes`.
+pub fn run_trace_stored(trace: &StoredTrace, cfg: &RunConfig) -> Result<RunResult, ConfigError> {
+    run_interleaved(
+        &trace.name,
+        trace.nodes,
+        trace.records.len(),
+        trace.records.iter().copied(),
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineKind;
+    use std::io::Cursor;
+    use tse_types::{SystemConfig, TseConfig};
+    use tse_workloads::{Em3d, OltpFlavor, Tpcc};
+
+    #[test]
+    fn replay_matches_generate_and_run() {
+        let wl = Em3d::scaled(0.03);
+        let cfg = RunConfig {
+            engine: EngineKind::Tse(TseConfig::default()),
+            ..RunConfig::default()
+        };
+        let direct = crate::run_trace(&wl, &cfg).unwrap();
+        let stored = StoredTrace::from_workload(&wl, cfg.seed);
+        let replayed = run_trace_stored(&stored, &cfg).unwrap();
+        assert_eq!(direct.engine, replayed.engine);
+        assert_eq!(direct.mem, replayed.mem);
+        assert_eq!(direct.traffic, replayed.traffic);
+        assert_eq!(direct.records, replayed.records);
+    }
+
+    #[test]
+    fn replay_survives_tsb1_round_trip() {
+        let wl = Tpcc::scaled(OltpFlavor::Db2, 0.04);
+        let stored = StoredTrace::from_workload(&wl, 7);
+        let mut cur = Cursor::new(Vec::new());
+        let meta = stored.save_tsb1(&mut cur).unwrap();
+        assert_eq!(meta.records, stored.len() as u64);
+        assert_eq!(meta.nodes.len(), stored.nodes());
+
+        let loaded = StoredTrace::load_tsb1("DB2", &cur.get_ref()[..]).unwrap();
+        assert_eq!(loaded.nodes(), stored.nodes());
+        assert_eq!(loaded.records(), stored.records());
+
+        let cfg = RunConfig {
+            engine: EngineKind::Tse(TseConfig::default()),
+            ..RunConfig::default()
+        };
+        let a = run_trace_stored(&stored, &cfg).unwrap();
+        let b = run_trace_stored(&loaded, &cfg).unwrap();
+        assert_eq!(a.engine, b.engine);
+    }
+
+    #[test]
+    fn node_count_mismatch_is_rejected() {
+        let stored = StoredTrace::from_workload(&Em3d::scaled(0.03), 1); // 16 nodes
+        let cfg = RunConfig {
+            sys: SystemConfig::builder()
+                .nodes(4)
+                .torus(2, 2)
+                .build()
+                .unwrap(),
+            ..RunConfig::default()
+        };
+        assert!(run_trace_stored(&stored, &cfg).is_err());
+    }
+
+    #[test]
+    fn idle_trailing_nodes_survive_save_load() {
+        use tse_trace::AccessRecord;
+        use tse_types::{Line, NodeId};
+        // Only nodes 0..4 emit, but the trace is declared for 8 nodes.
+        let recs: Vec<AccessRecord> = (0..100u64)
+            .map(|i| AccessRecord::read(NodeId::new((i % 4) as u16), i, Line::new(i)))
+            .collect();
+        let stored = StoredTrace::from_records("t", 8, recs).unwrap();
+        let mut cur = Cursor::new(Vec::new());
+        stored.save_tsb1(&mut cur).unwrap();
+        let loaded = StoredTrace::load_tsb1("t", &cur.get_ref()[..]).unwrap();
+        assert_eq!(loaded.nodes(), 8, "declared node count must survive");
+        assert_eq!(loaded.records(), stored.records());
+    }
+
+    #[test]
+    fn from_records_validates_node_range() {
+        use tse_trace::AccessRecord;
+        use tse_types::{Line, NodeId};
+        let recs = vec![AccessRecord::read(NodeId::new(5), 0, Line::new(0))];
+        assert!(StoredTrace::from_records("t", 4, recs.clone()).is_err());
+        let t = StoredTrace::from_records("t", 6, recs).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.name(), "t");
+    }
+}

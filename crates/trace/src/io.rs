@@ -1,15 +1,15 @@
 //! Trace (de)serialization as JSON lines.
 //!
 //! One [`AccessRecord`] per line. JSON-lines keeps traces greppable and
-//! streamable; traces used by the experiment suite are regenerated from
-//! seeds rather than stored, so compactness is not a goal.
+//! streamable; for traces that must be stored at scale, the compact
+//! binary TSB1 format in [`crate::store`] is the right tool.
 
 use crate::AccessRecord;
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
 
-/// An error reading or writing a trace.
+/// An error reading or writing a trace (JSON lines or TSB1).
 #[derive(Debug)]
 pub enum TraceIoError {
     /// Underlying I/O failure.
@@ -21,6 +21,39 @@ pub enum TraceIoError {
         /// The serde error.
         source: serde_json::Error,
     },
+    /// A binary trace does not start with the TSB1 magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// A binary trace declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// The on-disk version number.
+        version: u16,
+    },
+    /// A binary trace is structurally invalid at a known byte offset
+    /// (bad block tag, checksum mismatch, count mismatch, overlong
+    /// varint, ...).
+    Corrupt {
+        /// Byte offset of the structure that failed to validate.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A binary trace ended mid-structure (header, block or trailer).
+    Truncated {
+        /// What was being read when the data ran out.
+        reading: &'static str,
+    },
+}
+
+impl TraceIoError {
+    pub(crate) fn corrupt(offset: u64, reason: impl Into<String>) -> Self {
+        TraceIoError::Corrupt {
+            offset,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for TraceIoError {
@@ -29,6 +62,18 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceIoError::Parse { line, source } => {
                 write!(f, "malformed trace record at line {line}: {source}")
+            }
+            TraceIoError::BadMagic { found } => {
+                write!(f, "not a TSB1 trace (magic bytes {found:02x?})")
+            }
+            TraceIoError::UnsupportedVersion { version } => {
+                write!(f, "unsupported TSB1 version {version}")
+            }
+            TraceIoError::Corrupt { offset, reason } => {
+                write!(f, "corrupt TSB1 trace at byte {offset}: {reason}")
+            }
+            TraceIoError::Truncated { reading } => {
+                write!(f, "truncated TSB1 trace while reading {reading}")
             }
         }
     }
@@ -39,6 +84,7 @@ impl Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Parse { source, .. } => Some(source),
+            _ => None,
         }
     }
 }

@@ -14,7 +14,9 @@
 //! * [`SpinFilter`] — the heuristic that drops lock/barrier spin misses
 //!   (the paper excludes spins because streaming them has no benefit);
 //! * JSON-lines (de)serialization for traces ([`write_jsonl`],
-//!   [`read_jsonl`]).
+//!   [`read_jsonl`]);
+//! * the TSB1 binary trace store ([`store`]) — block-based, varint +
+//!   delta coded, seekable; the format for traces at 10^6-10^8 records.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 mod io;
 mod record;
 mod spin;
+pub mod store;
 
 pub use io::{read_jsonl, write_jsonl, TraceIoError};
 pub use record::{interleave, AccessKind, AccessRecord, Consumption, Interleave};

@@ -1,0 +1,248 @@
+//! The per-record delta codec shared by the TSB1 writer and reader.
+//!
+//! Each record is encoded against per-node running state (last clock,
+//! line and pc), because a node's accesses are close in address and
+//! monotone in clock even after global interleaving — deltas stay small
+//! and varints stay short. The state resets at every block boundary so
+//! blocks decode independently (the property that makes
+//! [`super::TraceReader::seek_to_block`] O(1)).
+
+use super::varint::{get_u64, put_u64, unzigzag, zigzag};
+use crate::{AccessKind, AccessRecord};
+use tse_types::{Line, NodeId};
+
+/// Record flag bits (first byte of every encoded record).
+const F_WRITE: u8 = 1 << 0;
+const F_DEPENDENT: u8 = 1 << 1;
+const F_SPIN: u8 = 1 << 2;
+const F_PC: u8 = 1 << 3;
+const F_STALL: u8 = 1 << 4;
+/// Bits that must be zero in version-1 traces.
+const F_RESERVED: u8 = !(F_WRITE | F_DEPENDENT | F_SPIN | F_PC | F_STALL);
+
+/// Per-node running state, validity-tagged by block epoch so a block
+/// switch is O(1) instead of clearing the table.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeState {
+    epoch: u64,
+    clock: u64,
+    line: u64,
+    pc: u32,
+}
+
+/// Encoder/decoder state: one [`NodeState`] per node, plus the current
+/// block epoch.
+#[derive(Debug, Default)]
+pub(super) struct CodecState {
+    epoch: u64,
+    nodes: Vec<NodeState>,
+}
+
+impl CodecState {
+    /// Starts a new block: all per-node state reverts to zero.
+    pub(super) fn next_block(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn node(&mut self, index: usize) -> &mut NodeState {
+        if index >= self.nodes.len() {
+            self.nodes.resize_with(index + 1, NodeState::default);
+        }
+        let s = &mut self.nodes[index];
+        if s.epoch != self.epoch {
+            *s = NodeState {
+                epoch: self.epoch,
+                ..NodeState::default()
+            };
+        }
+        s
+    }
+}
+
+/// Appends one record to a block payload.
+pub(super) fn encode_record(state: &mut CodecState, out: &mut Vec<u8>, rec: &AccessRecord) {
+    let s = state.node(rec.node.index());
+    let mut flags = 0u8;
+    if rec.kind == AccessKind::Write {
+        flags |= F_WRITE;
+    }
+    if rec.dependent {
+        flags |= F_DEPENDENT;
+    }
+    if rec.spin {
+        flags |= F_SPIN;
+    }
+    if rec.pc != s.pc {
+        flags |= F_PC;
+    }
+    if rec.private_stall != 0 {
+        flags |= F_STALL;
+    }
+    out.push(flags);
+    put_u64(out, rec.node.index() as u64);
+    put_u64(out, zigzag(rec.clock.wrapping_sub(s.clock) as i64));
+    put_u64(out, zigzag(rec.line.index().wrapping_sub(s.line) as i64));
+    if flags & F_PC != 0 {
+        put_u64(out, zigzag(i64::from(rec.pc.wrapping_sub(s.pc) as i32)));
+    }
+    if flags & F_STALL != 0 {
+        put_u64(out, u64::from(rec.private_stall));
+    }
+    s.clock = rec.clock;
+    s.line = rec.line.index();
+    s.pc = rec.pc;
+}
+
+/// Decodes one record from a block payload at `*pos`, advancing `*pos`.
+/// Returns `None` on any structural problem (truncated or non-canonical
+/// varint, out-of-range field, reserved flag bits set).
+pub(super) fn decode_record(
+    state: &mut CodecState,
+    buf: &[u8],
+    pos: &mut usize,
+) -> Option<AccessRecord> {
+    let &flags = buf.get(*pos)?;
+    *pos += 1;
+    if flags & F_RESERVED != 0 {
+        return None;
+    }
+    let node = get_u64(buf, pos)?;
+    if node > u64::from(u16::MAX) {
+        return None;
+    }
+    let s = state.node(node as usize);
+    let clock = s.clock.wrapping_add(unzigzag(get_u64(buf, pos)?) as u64);
+    let line = s.line.wrapping_add(unzigzag(get_u64(buf, pos)?) as u64);
+    let pc = if flags & F_PC != 0 {
+        let delta = unzigzag(get_u64(buf, pos)?);
+        if i32::try_from(delta).is_err() {
+            return None;
+        }
+        s.pc.wrapping_add(delta as u32)
+    } else {
+        s.pc
+    };
+    let private_stall = if flags & F_STALL != 0 {
+        let v = get_u64(buf, pos)?;
+        u32::try_from(v).ok().filter(|&v| v != 0)?
+    } else {
+        0
+    };
+    s.clock = clock;
+    s.line = line;
+    s.pc = pc;
+    Some(AccessRecord {
+        node: NodeId::new(node as u16),
+        clock,
+        kind: if flags & F_WRITE != 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        line: Line::new(line),
+        pc,
+        dependent: flags & F_DEPENDENT != 0,
+        spin: flags & F_SPIN != 0,
+        private_stall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<AccessRecord> {
+        vec![
+            AccessRecord::read(NodeId::new(0), 10, Line::new(100)).with_pc(7),
+            AccessRecord::write(NodeId::new(1), 11, Line::new(200)),
+            AccessRecord::read(NodeId::new(0), 12, Line::new(101))
+                .with_pc(7)
+                .with_dependent(true),
+            AccessRecord::read(NodeId::new(1), 13, Line::new(50))
+                .with_spin(true)
+                .with_private_stall(9),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut enc = CodecState::default();
+        enc.next_block();
+        let mut buf = Vec::new();
+        for r in sample() {
+            encode_record(&mut enc, &mut buf, &r);
+        }
+        let mut dec = CodecState::default();
+        dec.next_block();
+        let mut pos = 0;
+        let out: Vec<_> = (0..4)
+            .map(|_| decode_record(&mut dec, &buf, &mut pos).unwrap())
+            .collect();
+        assert_eq!(out, sample());
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn same_node_repeats_are_tiny() {
+        let mut enc = CodecState::default();
+        enc.next_block();
+        let mut buf = Vec::new();
+        // Warm-up record, then a typical "next access" by the same node:
+        // clock +1, line +1, same pc, no stall.
+        encode_record(
+            &mut enc,
+            &mut buf,
+            &AccessRecord::read(NodeId::new(3), 1000, Line::new(5000)).with_pc(42),
+        );
+        let warm = buf.len();
+        encode_record(
+            &mut enc,
+            &mut buf,
+            &AccessRecord::read(NodeId::new(3), 1001, Line::new(5001)).with_pc(42),
+        );
+        assert_eq!(buf.len() - warm, 4, "flags + node + clock + line bytes");
+    }
+
+    #[test]
+    fn block_reset_forgets_state() {
+        let mut enc = CodecState::default();
+        enc.next_block();
+        let mut a = Vec::new();
+        let rec = AccessRecord::read(NodeId::new(2), 500, Line::new(900));
+        encode_record(&mut enc, &mut a, &rec);
+        enc.next_block();
+        let mut b = Vec::new();
+        encode_record(&mut enc, &mut b, &rec);
+        assert_eq!(a, b, "state must reset at block boundaries");
+    }
+
+    #[test]
+    fn reserved_flags_are_rejected() {
+        let mut dec = CodecState::default();
+        dec.next_block();
+        let buf = [0xe0u8, 0, 0, 0];
+        let mut pos = 0;
+        assert!(decode_record(&mut dec, &buf, &mut pos).is_none());
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        let mut enc = CodecState::default();
+        enc.next_block();
+        let mut buf = Vec::new();
+        encode_record(
+            &mut enc,
+            &mut buf,
+            &AccessRecord::read(NodeId::new(0), u64::MAX, Line::new(u64::MAX)),
+        );
+        for cut in 0..buf.len() {
+            let mut dec = CodecState::default();
+            dec.next_block();
+            let mut pos = 0;
+            assert!(
+                decode_record(&mut dec, &buf[..cut], &mut pos).is_none(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+}

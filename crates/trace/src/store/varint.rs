@@ -1,0 +1,129 @@
+//! LEB128 varints and zigzag transforms for the TSB1 record codec.
+//!
+//! Unsigned values are encoded little-endian, 7 bits per byte, with the
+//! high bit as a continuation flag (at most 10 bytes for a `u64`).
+//! Signed deltas are zigzag-mapped first so that small magnitudes of
+//! either sign stay short.
+
+/// Appends `value` to `out` as an LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes an LEB128 varint from a byte source (the single decode
+/// implementation behind both slice and stream readers). Returns
+/// `None` if the source ends mid-varint or the encoding overflows a
+/// `u64`.
+pub fn get_from(mut next: impl FnMut() -> Option<u8>) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = next()?;
+        if shift == 63 && byte > 1 {
+            return None; // overflows u64
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Decodes an LEB128 varint from `buf` starting at `*pos`, advancing
+/// `*pos` past it. Returns `None` if the buffer ends mid-varint or the
+/// encoding exceeds 10 bytes (not a canonical `u64`).
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    get_from(|| {
+        let byte = buf.get(*pos).copied();
+        if byte.is_some() {
+            *pos += 1;
+        }
+        byte
+    })
+}
+
+/// Zigzag-maps a signed delta into an unsigned varint payload:
+/// 0, -1, 1, -2, 2, ... → 0, 1, 2, 3, 4, ...
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_representative_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        put_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn truncated_varint_is_detected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // 11 continuation bytes cannot be a canonical u64.
+        let buf = [0x80u8; 10];
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 1000, -1000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

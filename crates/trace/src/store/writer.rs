@@ -1,0 +1,335 @@
+//! Streaming TSB1 writer.
+
+use super::codec::{encode_record, CodecState};
+use super::varint::put_u64;
+use super::{
+    crc32, BlockInfo, NodeRange, TraceMeta, BLOCK_TAG, DEFAULT_BLOCK_LEN, FORMAT_VERSION,
+    HEADER_LEN, MAGIC, TRAILER_TAG,
+};
+use crate::{AccessRecord, TraceIoError};
+use std::collections::BTreeMap;
+use std::io::{Seek, SeekFrom, Write};
+
+/// Per-node accumulator behind [`NodeRange`].
+#[derive(Debug, Clone, Copy)]
+struct NodeAccum {
+    records: u64,
+    min_clock: u64,
+    max_clock: u64,
+}
+
+/// Streaming writer for TSB1 traces.
+///
+/// Push records one at a time (or via [`TraceWriter::extend`]); blocks
+/// are encoded and flushed as they fill, so memory stays O(block), not
+/// O(trace). [`TraceWriter::finish`] writes the trailer (block index +
+/// per-node clock ranges) and patches the counts into the header — the
+/// sink must therefore implement [`Seek`]. Dropping a writer without
+/// calling `finish` leaves a structurally incomplete file that readers
+/// reject.
+///
+/// # Example
+///
+/// ```
+/// use std::io::Cursor;
+/// use tse_trace::store::{read_tsb1, TraceWriter};
+/// use tse_trace::AccessRecord;
+/// use tse_types::{Line, NodeId};
+///
+/// let mut w = TraceWriter::new(Cursor::new(Vec::new()))?;
+/// for i in 0..10_000u64 {
+///     w.push(AccessRecord::read(NodeId::new((i % 4) as u16), i, Line::new(i)))?;
+/// }
+/// let (meta, file) = w.finish()?;
+/// assert_eq!(meta.records, 10_000);
+/// assert_eq!(meta.blocks.len(), 3); // 4096 + 4096 + 1808
+/// assert_eq!(read_tsb1(&file.get_ref()[..])?.len(), 10_000);
+/// # Ok::<(), tse_trace::TraceIoError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    block_len: u32,
+    /// Current block's encoded payload.
+    payload: Vec<u8>,
+    /// Records in the current (unflushed) block.
+    block_records: u64,
+    block_first_clock: u64,
+    block_last_clock: u64,
+    enc: CodecState,
+    blocks: Vec<BlockInfo>,
+    nodes: BTreeMap<u16, NodeAccum>,
+    records: u64,
+    /// Bytes written so far (next write lands at this offset).
+    offset: u64,
+    /// Declared node count for the header (0 = unspecified).
+    declared_nodes: u16,
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a trace with the default block length, writing a
+    /// placeholder header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] on write failure.
+    pub fn new(sink: W) -> Result<Self, TraceIoError> {
+        Self::with_block_len(sink, DEFAULT_BLOCK_LEN)
+    }
+
+    /// Starts a trace with an explicit maximum records-per-block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] on write failure, or
+    /// [`TraceIoError::Corrupt`] if `block_len` is zero or larger than
+    /// [`super::MAX_BLOCK_LEN`] (a full block must stay inside the
+    /// payload limit readers enforce).
+    pub fn with_block_len(mut sink: W, block_len: u32) -> Result<Self, TraceIoError> {
+        if block_len == 0 {
+            return Err(TraceIoError::corrupt(0, "block length must be nonzero"));
+        }
+        if block_len > super::MAX_BLOCK_LEN {
+            return Err(TraceIoError::corrupt(
+                0,
+                format!(
+                    "block length {block_len} exceeds the {} maximum",
+                    super::MAX_BLOCK_LEN
+                ),
+            ));
+        }
+        // Placeholder header; counts and trailer offset are patched by
+        // `finish`.
+        sink.write_all(&header_bytes(0, 0, block_len, 0, 0))?;
+        Ok(TraceWriter {
+            sink,
+            block_len,
+            payload: Vec::new(),
+            block_records: 0,
+            block_first_clock: 0,
+            block_last_clock: 0,
+            enc: CodecState::default(),
+            blocks: Vec::new(),
+            nodes: BTreeMap::new(),
+            records: 0,
+            offset: HEADER_LEN,
+            declared_nodes: 0,
+        })
+    }
+
+    /// Declares the trace's node count, persisted in the header so a
+    /// reader can distinguish "collected on `nodes` nodes" from
+    /// "highest node that happened to emit a record". Nodes with no
+    /// records are otherwise indistinguishable from nonexistent ones.
+    /// Call any time before [`TraceWriter::finish`]; zero (the default)
+    /// means unspecified.
+    pub fn declare_nodes(&mut self, nodes: u16) {
+        self.declared_nodes = nodes;
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] if flushing a filled block fails.
+    pub fn push(&mut self, rec: AccessRecord) -> Result<(), TraceIoError> {
+        if self.block_records == 0 {
+            self.enc.next_block();
+            self.block_first_clock = rec.clock;
+        }
+        encode_record(&mut self.enc, &mut self.payload, &rec);
+        self.block_records += 1;
+        self.block_last_clock = rec.clock;
+        self.records += 1;
+        let node = rec.node.index() as u16;
+        self.nodes
+            .entry(node)
+            .and_modify(|a| {
+                a.records += 1;
+                a.min_clock = a.min_clock.min(rec.clock);
+                a.max_clock = a.max_clock.max(rec.clock);
+            })
+            .or_insert(NodeAccum {
+                records: 1,
+                min_clock: rec.clock,
+                max_clock: rec.clock,
+            });
+        if self.block_records >= u64::from(self.block_len) {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every record of an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] if flushing a filled block fails.
+    pub fn extend(
+        &mut self,
+        records: impl IntoIterator<Item = AccessRecord>,
+    ) -> Result<(), TraceIoError> {
+        for rec in records {
+            self.push(rec)?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), TraceIoError> {
+        if self.block_records == 0 {
+            return Ok(());
+        }
+        let mut head = vec![BLOCK_TAG];
+        put_u64(&mut head, self.block_records);
+        put_u64(&mut head, self.payload.len() as u64);
+        head.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        self.sink.write_all(&head)?;
+        self.sink.write_all(&self.payload)?;
+        self.blocks.push(BlockInfo {
+            offset: self.offset,
+            records: self.block_records,
+            first_clock: self.block_first_clock,
+            last_clock: self.block_last_clock,
+        });
+        self.offset += (head.len() + self.payload.len()) as u64;
+        self.payload.clear();
+        self.block_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the final partial block, writes the trailer and patches
+    /// the header, returning the trace metadata and the sink (positioned
+    /// at end of file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] on write or seek failure, or
+    /// [`TraceIoError::Corrupt`] if a declared node count
+    /// ([`TraceWriter::declare_nodes`]) is contradicted by the records
+    /// written — finishing would otherwise produce a file every reader
+    /// rejects.
+    pub fn finish(mut self) -> Result<(TraceMeta, W), TraceIoError> {
+        if self.declared_nodes != 0 {
+            if let Some((&node, _)) = self.nodes.range(self.declared_nodes..).next() {
+                return Err(TraceIoError::corrupt(
+                    0,
+                    format!(
+                        "trace declares {} nodes but records reference node {node}",
+                        self.declared_nodes
+                    ),
+                ));
+            }
+        }
+        self.flush_block()?;
+        let trailer_offset = self.offset;
+
+        // Trailer payload: block index (offsets delta-coded), then
+        // per-node ranges.
+        let mut body = Vec::new();
+        put_u64(&mut body, self.blocks.len() as u64);
+        let mut prev_offset = 0u64;
+        for b in &self.blocks {
+            put_u64(&mut body, b.offset - prev_offset);
+            put_u64(&mut body, b.records);
+            put_u64(&mut body, b.first_clock);
+            put_u64(&mut body, b.last_clock);
+            prev_offset = b.offset;
+        }
+        put_u64(&mut body, self.nodes.len() as u64);
+        for (&node, a) in &self.nodes {
+            put_u64(&mut body, u64::from(node));
+            put_u64(&mut body, a.records);
+            put_u64(&mut body, a.min_clock);
+            put_u64(&mut body, a.max_clock);
+        }
+        if body.len() as u64 > super::MAX_PAYLOAD {
+            // E.g. a tiny block length over an enormous trace: readers
+            // cap payloads, so refuse to write what they would reject.
+            return Err(TraceIoError::corrupt(
+                trailer_offset,
+                format!(
+                    "trailer of {} blocks exceeds the payload limit; use a larger block length",
+                    self.blocks.len()
+                ),
+            ));
+        }
+        let mut trailer = vec![TRAILER_TAG];
+        put_u64(&mut trailer, body.len() as u64);
+        trailer.extend_from_slice(&crc32(&body).to_le_bytes());
+        trailer.extend_from_slice(&body);
+        self.sink.write_all(&trailer)?;
+
+        // Patch the header now that the counts are known.
+        self.sink.seek(SeekFrom::Start(0))?;
+        self.sink.write_all(&header_bytes(
+            self.records,
+            self.blocks.len() as u32,
+            self.block_len,
+            trailer_offset,
+            self.declared_nodes,
+        ))?;
+        self.sink
+            .seek(SeekFrom::Start(trailer_offset + trailer.len() as u64))?;
+        self.sink.flush()?;
+
+        let meta = TraceMeta {
+            version: FORMAT_VERSION,
+            records: self.records,
+            block_len: self.block_len,
+            declared_nodes: (self.declared_nodes != 0).then_some(self.declared_nodes),
+            blocks: self.blocks,
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|(node, a)| NodeRange {
+                    node: tse_types::NodeId::new(node),
+                    records: a.records,
+                    min_clock: a.min_clock,
+                    max_clock: a.max_clock,
+                })
+                .collect(),
+        };
+        Ok((meta, self.sink))
+    }
+}
+
+/// Serializes the 40-byte fixed header.
+fn header_bytes(
+    records: u64,
+    block_count: u32,
+    block_len: u32,
+    trailer_offset: u64,
+    declared_nodes: u16,
+) -> [u8; 40] {
+    let mut h = [0u8; 40];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4..6].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // h[6..8]: flags, reserved as zero in version 1.
+    h[8..16].copy_from_slice(&records.to_le_bytes());
+    h[16..20].copy_from_slice(&block_count.to_le_bytes());
+    h[20..24].copy_from_slice(&block_len.to_le_bytes());
+    h[24..32].copy_from_slice(&trailer_offset.to_le_bytes());
+    h[32..34].copy_from_slice(&declared_nodes.to_le_bytes());
+    // h[34..40]: reserved.
+    h
+}
+
+/// Writes a whole record iterator as a TSB1 trace in one call.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+pub fn write_tsb1<W: Write + Seek>(
+    sink: W,
+    records: impl IntoIterator<Item = AccessRecord>,
+) -> Result<TraceMeta, TraceIoError> {
+    let mut w = TraceWriter::new(sink)?;
+    w.extend(records)?;
+    let (meta, _) = w.finish()?;
+    Ok(meta)
+}

@@ -1,0 +1,309 @@
+//! Round-trip and corruption tests for the TSB1 trace store.
+//!
+//! The contract under test: any record sequence survives
+//! JSONL → TSB1 → JSONL byte-identically, and every class of file
+//! damage (bad magic, bad version, truncation, flipped payload bits,
+//! inconsistent counts) surfaces as a typed [`TraceIoError`], never as
+//! wrong records.
+
+use proptest::prelude::*;
+use std::error::Error as _;
+use std::io::Cursor;
+use tse_trace::store::{is_tsb1, read_tsb1, write_tsb1, TraceReader, TraceWriter};
+use tse_trace::{read_jsonl, write_jsonl, AccessRecord, TraceIoError};
+use tse_types::{Line, NodeId};
+
+fn tsb1_bytes(recs: &[AccessRecord]) -> Vec<u8> {
+    let mut cur = Cursor::new(Vec::new());
+    write_tsb1(&mut cur, recs.iter().copied()).unwrap();
+    cur.into_inner()
+}
+
+#[test]
+fn empty_trace_round_trips() {
+    let bytes = tsb1_bytes(&[]);
+    assert!(is_tsb1(&bytes));
+    assert_eq!(read_tsb1(&bytes[..]).unwrap(), vec![]);
+}
+
+#[test]
+fn multi_block_trace_round_trips_with_meta() {
+    let recs: Vec<AccessRecord> = (0..10_000u64)
+        .map(|i| {
+            AccessRecord::read(NodeId::new((i % 16) as u16), i / 16, Line::new(i * 3 % 512))
+                .with_pc((i % 7) as u32)
+        })
+        .collect();
+    let mut cur = Cursor::new(Vec::new());
+    let meta = write_tsb1(&mut cur, recs.iter().copied()).unwrap();
+    assert_eq!(meta.records, 10_000);
+    assert_eq!(meta.blocks.len(), 3);
+    assert_eq!(meta.nodes.len(), 16);
+    assert_eq!(meta.clock_range(), Some((0, 10_000 / 16 - 1)));
+    for n in &meta.nodes {
+        assert_eq!(n.records, 10_000 / 16);
+    }
+    assert_eq!(read_tsb1(&cur.get_ref()[..]).unwrap(), recs);
+}
+
+#[test]
+fn seek_to_block_reads_exactly_that_block_onward() {
+    let recs: Vec<AccessRecord> = (0..9_000u64)
+        .map(|i| AccessRecord::write(NodeId::new((i % 4) as u16), i, Line::new(i)))
+        .collect();
+    let bytes = tsb1_bytes(&recs);
+    let mut r = TraceReader::open(Cursor::new(bytes)).unwrap();
+    let meta = r.meta().unwrap().clone();
+    assert_eq!(meta.blocks.len(), 3);
+    // Jump straight to the last block.
+    r.seek_to_block(2).unwrap();
+    let tail: Vec<AccessRecord> = r.map(Result::unwrap).collect();
+    assert_eq!(tail.len(), 9_000 - 2 * 4096);
+    assert_eq!(tail[..], recs[2 * 4096..]);
+    // First record of the seeked block matches the index's first_clock.
+    assert_eq!(tail[0].clock, meta.blocks[2].first_clock);
+}
+
+#[test]
+fn streaming_writer_agrees_with_one_shot_writer() {
+    let recs: Vec<AccessRecord> = (0..5_000u64)
+        .map(|i| AccessRecord::read(NodeId::new((i % 3) as u16), i, Line::new(1000 - (i % 100))))
+        .collect();
+    let mut w = TraceWriter::new(Cursor::new(Vec::new())).unwrap();
+    for r in &recs {
+        w.push(*r).unwrap();
+    }
+    let (meta, cur) = w.finish().unwrap();
+    assert_eq!(meta.records, recs.len() as u64);
+    assert_eq!(cur.get_ref(), &tsb1_bytes(&recs));
+}
+
+// ---------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_magic_is_reported() {
+    let mut bytes = tsb1_bytes(&[AccessRecord::read(NodeId::new(0), 0, Line::new(0))]);
+    bytes[0] = b'X';
+    match read_tsb1(&bytes[..]) {
+        Err(TraceIoError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // JSONL input is cleanly recognized as not-TSB1, too.
+    match read_tsb1(&b"{\"node\":0}\n"[..]) {
+        Err(TraceIoError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsupported_version_is_reported() {
+    let mut bytes = tsb1_bytes(&[AccessRecord::read(NodeId::new(0), 0, Line::new(0))]);
+    bytes[4] = 0xff;
+    match read_tsb1(&bytes[..]) {
+        Err(TraceIoError::UnsupportedVersion { version }) => assert_eq!(version, 0xff),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_header_is_reported() {
+    let bytes = tsb1_bytes(&[]);
+    for cut in [0usize, 3, 20, 39] {
+        match read_tsb1(&bytes[..cut]) {
+            Err(TraceIoError::Truncated { reading }) => assert_eq!(reading, "header"),
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_block_is_reported() {
+    let recs: Vec<AccessRecord> = (0..100u64)
+        .map(|i| AccessRecord::read(NodeId::new(0), i, Line::new(i)))
+        .collect();
+    let bytes = tsb1_bytes(&recs);
+    // Cut mid-block (just past the header): streaming read must fail
+    // with Truncated, not return partial garbage silently.
+    let cut = &bytes[..45];
+    let err = read_tsb1(cut).unwrap_err();
+    assert!(
+        matches!(err, TraceIoError::Truncated { .. }),
+        "expected Truncated, got {err:?}"
+    );
+    assert!(err.to_string().contains("truncated"));
+    assert!(err.source().is_none());
+}
+
+#[test]
+fn flipped_payload_bit_fails_checksum() {
+    let recs: Vec<AccessRecord> = (0..100u64)
+        .map(|i| AccessRecord::read(NodeId::new(0), i, Line::new(i)))
+        .collect();
+    let mut bytes = tsb1_bytes(&recs);
+    // Flip one bit well inside the first block's payload.
+    let target = 60;
+    bytes[target] ^= 0x01;
+    match read_tsb1(&bytes[..]) {
+        Err(TraceIoError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("checksum"), "reason: {reason}")
+        }
+        other => panic!("expected checksum Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_record_count_mismatch_is_detected() {
+    let recs: Vec<AccessRecord> = (0..10u64)
+        .map(|i| AccessRecord::read(NodeId::new(0), i, Line::new(i)))
+        .collect();
+    let mut bytes = tsb1_bytes(&recs);
+    // Claim 11 records in the header: sequential read must flag the
+    // count mismatch at the trailer (and trailer parsing itself
+    // cross-checks too).
+    bytes[8] = 11;
+    let err = read_tsb1(&bytes[..]).unwrap_err();
+    assert!(
+        matches!(err, TraceIoError::Corrupt { .. }),
+        "expected Corrupt, got {err:?}"
+    );
+}
+
+#[test]
+fn huge_header_counts_do_not_allocate() {
+    // A header claiming u64::MAX records (or u32::MAX blocks) must
+    // produce a typed error, not a capacity-overflow abort or a
+    // gigantic allocation.
+    let mut bytes = tsb1_bytes(&[AccessRecord::read(NodeId::new(0), 0, Line::new(0))]);
+    for b in &mut bytes[8..16] {
+        *b = 0xff;
+    }
+    assert!(read_tsb1(&bytes[..]).is_err());
+
+    let mut bytes = tsb1_bytes(&[AccessRecord::read(NodeId::new(0), 0, Line::new(0))]);
+    for b in &mut bytes[16..20] {
+        *b = 0xff;
+    }
+    assert!(read_tsb1(&bytes[..]).is_err());
+}
+
+#[test]
+fn declared_node_count_survives_round_trip() {
+    // A trace whose top nodes emitted no records must keep its declared
+    // node count through the store.
+    let recs = vec![AccessRecord::read(NodeId::new(0), 1, Line::new(9))];
+    let mut w = TraceWriter::new(Cursor::new(Vec::new())).unwrap();
+    w.declare_nodes(8);
+    w.extend(recs.clone()).unwrap();
+    let (meta, cur) = w.finish().unwrap();
+    assert_eq!(meta.declared_nodes, Some(8));
+
+    let mut r = TraceReader::new(&cur.get_ref()[..]).unwrap();
+    assert_eq!(r.declared_nodes(), Some(8));
+    let back: Vec<AccessRecord> = r.by_ref().map(Result::unwrap).collect();
+    assert_eq!(back, recs);
+    assert_eq!(r.meta().unwrap().declared_nodes, Some(8));
+
+    // A declared count smaller than an emitting node is refused at
+    // finish — the file would be self-inconsistent.
+    let mut w = TraceWriter::new(Cursor::new(Vec::new())).unwrap();
+    w.declare_nodes(2);
+    w.push(AccessRecord::read(NodeId::new(5), 0, Line::new(0)))
+        .unwrap();
+    let err = w.finish().unwrap_err();
+    assert!(
+        matches!(err, TraceIoError::Corrupt { .. }),
+        "expected Corrupt, got {err:?}"
+    );
+    assert!(err.to_string().contains("node 5"), "got: {err}");
+}
+
+#[test]
+fn patched_declared_count_is_rejected_not_panicking() {
+    // Hand-patch the header's declared-node bytes below the emitting
+    // node range: every read path must return a typed error (here the
+    // trailer cross-check), never decode a trace that would panic the
+    // replay harness.
+    let recs: Vec<AccessRecord> = (0..10u64)
+        .map(|i| AccessRecord::read(NodeId::new((i % 6) as u16), i, Line::new(i)))
+        .collect();
+    let mut bytes = tsb1_bytes(&recs);
+    bytes[32] = 2;
+    bytes[33] = 0;
+    let err = read_tsb1(&bytes[..]).unwrap_err();
+    assert!(
+        matches!(err, TraceIoError::Corrupt { .. }),
+        "expected Corrupt, got {err:?}"
+    );
+}
+
+#[test]
+fn unfinished_file_is_rejected() {
+    // A writer that was never finished leaves trailer_offset zero.
+    let mut bytes = tsb1_bytes(&[AccessRecord::read(NodeId::new(0), 0, Line::new(0))]);
+    for b in &mut bytes[24..32] {
+        *b = 0;
+    }
+    match read_tsb1(&bytes[..]) {
+        Err(TraceIoError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("never finished"), "reason: {reason}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: JSONL -> TSB1 -> JSONL is the identity
+// ---------------------------------------------------------------------
+
+fn arbitrary_record() -> impl Strategy<Value = AccessRecord> {
+    (
+        0u16..64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u32>(),
+    )
+        .prop_map(|(node, clock, line, pc, dep, spin, write, stall)| {
+            let base = if write {
+                AccessRecord::write(NodeId::new(node), clock, Line::new(line))
+            } else {
+                AccessRecord::read(NodeId::new(node), clock, Line::new(line))
+            };
+            base.with_pc(pc)
+                .with_dependent(dep)
+                .with_spin(spin)
+                .with_private_stall(stall)
+        })
+}
+
+proptest! {
+    #[test]
+    fn jsonl_tsb1_jsonl_is_lossless(
+        recs in proptest::collection::vec(arbitrary_record(), 0..300),
+    ) {
+        // Start from JSONL (the interchange format)...
+        let mut jsonl = Vec::new();
+        write_jsonl(&mut jsonl, recs.iter().copied()).unwrap();
+        let parsed = read_jsonl(&jsonl[..]).unwrap();
+        prop_assert_eq!(&parsed, &recs);
+
+        // ...through TSB1 (small blocks to force block-boundary resets)...
+        let mut cur = Cursor::new(Vec::new());
+        let mut w = TraceWriter::with_block_len(&mut cur, 7).unwrap();
+        w.extend(parsed).unwrap();
+        let (meta, _) = w.finish().unwrap();
+        prop_assert_eq!(meta.records, recs.len() as u64);
+        let back = read_tsb1(&cur.get_ref()[..]).unwrap();
+        prop_assert_eq!(&back, &recs);
+
+        // ...and back to JSONL, byte-identically.
+        let mut jsonl2 = Vec::new();
+        write_jsonl(&mut jsonl2, back).unwrap();
+        prop_assert_eq!(jsonl, jsonl2);
+    }
+}

@@ -3,7 +3,9 @@
 //! the *shape* of each result (who wins, by roughly what factor), not the
 //! absolute numbers of the authors' Simics testbed.
 
-use temporal_streaming::sim::{run_timing, run_trace, EngineKind, RunConfig};
+use temporal_streaming::sim::{
+    run_timing, run_trace, run_trace_stored, EngineKind, RunConfig, StoredTrace,
+};
 use temporal_streaming::types::{SystemConfig, TseConfig};
 use temporal_streaming::workloads::{suite, Em3d, OltpFlavor, Tpcc, WorkloadKind};
 
@@ -177,6 +179,95 @@ fn speedup_bands() {
             wl.name()
         );
     }
+}
+
+/// Ablation promoted from `experiments --bin ablations` (paper §5.3):
+/// coverage is insensitive to the number of stream queues beyond a
+/// handful, while a single queue thrashes — streams evict each other
+/// before their addresses are consumed.
+#[test]
+fn stream_queue_count_band() {
+    // Materialize the trace once, replay per configuration (the
+    // pattern StoredTrace exists for).
+    let cfg = RunConfig::default();
+    let trace = StoredTrace::from_workload(&Tpcc::scaled(OltpFlavor::Db2, SCALE), cfg.seed);
+    let run = |queues: Option<usize>| {
+        let tse = TseConfig {
+            stream_queues: queues,
+            ..TseConfig::default()
+        };
+        run_trace_stored(
+            &trace,
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let unlimited = run(None);
+    for queues in [4usize, 8, 16] {
+        let r = run(Some(queues));
+        assert!(
+            (r.coverage() - unlimited.coverage()).abs() < 0.02,
+            "{queues} queues must match unlimited coverage ({:.3} vs {:.3})",
+            r.coverage(),
+            unlimited.coverage()
+        );
+    }
+    let one = run(Some(1));
+    assert!(
+        one.coverage() < unlimited.coverage() - 0.005,
+        "a single queue must thrash ({:.3} !< {:.3})",
+        one.coverage(),
+        unlimited.coverage()
+    );
+}
+
+/// Ablation promoted from `experiments --bin ablations`: the spin
+/// filter excludes lock/barrier spins from consumption accounting and
+/// order recording (the paper excludes spins because streaming them has
+/// no benefit); with the filter ablated, spins pollute the
+/// consumption stream and coverage does not improve.
+#[test]
+fn spin_filter_band() {
+    let mut wl = Tpcc::scaled(OltpFlavor::Db2, SCALE);
+    wl.spin_prob = 0.8;
+    let cfg = RunConfig::default();
+    let trace = StoredTrace::from_workload(&wl, cfg.seed);
+    let run = |spin_filter: bool| {
+        let tse = TseConfig {
+            spin_filter,
+            ..TseConfig::default()
+        };
+        run_trace_stored(
+            &trace,
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(
+        on.spin_misses > 0,
+        "the filter must detect this spin-heavy workload's spins"
+    );
+    assert_eq!(off.spin_misses, 0, "ablated filter must exclude nothing");
+    assert!(
+        off.consumption_count() >= on.consumption_count(),
+        "unfiltered spins must surface as consumptions ({} vs {})",
+        off.consumption_count(),
+        on.consumption_count()
+    );
+    assert!(
+        on.coverage() >= off.coverage() - 0.01,
+        "filtering spins must not cost coverage ({:.3} vs {:.3})",
+        on.coverage(),
+        off.coverage()
+    );
 }
 
 /// Section 5.4: recording the order costs only a few percent of pin

@@ -1,0 +1,79 @@
+//! Cross-crate integration of the TSB1 trace store: workloads ->
+//! interleave -> store -> replay, plus the compactness target the
+//! format exists for (the full >=10^6-record acceptance measurement,
+//! including decode speed, runs in `cargo bench -p tse-bench --bench
+//! trace_store`).
+
+use std::io::Cursor;
+use temporal_streaming::sim::{run_trace, run_trace_stored, EngineKind, RunConfig, StoredTrace};
+use temporal_streaming::trace::store::{read_tsb1, write_tsb1};
+use temporal_streaming::trace::{interleave, write_jsonl, AccessRecord};
+use temporal_streaming::types::TseConfig;
+use temporal_streaming::workloads::{suite, OltpFlavor, Tpcc, Workload};
+
+fn interleaved(wl: &dyn Workload, seed: u64) -> Vec<AccessRecord> {
+    interleave(wl.generate(seed).into_iter().map(Vec::into_iter).collect()).collect()
+}
+
+/// The compression target behind the format: a commercial-workload
+/// trace stored as TSB1 must be at least 5x smaller than its JSONL
+/// form (measured 20-23x; the band is deliberately loose).
+#[test]
+fn tsb1_is_at_least_5x_smaller_than_jsonl_on_tpcc() {
+    let recs = interleaved(&Tpcc::scaled(OltpFlavor::Db2, 0.3), 11);
+    assert!(recs.len() > 50_000, "need a substantial trace");
+
+    let mut tsb1 = Cursor::new(Vec::new());
+    let meta = write_tsb1(&mut tsb1, recs.iter().copied()).unwrap();
+    assert_eq!(meta.records, recs.len() as u64);
+    let mut jsonl = Vec::new();
+    write_jsonl(&mut jsonl, recs.iter().copied()).unwrap();
+
+    let ratio = jsonl.len() as f64 / tsb1.get_ref().len() as f64;
+    assert!(
+        ratio >= 5.0,
+        "TSB1 must be >=5x smaller than JSONL, got {ratio:.2}x \
+         ({} vs {} bytes for {} records)",
+        tsb1.get_ref().len(),
+        jsonl.len(),
+        recs.len()
+    );
+}
+
+/// Every workload of the paper's suite survives the binary store
+/// losslessly.
+#[test]
+fn every_suite_workload_round_trips_through_tsb1() {
+    for wl in suite(0.02) {
+        let recs = interleaved(wl.as_ref(), 5);
+        let mut cur = Cursor::new(Vec::new());
+        write_tsb1(&mut cur, recs.iter().copied()).unwrap();
+        let back = read_tsb1(&cur.get_ref()[..]).unwrap();
+        assert_eq!(back, recs, "{} trace must round-trip", wl.name());
+    }
+}
+
+/// Storing a trace and replaying it reproduces the direct
+/// generate-and-run results bit-for-bit — the property that lets
+/// sweeps replay one stored trace per workload.
+#[test]
+fn stored_trace_replay_matches_direct_run() {
+    let wl = Tpcc::scaled(OltpFlavor::Db2, 0.05);
+    let cfg = RunConfig {
+        engine: EngineKind::Tse(TseConfig::default()),
+        ..RunConfig::default()
+    };
+    let direct = run_trace(&wl, &cfg).unwrap();
+
+    let mut cur = Cursor::new(Vec::new());
+    StoredTrace::from_workload(&wl, cfg.seed)
+        .save_tsb1(&mut cur)
+        .unwrap();
+    let loaded = StoredTrace::load_tsb1("DB2", &cur.get_ref()[..]).unwrap();
+    let replayed = run_trace_stored(&loaded, &cfg).unwrap();
+
+    assert_eq!(direct.engine, replayed.engine);
+    assert_eq!(direct.mem, replayed.mem);
+    assert_eq!(direct.traffic, replayed.traffic);
+    assert_eq!(direct.records, replayed.records);
+}

@@ -23,6 +23,30 @@ pub trait Strategy {
 
     /// Generates one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (no shrinking in the shim, so
+    /// this is a plain post-transform).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! range_strategy {
@@ -54,6 +78,10 @@ tuple_strategy! {
     (A / 0, B / 1),
     (A / 0, B / 1, C / 2),
     (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7),
 }
 
 /// Types with a full-range/default generation strategy (see [`any`]).
@@ -272,6 +300,15 @@ mod tests {
             prop_assert!((-5..5).contains(&b));
             prop_assert!(v.len() < 20);
             prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn mapped_and_wide_tuples(
+            s in (0u8..10).prop_map(|n| "x".repeat(n as usize)),
+            t in (0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2),
+        ) {
+            prop_assert!(s.len() < 10);
+            prop_assert!(t.0 < 2 && t.7 < 2);
         }
 
         #[test]
