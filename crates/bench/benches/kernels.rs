@@ -1,171 +1,13 @@
-//! Microbenchmarks of the hot hardware-model kernels: the structures a
-//! TSE implementation exercises on every miss and every streamed block.
+//! Criterion registrar for the hot hardware-model kernels; the bodies
+//! live in `tse_bench::kernels` so the `bench-baseline` binary can run
+//! the same suite and persist its medians.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tse_core::{Cmob, DirectoryPointers, Pop, StreamQueue, Svb};
-use tse_interconnect::Torus;
-use tse_memsim::{Directory, DsmSystem, FillPath, SetAssocCache};
-use tse_prefetch::{GhbIndexing, GhbPrefetcher, Prefetcher, StridePrefetcher};
-use tse_types::{Cycle, Line, NodeId, SystemConfig};
-
-fn bench_cmob(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cmob");
-    g.bench_function("append", |b| {
-        let mut cmob = Cmob::new(256 * 1024);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(cmob.append(Line::new(i)));
-        });
-    });
-    g.bench_function("read_window_32", |b| {
-        let mut cmob = Cmob::new(256 * 1024);
-        for i in 0..100_000u64 {
-            cmob.append(Line::new(i));
-        }
-        let mut pos = 0u64;
-        b.iter(|| {
-            pos = (pos + 37) % 90_000;
-            black_box(cmob.read_window(pos, 32));
-        });
-    });
-    g.finish();
-}
-
-fn bench_svb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("svb");
-    g.bench_function("insert_take", |b| {
-        let mut svb = Svb::new(Some(32));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            svb.insert(Line::new(i), 0, FillPath::LocalMemory, Cycle::ZERO);
-            black_box(svb.take(Line::new(i)));
-        });
-    });
-    g.bench_function("probe_miss", |b| {
-        let mut svb = Svb::new(Some(32));
-        for i in 0..32u64 {
-            svb.insert(Line::new(i), 0, FillPath::LocalMemory, Cycle::ZERO);
-        }
-        b.iter(|| black_box(svb.contains(Line::new(1_000_000))));
-    });
-    g.finish();
-}
-
-fn bench_stream_queue(c: &mut Criterion) {
-    c.bench_function("stream_queue/pop_agreed_2way", |b| {
-        b.iter_batched(
-            || {
-                let mut q = StreamQueue::new(0, Line::new(0), 2);
-                let addrs: Vec<Line> = (0..64).map(Line::new).collect();
-                q.add_stream(NodeId::new(0), 64, addrs.clone(), true);
-                q.add_stream(NodeId::new(1), 64, addrs, true);
-                q
-            },
-            |mut q| {
-                while let Pop::Agreed(l) = q.pop_agreed() {
-                    black_box(l);
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-}
-
-fn bench_directory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("directory");
-    g.bench_function("read_write_cycle", |b| {
-        let mut dir = Directory::new(16);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let l = Line::new(i % 10_000);
-            dir.add_sharer(NodeId::new((i % 16) as u16), l);
-            black_box(dir.acquire_exclusive(NodeId::new(((i + 1) % 16) as u16), l));
-        });
-    });
-    g.bench_function("pointer_record_lookup", |b| {
-        let mut dp = DirectoryPointers::new(2);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let l = Line::new(i % 10_000);
-            dp.record(l, NodeId::new((i % 16) as u16), i);
-            black_box(dp.lookup(l).len());
-        });
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/l2_get_insert", |b| {
-        let mut cache: SetAssocCache<u64> = SetAssocCache::new(8 * 1024 * 1024, 8).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| {
-            let l = Line::new(rng.gen_range(0..200_000));
-            if cache.get(l).is_none() {
-                cache.insert(l, 0);
-            }
-        });
-    });
-}
-
-fn bench_torus(c: &mut Criterion) {
-    c.bench_function("torus/hops_and_bisection", |b| {
-        let t = Torus::new(4, 4).unwrap();
-        let mut i = 0u16;
-        b.iter(|| {
-            i = i.wrapping_add(7);
-            let a = NodeId::new(i % 16);
-            let z = NodeId::new((i / 16) % 16);
-            black_box(t.hops(a, z) + t.bisection_crossings(a, z));
-        });
-    });
-}
-
-fn bench_prefetchers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefetchers");
-    g.bench_function("stride_on_miss", |b| {
-        let mut p = StridePrefetcher::new(8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 3;
-            black_box(p.on_miss(Line::new(i)));
-        });
-    });
-    g.bench_function("ghb_ac_on_miss", |b| {
-        let mut p = GhbPrefetcher::new(GhbIndexing::AddressCorrelation, 512, 8);
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| {
-            let l = Line::new(rng.gen_range(0..256));
-            black_box(p.on_miss(l));
-        });
-    });
-    g.finish();
-}
-
-fn bench_dsm_access(c: &mut Criterion) {
-    c.bench_function("dsm/read_write_pair", |b| {
-        let cfg = SystemConfig::default();
-        let mut dsm = DsmSystem::new(&cfg).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| {
-            let l = Line::new(rng.gen_range(0..50_000));
-            let w = NodeId::new(rng.gen_range(0..16));
-            let r = NodeId::new(rng.gen_range(0..16));
-            dsm.write(w, l);
-            black_box(dsm.read(r, l));
-        });
-    });
-}
+use criterion::{criterion_group, criterion_main, Criterion};
+use tse_bench::kernels;
 
 criterion_group! {
-    name = kernels;
+    name = kernels_group;
     config = Criterion::default().sample_size(20);
-    targets = bench_cmob, bench_svb, bench_stream_queue, bench_directory,
-              bench_cache, bench_torus, bench_prefetchers, bench_dsm_access
+    targets = kernels::all
 }
-criterion_main!(kernels);
+criterion_main!(kernels_group);

@@ -1,0 +1,194 @@
+//! The committed performance baseline: `BENCH_baseline.json`.
+//!
+//! `bench-baseline --out BENCH_baseline.json` runs the [`crate::kernels`]
+//! and [`crate::sweep`] benchmark bodies and persists their medians;
+//! `bench-baseline --check BENCH_baseline.json` verifies the committed
+//! file parses and still covers every required group, so CI catches a
+//! baseline that silently rots as benchmarks are added or renamed.
+//! Numbers are machine-relative — the file records the trajectory on
+//! the machine that produced it, for eyeballing regressions across PRs,
+//! not a cross-machine contract.
+
+use criterion::Criterion;
+use serde_json::{json, Value};
+use std::time::Duration;
+
+/// Schema version of the baseline file.
+pub const FORMAT: u64 = 1;
+
+/// Benchmark groups the baseline must cover.
+pub const REQUIRED_GROUPS: &[&str] = &[
+    "cmob",
+    "svb",
+    "stream_queue",
+    "directory",
+    "cache",
+    "torus",
+    "prefetchers",
+    "dsm",
+    "sweep",
+];
+
+/// Runs the kernel and sweep benchmark suites, returning the baseline
+/// document. `quick` trades sampling time for speed (CI smoke); the
+/// committed file should be produced without it.
+pub fn measure(quick: bool) -> Value {
+    let mut c = if quick {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+    } else {
+        Criterion::default().sample_size(20)
+    };
+    crate::kernels::all(&mut c);
+    crate::sweep::all(&mut c);
+
+    let mut groups: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    for r in c.results() {
+        let (group, bench) = r.name.split_once('/').unwrap_or(("misc", r.name.as_str()));
+        let entry = json!({
+            "median_ns": r.median_ns,
+            "min_ns": r.min_ns,
+            "max_ns": r.max_ns,
+        });
+        match groups.iter_mut().find(|(g, _)| g == group) {
+            Some((_, benches)) => benches.push((bench.to_string(), entry)),
+            None => groups.push((group.to_string(), vec![(bench.to_string(), entry)])),
+        }
+    }
+    let groups: Vec<(String, Value)> = groups
+        .into_iter()
+        .map(|(g, benches)| (g, Value::Object(benches)))
+        .collect();
+    json!({
+        "format": FORMAT,
+        "quick": quick,
+        "groups": Value::Object(groups),
+    })
+}
+
+/// Validates a baseline document: format version, every required group
+/// present, and every entry carrying a positive `median_ns`. With
+/// `require_full`, additionally rejects documents measured under
+/// `--quick` sampling — the committed baseline must be a full-sampling
+/// run, not CI-smoke noise. Returns the number of benchmark entries.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn check(doc: &Value, require_full: bool) -> Result<usize, String> {
+    match doc.get("format").and_then(Value::as_u64) {
+        Some(FORMAT) => {}
+        other => return Err(format!("format must be {FORMAT}, found {other:?}")),
+    }
+    if require_full && doc.get("quick").and_then(Value::as_bool) != Some(false) {
+        return Err("baseline was measured with --quick sampling; regenerate without it".into());
+    }
+    let groups = doc
+        .get("groups")
+        .and_then(Value::as_object)
+        .ok_or("missing `groups` object")?;
+    for required in REQUIRED_GROUPS {
+        if !groups.iter().any(|(g, _)| g == required) {
+            return Err(format!("required group `{required}` is missing"));
+        }
+    }
+    let mut entries = 0usize;
+    for (group, benches) in groups {
+        let benches = benches
+            .as_object()
+            .ok_or_else(|| format!("group `{group}` is not an object"))?;
+        if benches.is_empty() {
+            return Err(format!("group `{group}` has no benchmarks"));
+        }
+        for (bench, entry) in benches {
+            let median = entry.get("median_ns").and_then(Value::as_f64);
+            match median {
+                Some(m) if m > 0.0 && m.is_finite() => entries += 1,
+                other => {
+                    return Err(format!(
+                        "`{group}/{bench}` median_ns must be positive, found {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed baseline at the workspace root must parse and
+    /// cover every required group.
+    #[test]
+    fn committed_baseline_is_valid() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+        let text = std::fs::read_to_string(path)
+            .expect("BENCH_baseline.json must be committed at the workspace root");
+        let doc: Value = serde_json::from_str(&text).expect("baseline must parse");
+        let entries = check(&doc, true).expect("baseline must validate as a full-sampling run");
+        assert!(
+            entries >= 15,
+            "suspiciously few baseline entries: {entries}"
+        );
+        // The headline kernels this PR's acceptance is stated against.
+        for (group, bench) in [
+            ("stream_queue", "pop_agreed_2way"),
+            ("dsm", "read_write_pair"),
+            ("sweep", "streamed_replay_db2"),
+        ] {
+            let m = doc
+                .get("groups")
+                .and_then(|g| g.get(group))
+                .and_then(|g| g.get(bench))
+                .and_then(|b| b.get("median_ns"))
+                .and_then(Value::as_f64);
+            assert!(m.is_some(), "{group}/{bench} missing from baseline");
+        }
+    }
+
+    #[test]
+    fn check_rejects_missing_groups() {
+        let doc =
+            json!({ "format": FORMAT, "groups": { "cmob": { "append": { "median_ns": 3.0 } } } });
+        let err = check(&doc, false).unwrap_err();
+        assert!(err.contains("missing"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn check_rejects_bad_medians() {
+        let mut groups: Vec<(String, Value)> = REQUIRED_GROUPS
+            .iter()
+            .map(|g| {
+                (
+                    g.to_string(),
+                    json!({ "x": { "median_ns": 1.0, "min_ns": 1.0, "max_ns": 1.0 } }),
+                )
+            })
+            .collect();
+        let doc = json!({ "format": FORMAT, "groups": Value::Object(groups.clone()) });
+        assert_eq!(check(&doc, false).unwrap(), REQUIRED_GROUPS.len());
+        groups[0].1 = json!({ "x": { "median_ns": -1.0 } });
+        let doc = json!({ "format": FORMAT, "groups": Value::Object(groups) });
+        assert!(check(&doc, false).is_err());
+    }
+
+    #[test]
+    fn check_rejects_quick_runs_when_full_required() {
+        let groups: Vec<(String, Value)> = REQUIRED_GROUPS
+            .iter()
+            .map(|g| {
+                (
+                    g.to_string(),
+                    json!({ "x": { "median_ns": 1.0, "min_ns": 1.0, "max_ns": 1.0 } }),
+                )
+            })
+            .collect();
+        let doc = json!({ "format": FORMAT, "quick": true, "groups": Value::Object(groups) });
+        assert!(check(&doc, false).is_ok(), "smoke runs validate loosely");
+        let err = check(&doc, true).unwrap_err();
+        assert!(err.contains("--quick"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,59 @@
+//! `bench-baseline` — produce or validate `BENCH_baseline.json`.
+//!
+//! ```text
+//! bench-baseline --out BENCH_baseline.json    # measure and write (add --quick for CI smoke)
+//! bench-baseline --check BENCH_baseline.json  # parse + coverage validation only
+//! ```
+
+use std::process::ExitCode;
+use tse_bench::baseline;
+
+const USAGE: &str = "bench-baseline — produce or validate the committed perf baseline
+
+usage:
+  bench-baseline --out <path> [--quick]         measure the kernel + sweep benches and write JSON
+  bench-baseline --check <path> [--allow-quick] validate a baseline file (the committed one must
+                                                be a full-sampling run; --allow-quick loosens
+                                                that for CI smoke artifacts)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flag = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    if let Some(path) = flag("--check") {
+        let require_full = !args.iter().any(|a| a == "--allow-quick");
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
+        let entries =
+            baseline::check(&doc, require_full).map_err(|e| format!("{path} invalid: {e}"))?;
+        println!("{path}: ok ({entries} benchmark entries)");
+        return Ok(());
+    }
+    if let Some(path) = flag("--out") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let doc = baseline::measure(quick);
+        let entries =
+            baseline::check(&doc, false).map_err(|e| format!("measured baseline invalid: {e}"))?;
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} ({entries} benchmark entries, quick={quick})");
+        return Ok(());
+    }
+    Err("pass --out <path> or --check <path>".to_string())
+}

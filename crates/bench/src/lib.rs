@@ -1,1 +1,15 @@
-//! Criterion benchmarks for the Temporal Streaming reproduction live in `benches/`.
+//! Benchmark bodies and the performance-baseline emitter for the
+//! Temporal Streaming reproduction.
+//!
+//! The criterion bench targets in `benches/` are thin registrars over
+//! [`kernels`] and [`sweep`]; the same bodies also run under the
+//! `bench-baseline` binary, which persists their medians to
+//! `BENCH_baseline.json` so every future PR has a perf trajectory to
+//! regress against (see [`baseline`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod kernels;
+pub mod sweep;

@@ -1,15 +1,19 @@
 //! The system-wide Temporal Streaming Engine.
 
-use crate::{Cmob, DirectoryPointers, Pop, StreamQueue, Svb, SvbEntry, TseStats};
+use crate::{Cmob, CmobPtr, DirectoryPointers, Pop, StreamQueue, Svb, SvbEntry, TseStats};
 use tse_interconnect::TrafficClass;
-use tse_memsim::DsmSystem;
+use tse_memsim::{DsmSystem, FastHashMap};
 use tse_types::{ConfigError, Cycle, Line, NodeId, SystemConfig, TseConfig};
 
 /// Hard ceiling on stream queues when the configuration asks for
 /// "unlimited": stalled queues that are never resolved would otherwise
-/// accumulate without bound (and every queue is scanned on each miss).
-/// Far above the paper's sensitivity range.
+/// accumulate without bound. Far above the paper's sensitivity range.
 const UNLIMITED_QUEUE_CAP: usize = 512;
+
+/// Stack budget for the per-miss candidate-queue list. More queues than
+/// this sharing one head line is pathological; the (correct but slower)
+/// full scan handles the overflow.
+const MISS_CANDIDATES: usize = 16;
 
 /// Result of a demand read that hit in the SVB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,11 +26,100 @@ pub struct SvbHit {
     pub full_latency: Cycle,
 }
 
-/// Per-node stream engine state: the SVB plus the node's stream queues.
+/// Per-node stream engine state: the SVB plus the node's stream queues,
+/// and the lookup maps that keep the per-miss and per-hit paths O(1)
+/// instead of scanning every queue.
 #[derive(Debug)]
 struct NodeEngine {
     svb: Svb,
     queues: Vec<StreamQueue>,
+    /// Queue id → current position in `queues`, maintained across
+    /// `swap_remove` evictions (SVB hits resolve their owning queue
+    /// through this instead of a linear id scan).
+    qindex: FastHashMap<u64, usize>,
+    /// FIFO head line → ids of queues currently exposing it. A demand
+    /// miss consults this to find the queues it could resolve or
+    /// advance, replacing the per-miss scan over all queues.
+    head_index: FastHashMap<Line, Vec<u64>>,
+    /// Queue id → the head lines last published into `head_index`
+    /// (the diff base for incremental index maintenance).
+    head_cache: FastHashMap<u64, Vec<Line>>,
+    /// Reusable scratch for head-set recomputation.
+    head_scratch: Vec<Line>,
+}
+
+impl NodeEngine {
+    fn new(svb_entries: Option<usize>) -> Self {
+        NodeEngine {
+            svb: Svb::new(svb_entries),
+            queues: Vec::new(),
+            qindex: FastHashMap::default(),
+            head_index: FastHashMap::default(),
+            head_cache: FastHashMap::default(),
+            head_scratch: Vec::new(),
+        }
+    }
+
+    /// Appends a queue, registering it in the id→index map. Its head
+    /// lines are published by the next `sync_heads` call.
+    fn push_queue(&mut self, q: StreamQueue) -> usize {
+        let idx = self.queues.len();
+        self.qindex.insert(q.id(), idx);
+        self.queues.push(q);
+        idx
+    }
+
+    /// Removes the queue at `idx` (swap-remove), fixing the id→index
+    /// entry of the queue that takes its slot and unpublishing its head
+    /// lines.
+    fn remove_queue(&mut self, idx: usize) -> StreamQueue {
+        let q = self.queues.swap_remove(idx);
+        self.qindex.remove(&q.id());
+        if let Some(moved) = self.queues.get(idx) {
+            self.qindex.insert(moved.id(), idx);
+        }
+        if let Some(heads) = self.head_cache.remove(&q.id()) {
+            for h in heads {
+                unpublish(&mut self.head_index, h, q.id());
+            }
+        }
+        q
+    }
+
+    /// Re-derives the queue's current head lines and applies the diff
+    /// against its last-published set to the head-line index.
+    fn sync_heads(&mut self, idx: usize) {
+        let q = &self.queues[idx];
+        let qid = q.id();
+        let mut new_heads = std::mem::take(&mut self.head_scratch);
+        new_heads.clear();
+        q.collect_heads(&mut new_heads);
+        let old = self.head_cache.entry(qid).or_default();
+        for &h in old.iter() {
+            if !new_heads.contains(&h) {
+                unpublish(&mut self.head_index, h, qid);
+            }
+        }
+        for &h in new_heads.iter() {
+            if !old.contains(&h) {
+                self.head_index.entry(h).or_default().push(qid);
+            }
+        }
+        std::mem::swap(old, &mut new_heads);
+        self.head_scratch = new_heads;
+    }
+}
+
+/// Drops `qid` from the index entry for head line `h`.
+fn unpublish(head_index: &mut FastHashMap<Line, Vec<u64>>, h: Line, qid: u64) {
+    if let Some(v) = head_index.get_mut(&h) {
+        if let Some(p) = v.iter().position(|&x| x == qid) {
+            v.swap_remove(p);
+        }
+        if v.is_empty() {
+            head_index.remove(&h);
+        }
+    }
 }
 
 /// The Temporal Streaming Engine, coordinating every node's CMOB, stream
@@ -83,6 +176,9 @@ pub struct TemporalStreamingEngine {
     next_qid: u64,
     lru_tick: u64,
     timing: bool,
+    /// Reusable per-miss buffer for the directory pointers of the missed
+    /// line (the hot consumption path must not allocate).
+    ptr_scratch: Vec<CmobPtr>,
 }
 
 impl TemporalStreamingEngine {
@@ -95,10 +191,7 @@ impl TemporalStreamingEngine {
         sys.validate()?;
         tse.validate()?;
         let nodes = (0..sys.nodes)
-            .map(|_| NodeEngine {
-                svb: Svb::new(tse.svb_entries),
-                queues: Vec::new(),
-            })
+            .map(|_| NodeEngine::new(tse.svb_entries))
             .collect();
         Ok(TemporalStreamingEngine {
             cmobs: (0..sys.nodes)
@@ -110,6 +203,7 @@ impl TemporalStreamingEngine {
             next_qid: 0,
             lru_tick: 0,
             timing: false,
+            ptr_scratch: Vec::new(),
             tse_cfg: tse.clone(),
             sys_cfg: sys.clone(),
         })
@@ -196,11 +290,7 @@ impl TemporalStreamingEngine {
         }
 
         // Consumption-rate matching: retrieve the next block of the stream.
-        if let Some(qidx) = self.nodes[n]
-            .queues
-            .iter()
-            .position(|q| q.id() == entry.queue)
-        {
+        if let Some(&qidx) = self.nodes[n].qindex.get(&entry.queue) {
             self.lru_tick += 1;
             let q = &mut self.nodes[n].queues[qidx];
             q.hits += 1;
@@ -229,21 +319,24 @@ impl TemporalStreamingEngine {
         let absorbed = self.observe_miss_inner(dsm, node, line, now);
 
         // Look up the previous consumers BEFORE recording this miss, so a
-        // node never streams from its own in-progress order.
-        let ptrs: Vec<crate::CmobPtr> = self
-            .pointers
-            .lookup(line)
-            .iter()
-            .take(self.tse_cfg.compared_streams)
-            .copied()
-            .collect();
+        // node never streams from its own in-progress order. The copy
+        // lands in a reused scratch buffer: this path runs per
+        // consumption and must not allocate.
+        let mut ptrs = std::mem::take(&mut self.ptr_scratch);
+        ptrs.clear();
+        ptrs.extend(
+            self.pointers
+                .lookup(line)
+                .iter()
+                .take(self.tse_cfg.compared_streams),
+        );
 
         self.record_order(dsm, node, line);
 
-        if absorbed || ptrs.is_empty() {
-            return;
+        if !absorbed && !ptrs.is_empty() {
+            self.launch_stream(dsm, node, line, &ptrs, now);
         }
-        self.launch_stream(dsm, node, line, &ptrs, now);
+        self.ptr_scratch = ptrs;
     }
 
     /// Monitors comparators with a miss that is *not* a consumption
@@ -255,6 +348,11 @@ impl TemporalStreamingEngine {
 
     /// Returns true if an existing queue absorbed the miss (resolved a
     /// stall or consumed its next agreed head).
+    ///
+    /// Only queues currently exposing `line` as a FIFO head can absorb
+    /// it, so candidates come from the head-line index rather than a
+    /// scan over every queue. Candidates are visited in queue-position
+    /// order, preserving the first-match semantics of the former scan.
     fn observe_miss_inner(
         &mut self,
         dsm: &mut DsmSystem,
@@ -263,29 +361,60 @@ impl TemporalStreamingEngine {
         now: Cycle,
     ) -> bool {
         let n = node.index();
-        let mut absorbed = false;
-        for qidx in 0..self.nodes[n].queues.len() {
+        let mut cand = [0usize; MISS_CANDIDATES];
+        let mut cand_n = 0;
+        let mut overflow = false;
+        match self.nodes[n].head_index.get(&line) {
+            None => return false,
+            Some(qids) => {
+                for &qid in qids {
+                    if cand_n == cand.len() {
+                        overflow = true;
+                        break;
+                    }
+                    cand[cand_n] = self.nodes[n].qindex[&qid];
+                    cand_n += 1;
+                }
+            }
+        }
+        let cand = &mut cand[..cand_n];
+        cand.sort_unstable();
+        let mut full_scan = 0..if overflow {
+            self.nodes[n].queues.len()
+        } else {
+            0
+        };
+        let mut candidates = cand.iter().copied();
+        let mut next = || {
+            if overflow {
+                full_scan.next()
+            } else {
+                candidates.next()
+            }
+        };
+        while let Some(qidx) = next() {
             let q = &mut self.nodes[n].queues[qidx];
-            if q.is_stalled() {
+            let absorbed = if q.is_stalled() {
                 if q.try_resolve(line) {
                     self.stats.queue_resolutions += 1;
-                    self.lru_tick += 1;
-                    q.last_active = self.lru_tick;
-                    self.advance_queue(dsm, node, qidx, now);
-                    absorbed = true;
-                    break;
+                    true
+                } else {
+                    false
                 }
             } else if q.try_consume_head(line) {
                 self.stats.consumed_heads += 1;
+                true
+            } else {
+                false
+            };
+            if absorbed {
                 self.lru_tick += 1;
                 q.last_active = self.lru_tick;
                 self.advance_queue(dsm, node, qidx, now);
-                absorbed = true;
-                break;
+                return true;
             }
         }
-        self.reap_dead_queues(node);
-        absorbed
+        false
     }
 
     // ------------------------------------------------------------------
@@ -317,6 +446,9 @@ impl TemporalStreamingEngine {
                 self.discard(dsm, node, entry, true);
             }
             let queues = std::mem::take(&mut self.nodes[n].queues);
+            self.nodes[n].qindex.clear();
+            self.nodes[n].head_index.clear();
+            self.nodes[n].head_cache.clear();
             for q in queues {
                 self.stats.stream_lengths.push(q.hits);
             }
@@ -396,19 +528,34 @@ impl TemporalStreamingEngine {
                 .min_by_key(|(_, q)| q.last_active)
                 .map(|(i, _)| i)
             {
-                let victim = self.nodes[n].queues.swap_remove(victim_idx);
+                let victim = self.nodes[n].remove_queue(victim_idx);
                 self.stats.stream_lengths.push(victim.hits);
             }
         }
-        self.nodes[n].queues.push(queue);
-        let qidx = self.nodes[n].queues.len() - 1;
+        let qidx = self.nodes[n].push_queue(queue);
         self.advance_queue(dsm, node, qidx, now);
-        self.reap_dead_queues(node);
+    }
+
+    /// Advances the queue ([`Self::advance_queue_inner`]), then restores
+    /// the invariants every mutation must leave behind: the head-line
+    /// index reflects the queue's current FIFO heads, and a queue whose
+    /// stream has ended (dead, nothing outstanding) is retired
+    /// immediately rather than by a scan on the next miss.
+    fn advance_queue(&mut self, dsm: &mut DsmSystem, node: NodeId, qidx: usize, now: Cycle) {
+        self.advance_queue_inner(dsm, node, qidx, now);
+        let n = node.index();
+        let q = &self.nodes[n].queues[qidx];
+        if q.is_dead() && q.outstanding == 0 {
+            let q = self.nodes[n].remove_queue(qidx);
+            self.stats.stream_lengths.push(q.hits);
+        } else {
+            self.nodes[n].sync_heads(qidx);
+        }
     }
 
     /// Pops agreed addresses and fetches blocks until the queue reaches
     /// its lookahead, stalls, dies, or cannot refill further.
-    fn advance_queue(&mut self, dsm: &mut DsmSystem, node: NodeId, qidx: usize, now: Cycle) {
+    fn advance_queue_inner(&mut self, dsm: &mut DsmSystem, node: NodeId, qidx: usize, now: Cycle) {
         let n = node.index();
         let lookahead = self.tse_cfg.lookahead;
         loop {
@@ -512,20 +659,6 @@ impl TemporalStreamingEngine {
         dsm.account_fill_traffic(node, entry.fill, TrafficClass::DiscardedData);
         if drop_sharer {
             dsm.drop_sharer(node, entry.line);
-        }
-    }
-
-    /// Retires queues whose streams have ended, recording their lengths.
-    fn reap_dead_queues(&mut self, node: NodeId) {
-        let n = node.index();
-        let mut i = 0;
-        while i < self.nodes[n].queues.len() {
-            if self.nodes[n].queues[i].is_dead() && self.nodes[n].queues[i].outstanding == 0 {
-                let q = self.nodes[n].queues.swap_remove(i);
-                self.stats.stream_lengths.push(q.hits);
-            } else {
-                i += 1;
-            }
         }
     }
 }

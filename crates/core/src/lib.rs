@@ -37,6 +37,6 @@ mod svb;
 pub use cmob::Cmob;
 pub use engine::{SvbHit, TemporalStreamingEngine};
 pub use pointers::{CmobPtr, DirectoryPointers};
-pub use queue::{Fifo, Pop, StreamQueue};
+pub use queue::{Fifo, FifoSet, FifoSetIter, Pop, StreamQueue, MAX_FIFOS};
 pub use stats::TseStats;
 pub use svb::{Svb, SvbEntry};

@@ -1,7 +1,101 @@
 //! Stream queues: groups of FIFOs with head comparators.
 
-use std::collections::VecDeque;
 use tse_types::{Line, NodeId};
+
+/// Hard cap on candidate streams per queue, set by [`FifoSet`]'s u64
+/// bitmask. The paper compares at most 4 streams; the cap exists only so
+/// the comparator can run allocation-free on fixed-width masks.
+pub const MAX_FIFOS: usize = 64;
+
+/// A set of FIFO indices within one queue, packed as a u64 bitmask.
+///
+/// The comparator runs on every streamed block, so its index sets
+/// (live streams, empty-but-refillable streams, refill candidates) are
+/// bitmasks rather than heap collections: building, testing and
+/// iterating them never allocates.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoSet(u64);
+
+impl FifoSet {
+    /// The empty set.
+    pub const EMPTY: FifoSet = FifoSet(0);
+
+    /// Adds FIFO `idx` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= MAX_FIFOS` (debug builds; release wraps).
+    pub fn insert(&mut self, idx: usize) {
+        debug_assert!(idx < MAX_FIFOS);
+        self.0 |= 1 << idx;
+    }
+
+    /// True if FIFO `idx` is in the set.
+    pub fn contains(self, idx: usize) -> bool {
+        idx < MAX_FIFOS && self.0 & (1 << idx) != 0
+    }
+
+    /// Number of FIFOs in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set holds no FIFOs.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The smallest index in the set, if any.
+    pub fn first(self) -> Option<usize> {
+        (self.0 != 0).then(|| self.0.trailing_zeros() as usize)
+    }
+
+    /// Iterates the indices in ascending order.
+    pub fn iter(self) -> FifoSetIter {
+        FifoSetIter(self.0)
+    }
+}
+
+impl FromIterator<usize> for FifoSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut set = FifoSet::EMPTY;
+        for idx in iter {
+            set.insert(idx);
+        }
+        set
+    }
+}
+
+impl IntoIterator for FifoSet {
+    type Item = usize;
+    type IntoIter = FifoSetIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Ascending-index iterator over a [`FifoSet`].
+#[derive(Debug, Clone)]
+pub struct FifoSetIter(u64);
+
+impl Iterator for FifoSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        (self.0 != 0).then(|| {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            idx
+        })
+    }
+}
+
+impl std::fmt::Debug for FifoSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
 
 /// What [`StreamQueue::pop_agreed`] produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -10,7 +104,7 @@ pub enum Pop {
     Agreed(Line),
     /// A live FIFO ran out of buffered addresses but its source CMOB may
     /// have more; refill the listed FIFOs before popping again.
-    NeedRefill(Vec<usize>),
+    NeedRefill(FifoSet),
     /// Live FIFO heads disagree: low temporal correlation, stall until a
     /// subsequent miss disambiguates (see [`StreamQueue::try_resolve`]).
     Stalled,
@@ -20,6 +114,11 @@ pub enum Pop {
 
 /// One candidate stream inside a queue: buffered addresses plus the CMOB
 /// coordinates to refill from.
+///
+/// Addresses live in a flat `Vec` behind a consume cursor rather than a
+/// ring buffer: popping the head is a cursor bump with no wrap-around
+/// arithmetic, and the consumed prefix is compacted away on refill
+/// (amortized O(1), and refills happen per chunk, off the pop path).
 #[derive(Debug, Clone)]
 pub struct Fifo {
     /// Node whose CMOB sources this stream.
@@ -28,27 +127,45 @@ pub struct Fifo {
     pub next_pos: u64,
     /// True once the source CMOB can supply no more addresses.
     pub exhausted: bool,
-    addrs: VecDeque<Line>,
+    addrs: Vec<Line>,
+    /// Index of the current head within `addrs`.
+    pos: usize,
 }
 
 impl Fifo {
     /// Buffered address count.
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.addrs.len() - self.pos
     }
 
     /// True if no addresses are buffered.
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.pos == self.addrs.len()
     }
 
     /// The head address, if any.
     pub fn head(&self) -> Option<Line> {
-        self.addrs.front().copied()
+        self.addrs.get(self.pos).copied()
+    }
+
+    /// Consumes the head address, if any.
+    fn pop(&mut self) -> Option<Line> {
+        let head = self.head()?;
+        self.pos += 1;
+        head.into()
+    }
+
+    /// Appends refilled addresses, first dropping the consumed prefix.
+    fn extend(&mut self, addrs: impl IntoIterator<Item = Line>) {
+        if self.pos > 0 {
+            self.addrs.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.addrs.extend(addrs);
     }
 
     fn live(&self) -> bool {
-        !(self.addrs.is_empty() && self.exhausted)
+        !(self.is_empty() && self.exhausted)
     }
 }
 
@@ -148,12 +265,22 @@ impl StreamQueue {
     /// head in `src`'s CMOB starting at position `next_pos -
     /// addrs.len()`; `next_pos` is where refills continue; `exhausted`
     /// marks a source that can supply no more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue already holds [`MAX_FIFOS`] streams (the
+    /// comparator's fixed bitmask width).
     pub fn add_stream(&mut self, src: NodeId, next_pos: u64, addrs: Vec<Line>, exhausted: bool) {
+        assert!(
+            self.fifos.len() < MAX_FIFOS,
+            "a stream queue compares at most {MAX_FIFOS} streams"
+        );
         self.fifos.push(Fifo {
             src,
             next_pos,
             exhausted,
-            addrs: addrs.into(),
+            addrs,
+            pos: 0,
         });
     }
 
@@ -164,7 +291,7 @@ impl StreamQueue {
     /// Panics if `idx` is out of range.
     pub fn refill(&mut self, idx: usize, addrs: Vec<Line>, new_next_pos: u64, exhausted: bool) {
         let fifo = &mut self.fifos[idx];
-        fifo.addrs.extend(addrs);
+        fifo.extend(addrs);
         fifo.next_pos = new_next_pos;
         fifo.exhausted = exhausted;
     }
@@ -172,13 +299,14 @@ impl StreamQueue {
     /// FIFOs that are running low (fewer than `threshold` buffered
     /// addresses) and can still be refilled. The engine refills these
     /// when the queue is half empty (Section 3.3).
-    pub fn refill_candidates(&self, threshold: usize) -> Vec<usize> {
-        self.fifos
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.exhausted && f.addrs.len() < threshold)
-            .map(|(i, _)| i)
-            .collect()
+    pub fn refill_candidates(&self, threshold: usize) -> FifoSet {
+        let mut set = FifoSet::EMPTY;
+        for (i, f) in self.fifos.iter().enumerate() {
+            if !f.exhausted && f.len() < threshold {
+                set.insert(i);
+            }
+        }
+        set
     }
 
     /// Compares live FIFO heads and pops the agreed address, if any.
@@ -191,9 +319,56 @@ impl StreamQueue {
         if self.stalled {
             return Pop::Stalled;
         }
-        let live: Vec<usize> = (0..self.fifos.len())
-            .filter(|&i| self.fifos[i].live())
-            .collect();
+        // Single pass, popping optimistically: classify every FIFO,
+        // compare heads on the fly, and consume matching heads as they
+        // are seen. The rare non-agreeing outcomes (disagreement, a
+        // drained FIFO, too few candidates) roll the pops back.
+        let mut live = FifoSet::EMPTY;
+        let mut need = FifoSet::EMPTY;
+        let mut popped = FifoSet::EMPTY;
+        let mut first: Option<Line> = None;
+        let mut agree = true;
+        for (i, f) in self.fifos.iter_mut().enumerate() {
+            if let Some(h) = f.head() {
+                live.insert(i);
+                match first {
+                    None => {
+                        first = Some(h);
+                        f.pos += 1;
+                        popped.insert(i);
+                    }
+                    Some(f0) => {
+                        if agree && h == f0 {
+                            f.pos += 1;
+                            popped.insert(i);
+                        } else {
+                            agree = false;
+                        }
+                    }
+                }
+            } else if !f.exhausted {
+                live.insert(i);
+                need.insert(i);
+            }
+        }
+        if agree && need.is_empty() && (self.resolved || live.len() >= self.min_agree) {
+            return match first {
+                Some(first) => {
+                    // Agreement establishes confidence in the stream: if
+                    // partner FIFOs later drain (their CMOB windows
+                    // end), the survivors keep being followed.
+                    self.resolved = true;
+                    Pop::Agreed(first)
+                }
+                None => Pop::Dead, // no live FIFO at all
+            };
+        }
+        // Slow path: undo the optimistic pops, then classify with the
+        // same precedence as always — dead, then too-few-candidates,
+        // then refill, then disagreement.
+        for i in popped {
+            self.fifos[i].pos -= 1;
+        }
         if live.is_empty() {
             return Pop::Dead;
         }
@@ -203,29 +378,11 @@ impl StreamQueue {
             self.stalled = true;
             return Pop::Stalled;
         }
-        let need: Vec<usize> = live
-            .iter()
-            .copied()
-            .filter(|&i| self.fifos[i].is_empty())
-            .collect();
         if !need.is_empty() {
             return Pop::NeedRefill(need);
         }
-        let first = self.fifos[live[0]].head().expect("live nonempty fifo");
-        let agree = live.iter().all(|&i| self.fifos[i].head() == Some(first));
-        if agree {
-            for &i in &live {
-                self.fifos[i].addrs.pop_front();
-            }
-            // Agreement establishes confidence in the stream: if partner
-            // FIFOs later drain (their CMOB windows end), the survivors
-            // keep being followed.
-            self.resolved = true;
-            Pop::Agreed(first)
-        } else {
-            self.stalled = true;
-            Pop::Stalled
-        }
+        self.stalled = true;
+        Pop::Stalled
     }
 
     /// While stalled, checks a demand-missed line against the FIFO heads;
@@ -243,7 +400,7 @@ impl StreamQueue {
             return false;
         };
         let mut keep = self.fifos.swap_remove(idx);
-        keep.addrs.pop_front(); // the miss consumed this address
+        keep.pop(); // the miss consumed this address
         self.fifos.clear();
         self.fifos.push(keep);
         self.stalled = false;
@@ -259,26 +416,41 @@ impl StreamQueue {
         if self.stalled {
             return false;
         }
-        let live: Vec<usize> = (0..self.fifos.len())
-            .filter(|&i| self.fifos[i].live())
-            .collect();
-        if live.is_empty() || live.iter().any(|&i| self.fifos[i].is_empty()) {
+        let mut live = FifoSet::EMPTY;
+        for (i, f) in self.fifos.iter().enumerate() {
+            if !f.live() {
+                continue;
+            }
+            if f.head() != Some(line) {
+                return false; // empty (None) or disagreeing head
+            }
+            live.insert(i);
+        }
+        if live.is_empty() {
             return false;
         }
-        let agree_on_line = live.iter().all(|&i| self.fifos[i].head() == Some(line));
-        if agree_on_line {
-            for &i in &live {
-                self.fifos[i].addrs.pop_front();
-            }
-            true
-        } else {
-            false
+        for i in live {
+            self.fifos[i].pop();
         }
+        true
     }
 
     /// True when every FIFO is exhausted and empty.
     pub fn is_dead(&self) -> bool {
         self.fifos.iter().all(|f| !f.live())
+    }
+
+    /// Appends the distinct current head lines of the FIFOs to `out`
+    /// (the engine's head-line index tracks these so misses look up
+    /// matching queues instead of scanning them all).
+    pub fn collect_heads(&self, out: &mut Vec<Line>) {
+        for f in &self.fifos {
+            if let Some(h) = f.head() {
+                if !out.contains(&h) {
+                    out.push(h);
+                }
+            }
+        }
     }
 }
 
@@ -333,7 +505,7 @@ mod tests {
         let mut q = StreamQueue::new(0, Line::new(0), 2);
         q.add_stream(NodeId::new(0), 10, lines(&[]), false);
         q.add_stream(NodeId::new(1), 99, lines(&[5]), true);
-        assert_eq!(q.pop_agreed(), Pop::NeedRefill(vec![0]));
+        assert_eq!(q.pop_agreed(), Pop::NeedRefill(FifoSet::from_iter([0])));
         q.refill(0, lines(&[5, 6]), 12, true);
         assert_eq!(q.pop_agreed(), Pop::Agreed(Line::new(5)));
         // FIFO 1 is now empty+exhausted: drops out, FIFO 0 continues alone.
@@ -358,8 +530,33 @@ mod tests {
         q.add_stream(NodeId::new(0), 10, lines(&[1]), false); // low, refillable
         q.add_stream(NodeId::new(1), 99, lines(&[1]), true); // low, exhausted
         q.add_stream(NodeId::new(2), 50, lines(&[1, 2, 3, 4]), false); // not low
-        assert_eq!(q.refill_candidates(3), vec![0]);
-        assert_eq!(q.refill_candidates(5), vec![0, 2]);
+        assert_eq!(q.refill_candidates(3), FifoSet::from_iter([0]));
+        assert_eq!(q.refill_candidates(5), FifoSet::from_iter([0, 2]));
+    }
+
+    #[test]
+    fn fifo_set_is_an_ordered_index_set() {
+        let set = FifoSet::from_iter([5, 1, 63, 1]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert!(set.contains(1) && set.contains(5) && set.contains(63));
+        assert!(!set.contains(0) && !set.contains(64));
+        assert_eq!(set.first(), Some(1));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 5, 63]);
+        assert_eq!(format!("{set:?}"), "{1, 5, 63}");
+        assert_eq!(FifoSet::EMPTY.first(), None);
+        assert_eq!(FifoSet::EMPTY.len(), 0);
+    }
+
+    #[test]
+    fn collect_heads_dedupes_and_skips_empty() {
+        let mut q = StreamQueue::new(0, Line::new(0), 2);
+        q.add_stream(NodeId::new(0), 10, lines(&[5, 6]), true);
+        q.add_stream(NodeId::new(1), 99, lines(&[5, 7]), true);
+        q.add_stream(NodeId::new(2), 50, lines(&[]), false);
+        let mut heads = Vec::new();
+        q.collect_heads(&mut heads);
+        assert_eq!(heads, lines(&[5]));
     }
 
     #[test]

@@ -24,8 +24,9 @@ fn main() {
     // ------------------------------------------------------------------
     println!("== Ablation: stream-queue count (DB2) ==");
     let queue_counts: Vec<Option<usize>> = vec![Some(1), Some(2), Some(4), Some(8), Some(16), None];
-    let results = run_parallel(queue_counts.clone(), 0, |queues| {
-        let wl = Tpcc::scaled(OltpFlavor::Db2, ctx.scale);
+    let c = ctx.clone();
+    let results = run_parallel(queue_counts.clone(), 0, move |queues| {
+        let wl = Tpcc::scaled(OltpFlavor::Db2, c.scale);
         let tse = TseConfig {
             stream_queues: queues,
             ..TseConfig::default()
@@ -33,7 +34,7 @@ fn main() {
         let r = run_trace(
             &wl,
             &RunConfig {
-                sys: ctx.sys.clone(),
+                sys: c.sys.clone(),
                 engine: EngineKind::Tse(tse),
                 ..RunConfig::default()
             },
@@ -57,8 +58,9 @@ fn main() {
     // ------------------------------------------------------------------
     println!("== Ablation: CMOB forwarding chunk (em3d) ==");
     let chunks = vec![4usize, 8, 16, 32, 64];
-    let results = run_parallel(chunks.clone(), 0, |chunk| {
-        let wl = tse_workloads::Em3d::scaled(ctx.scale);
+    let c = ctx.clone();
+    let results = run_parallel(chunks.clone(), 0, move |chunk| {
+        let wl = tse_workloads::Em3d::scaled(c.scale);
         let tse = TseConfig {
             chunk,
             lookahead: 18,
@@ -67,7 +69,7 @@ fn main() {
         let r = run_trace(
             &wl,
             &RunConfig {
-                sys: ctx.sys.clone(),
+                sys: c.sys.clone(),
                 engine: EngineKind::Tse(tse),
                 ..RunConfig::default()
             },
@@ -87,7 +89,7 @@ fn main() {
     }
     println!(
         "(expect: coverage insensitive — refills are off the critical path; \
-              smaller chunks raise per-address header overhead)\n"
+              bigger chunks ship more speculative addresses per stream, raising traffic)\n"
     );
 
     // ------------------------------------------------------------------

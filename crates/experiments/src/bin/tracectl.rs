@@ -18,7 +18,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read};
 use std::path::Path;
 use std::process::ExitCode;
-use tse_sim::{run_trace_stored, EngineKind, RunConfig, StoredTrace};
+use tse_sim::{
+    run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind, RunConfig,
+    StoredTrace,
+};
 use tse_trace::store::{is_tsb1, TraceReader, TraceWriter};
 use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
 use tse_types::{SystemConfig, TseConfig};
@@ -294,37 +297,56 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         Some(v) => Some(parse(v, "--nodes")?),
         None => None,
     };
-    let trace = if sniff_tsb1(path)? && nodes_override.is_none() {
-        StoredTrace::load_tsb1_path(path).map_err(|e| e.to_string())?
+    // Simulate a machine of the trace's size (near-square torus), not
+    // the paper's fixed 16-node default.
+    let machine = |nodes: usize| -> Result<SystemConfig, String> {
+        if nodes == SystemConfig::default().nodes {
+            Ok(SystemConfig::default())
+        } else {
+            let (w, h) = torus_dims(nodes);
+            SystemConfig::builder()
+                .nodes(nodes)
+                .torus(w, h)
+                .build()
+                .map_err(|e| format!("no valid machine for {nodes} nodes: {e}"))
+        }
+    };
+    let r = if sniff_tsb1(path)? && nodes_override.is_none() {
+        // TSB1 replays streamed: blocks decode on pool workers ahead of
+        // the consumer and the trace is never materialized in memory.
+        let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+        let reader = TraceReader::open(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+        // Size the machine exactly the way the replay derives it, then
+        // hand the same reader over — the header and trailer are
+        // parsed once.
+        let cfg = RunConfig {
+            engine,
+            sys: machine(tsb1_node_count(&reader))?,
+            ..RunConfig::default()
+        };
+        let name = Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        run_trace_streamed_reader(name, reader, &cfg).map_err(|e| e.to_string())?
     } else {
         let (recs, declared) = read_records(path)?;
         let nodes = nodes_override
             .or(declared.map(usize::from))
             .or(recs.iter().map(|r| r.node.index() + 1).max())
             .unwrap_or(1);
-        StoredTrace::from_records(path.to_string(), nodes, recs).map_err(|e| e.to_string())?
+        let trace =
+            StoredTrace::from_records(path.to_string(), nodes, recs).map_err(|e| e.to_string())?;
+        let cfg = RunConfig {
+            engine,
+            sys: machine(trace.nodes())?,
+            ..RunConfig::default()
+        };
+        run_trace_stored(&trace, &cfg).map_err(|e| e.to_string())?
     };
-    // Simulate a machine of the trace's size (near-square torus), not
-    // the paper's fixed 16-node default.
-    let sys = if trace.nodes() == SystemConfig::default().nodes {
-        SystemConfig::default()
-    } else {
-        let (w, h) = torus_dims(trace.nodes());
-        SystemConfig::builder()
-            .nodes(trace.nodes())
-            .torus(w, h)
-            .build()
-            .map_err(|e| format!("no valid machine for {} nodes: {e}", trace.nodes()))?
-    };
-    let cfg = RunConfig {
-        engine,
-        sys,
-        ..RunConfig::default()
-    };
-    let r = run_trace_stored(&trace, &cfg).map_err(|e| e.to_string())?;
     println!(
         "{} [{}]: {} measured records, {} consumptions, coverage {:.1}%, discards {:.1}%, {} spin misses",
-        trace.name(),
+        r.workload,
         r.engine_name,
         r.records,
         r.consumption_count(),

@@ -2,6 +2,7 @@
 
 use crate::{lookahead_for, pct, row, tse_config_for, ExperimentCtx};
 use serde_json::{json, Value};
+use std::sync::Arc;
 use tse_prefetch::GhbIndexing;
 use tse_sim::{
     correlation_curve, run_parallel, run_timing, run_trace, run_trace_stored, EngineKind,
@@ -21,6 +22,20 @@ fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
         warm_fraction: 0.25,
         ..RunConfig::default()
     }
+}
+
+/// Materializes each suite workload's interleaved trace once per
+/// context (in parallel, at [`FIG_SEED`]), memoized in the context so
+/// `--bin all` pays the generation exactly once across all figures.
+/// Every trace-driven figure replays these across its whole
+/// configuration grid instead of regenerating the workload per cell;
+/// replay is bit-identical to `run_trace`.
+fn stored_suite(ctx: &ExperimentCtx) -> Arc<Vec<StoredTrace>> {
+    Arc::clone(ctx.stored_traces.get_or_init(|| {
+        Arc::new(run_parallel(ctx.suite(), 0, |wl| {
+            StoredTrace::from_workload(wl.as_ref(), FIG_SEED)
+        }))
+    }))
 }
 
 // ---------------------------------------------------------------------
@@ -79,11 +94,12 @@ pub fn tables12(ctx: &ExperimentCtx) -> Value {
 /// distance (±1..±16), per application.
 pub fn fig06(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 6: temporal correlation distance (cumulative % of consumptions) ==");
-    let curves = run_parallel(ctx.suite(), 0, |wl| {
-        let mut cfg = run_cfg(ctx, EngineKind::Baseline);
+    let c = ctx.clone();
+    let curves = run_parallel(ctx.suite(), 0, move |wl| {
+        let mut cfg = run_cfg(&c, EngineKind::Baseline);
         cfg.collect_consumptions = true;
         let r = run_trace(wl.as_ref(), &cfg).expect("baseline run");
-        let curve = correlation_curve(ctx.sys.nodes, &r.consumptions);
+        let curve = correlation_curve(c.sys.nodes, &r.consumptions);
         (wl.name().to_string(), curve)
     });
 
@@ -121,23 +137,26 @@ pub fn fig07(ctx: &ExperimentCtx) -> Value {
     println!(
         "== Figure 7: coverage/discards vs compared streams (unconstrained HW, lookahead 8) =="
     );
+    let traces = stored_suite(ctx);
     let mut jobs = Vec::new();
-    for wl in ctx.suite() {
+    for idx in 0..traces.len() {
         for k in 1..=4usize {
-            jobs.push((wl.name().to_string(), k));
+            jobs.push((idx, k));
         }
     }
-    let results = run_parallel(jobs, 0, |(name, k)| {
-        let wl = ctx
-            .suite()
-            .into_iter()
-            .find(|w| w.name() == name)
-            .expect("known workload");
+    let c = ctx.clone();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel(jobs, 0, move |(idx, k)| {
         let mut tse = TseConfig::unconstrained();
         tse.compared_streams = k;
         tse.directory_pointers = k.max(2);
-        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
-        (name, k, r.coverage(), r.discard_rate())
+        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
+        (
+            tr[idx].name().to_string(),
+            k,
+            r.coverage(),
+            r.discard_rate(),
+        )
     });
 
     println!(
@@ -171,24 +190,21 @@ pub fn fig07(ctx: &ExperimentCtx) -> Value {
 pub fn fig08(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 8: discards vs stream lookahead ==");
     let lookaheads = [1usize, 2, 4, 8, 12, 16, 20, 24];
-    // Materialize each workload's interleaved trace once and replay it
-    // for every lookahead, instead of regenerating per grid cell.
-    let traces: Vec<StoredTrace> = run_parallel(ctx.suite(), 0, |wl| {
-        StoredTrace::from_workload(wl.as_ref(), FIG_SEED)
-    });
+    let traces = stored_suite(ctx);
     let mut jobs = Vec::new();
     for idx in 0..traces.len() {
         for &la in &lookaheads {
             jobs.push((idx, la));
         }
     }
-    let results = run_parallel(jobs, 0, |(idx, la)| {
+    let c = ctx.clone();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel(jobs, 0, move |(idx, la)| {
         let mut tse = TseConfig::unconstrained();
         tse.lookahead = la;
-        let r =
-            run_trace_stored(&traces[idx], &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
+        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
         (
-            traces[idx].name().to_string(),
+            tr[idx].name().to_string(),
             la,
             r.discard_rate(),
             r.coverage(),
@@ -234,24 +250,27 @@ pub fn fig09(ctx: &ExperimentCtx) -> Value {
         ("8k", Some(128)),
         ("inf", None),
     ];
+    let traces = stored_suite(ctx);
     let mut jobs = Vec::new();
-    for wl in ctx.suite() {
+    for idx in 0..traces.len() {
         for (label, entries) in sizes {
-            jobs.push((wl.name().to_string(), label.to_string(), entries));
+            jobs.push((idx, label.to_string(), entries));
         }
     }
-    let results = run_parallel(jobs, 0, |(name, label, entries)| {
-        let wl = ctx
-            .suite()
-            .into_iter()
-            .find(|w| w.name() == name)
-            .expect("known workload");
+    let c = ctx.clone();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel(jobs, 0, move |(idx, label, entries)| {
         let tse = TseConfig {
             svb_entries: entries,
             ..TseConfig::default()
         };
-        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
-        (name, label, r.coverage(), r.discard_rate())
+        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
+        (
+            tr[idx].name().to_string(),
+            label,
+            r.coverage(),
+            r.discard_rate(),
+        )
     });
 
     println!(
@@ -290,24 +309,22 @@ pub fn fig09(ctx: &ExperimentCtx) -> Value {
 pub fn fig10(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 10: CMOB storage requirements (% of peak coverage) ==");
     let capacities: [usize; 10] = [2, 8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288];
+    let traces = stored_suite(ctx);
     let mut jobs = Vec::new();
-    for wl in ctx.suite() {
+    for idx in 0..traces.len() {
         for &cap in &capacities {
-            jobs.push((wl.name().to_string(), cap));
+            jobs.push((idx, cap));
         }
     }
-    let results = run_parallel(jobs, 0, |(name, cap)| {
-        let wl = ctx
-            .suite()
-            .into_iter()
-            .find(|w| w.name() == name)
-            .expect("known workload");
+    let c = ctx.clone();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel(jobs, 0, move |(idx, cap)| {
         let tse = TseConfig {
             cmob_capacity: cap,
             ..TseConfig::default()
         };
-        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
-        (name, cap, r.coverage())
+        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
+        (tr[idx].name().to_string(), cap, r.coverage())
     });
 
     let entry_bytes = ctx.sys.cmob_entry_bytes;
@@ -351,10 +368,11 @@ pub fn fig10(ctx: &ExperimentCtx) -> Value {
 /// overhead to baseline traffic annotated.
 pub fn fig11(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 11: interconnect bisection bandwidth overhead ==");
-    let results = run_parallel(ctx.suite(), 0, |wl| {
+    let c = ctx.clone();
+    let results = run_parallel(ctx.suite(), 0, move |wl| {
         let tse = tse_config_for(wl.name());
         let r =
-            run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Tse(tse), 42, 0.25).expect("timing run");
+            run_timing(wl.as_ref(), &c.sys, &EngineKind::Tse(tse), 42, 0.25).expect("timing run");
         (wl.name().to_string(), r)
     });
 
@@ -409,20 +427,23 @@ pub fn fig12(ctx: &ExperimentCtx) -> Value {
         ),
         ("TSE", EngineKind::Tse(TseConfig::default())),
     ];
+    let traces = stored_suite(ctx);
     let mut jobs = Vec::new();
-    for wl in ctx.suite() {
+    for idx in 0..traces.len() {
         for (label, engine) in &engines {
-            jobs.push((wl.name().to_string(), label.to_string(), engine.clone()));
+            jobs.push((idx, label.to_string(), engine.clone()));
         }
     }
-    let results = run_parallel(jobs, 0, |(name, label, engine)| {
-        let wl = ctx
-            .suite()
-            .into_iter()
-            .find(|w| w.name() == name)
-            .expect("known workload");
-        let r = run_trace(wl.as_ref(), &run_cfg(ctx, engine)).expect("run");
-        (name, label, r.coverage(), r.discard_rate())
+    let c = ctx.clone();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel(jobs, 0, move |(idx, label, engine)| {
+        let r = run_trace_stored(&tr[idx], &run_cfg(&c, engine)).expect("run");
+        (
+            tr[idx].name().to_string(),
+            label,
+            r.coverage(),
+            r.discard_rate(),
+        )
     });
 
     println!(
@@ -464,10 +485,13 @@ pub fn fig13(ctx: &ExperimentCtx) -> Value {
         0u64, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
     ]
     .to_vec();
-    let results = run_parallel(ctx.suite(), 0, |wl| {
-        let tse = tse_config_for(wl.name());
-        let r = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse))).expect("tse run");
-        (wl.name().to_string(), r.engine)
+    let traces = stored_suite(ctx);
+    let c = ctx.clone();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel((0..traces.len()).collect(), 0, move |idx| {
+        let tse = tse_config_for(tr[idx].name());
+        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
+        (tr[idx].name().to_string(), r.engine)
     });
 
     let mut header = vec!["app".to_string()];
@@ -499,14 +523,15 @@ pub fn fig13(ctx: &ExperimentCtx) -> Value {
 /// full/partial coverage under the timing model.
 pub fn table3(ctx: &ExperimentCtx) -> Value {
     println!("== Table 3: streaming timeliness ==");
-    let results = run_parallel(ctx.suite(), 0, |wl| {
+    let c = ctx.clone();
+    let results = run_parallel(ctx.suite(), 0, move |wl| {
         let name = wl.name().to_string();
         let tse_cfg = tse_config_for(&name);
-        let trace = run_trace(wl.as_ref(), &run_cfg(ctx, EngineKind::Tse(tse_cfg.clone())))
+        let trace = run_trace(wl.as_ref(), &run_cfg(&c, EngineKind::Tse(tse_cfg.clone())))
             .expect("trace run");
-        let base = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Baseline, 42, 0.25)
+        let base = run_timing(wl.as_ref(), &c.sys, &EngineKind::Baseline, 42, 0.25)
             .expect("baseline timing");
-        let timed = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Tse(tse_cfg), 42, 0.25)
+        let timed = run_timing(wl.as_ref(), &c.sys, &EngineKind::Tse(tse_cfg), 42, 0.25)
             .expect("tse timing");
         (name, trace, base, timed)
     });
@@ -563,7 +588,8 @@ pub fn table3(ctx: &ExperimentCtx) -> Value {
 /// for the sampled commercial workloads.
 pub fn fig14(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 14: execution time breakdown and speedup ==");
-    let results = run_parallel(ctx.suite(), 0, |wl| {
+    let c = ctx.clone();
+    let results = run_parallel(ctx.suite(), 0, move |wl| {
         let name = wl.name().to_string();
         let tse_cfg = tse_config_for(&name);
         // Scientific runs are deterministic single measurements; the
@@ -572,17 +598,17 @@ pub fn fig14(ctx: &ExperimentCtx) -> Value {
         let seeds: Vec<u64> = if wl.kind() == WorkloadKind::Scientific {
             vec![42]
         } else {
-            ctx.seeds.clone()
+            c.seeds.clone()
         };
         let mut speedups = Samples::new();
         let mut base_repr: Option<TimingResult> = None;
         let mut tse_repr: Option<TimingResult> = None;
         for &seed in &seeds {
-            let base = run_timing(wl.as_ref(), &ctx.sys, &EngineKind::Baseline, seed, 0.25)
+            let base = run_timing(wl.as_ref(), &c.sys, &EngineKind::Baseline, seed, 0.25)
                 .expect("baseline timing");
             let tse = run_timing(
                 wl.as_ref(),
-                &ctx.sys,
+                &c.sys,
                 &EngineKind::Tse(tse_cfg.clone()),
                 seed,
                 0.25,

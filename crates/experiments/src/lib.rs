@@ -23,10 +23,16 @@ pub mod figs;
 use serde_json::Value;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use tse_sim::StoredTrace;
 use tse_types::{SystemConfig, TseConfig};
 use tse_workloads::{suite, Workload};
 
 /// Shared context for all experiments.
+///
+/// Cloning is cheap (a few small vectors); sweep closures running on
+/// the persistent [`tse_sim::SweepPool`] each own a clone.
+#[derive(Clone)]
 pub struct ExperimentCtx {
     /// Workload scale factor in `(0, 1]`.
     pub scale: f64,
@@ -36,6 +42,11 @@ pub struct ExperimentCtx {
     pub seeds: Vec<u64>,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
+    /// Lazily-materialized stored traces of the suite, shared across
+    /// every figure run from this context (and its clones) so `--bin
+    /// all` generates the trace set once, not once per figure. See
+    /// `figs::stored_suite`.
+    pub(crate) stored_traces: Arc<OnceLock<Arc<Vec<StoredTrace>>>>,
 }
 
 impl ExperimentCtx {
@@ -57,6 +68,7 @@ impl ExperimentCtx {
             sys: SystemConfig::default(),
             seeds: (0..n_seeds as u64).map(|i| 1000 + 7 * i).collect(),
             out_dir: PathBuf::from("target/experiments"),
+            stored_traces: Arc::new(OnceLock::new()),
         }
     }
 

@@ -47,8 +47,11 @@ mod timing;
 
 pub use analysis::{correlation_curve, CorrelationAnalysis, CorrelationCurve, MAX_DISTANCE};
 pub use harness::{run_baseline_collecting, run_trace, RunConfig, RunResult};
-pub use replay::{run_trace_stored, StoredTrace};
-pub use runner::run_parallel;
+pub use replay::{
+    run_trace_stored, run_trace_streamed, run_trace_streamed_path, run_trace_streamed_reader,
+    tsb1_node_count, StoredTrace, StreamedReplayError,
+};
+pub use runner::{run_parallel, SweepPool};
 pub use stats::Samples;
 pub use timing::{run_timing, TimingResult};
 

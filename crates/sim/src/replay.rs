@@ -9,10 +9,15 @@
 //! times as needed.
 
 use crate::harness::run_interleaved;
+use crate::runner::SweepPool;
 use crate::{RunConfig, RunResult};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::io::{Read, Seek, Write};
 use std::path::Path;
-use tse_trace::store::{TraceMeta, TraceReader, TraceWriter};
+use std::rc::Rc;
+use std::sync::{mpsc, Arc};
+use tse_trace::store::{decode_block, RawBlock, TraceMeta, TraceReader, TraceWriter};
 use tse_trace::{interleave, AccessRecord, TraceIoError};
 use tse_types::ConfigError;
 use tse_workloads::Workload;
@@ -96,13 +101,7 @@ impl StoredTrace {
         for rec in reader.by_ref() {
             records.push(rec?);
         }
-        let nodes = match reader.declared_nodes() {
-            Some(n) => usize::from(n),
-            None => reader
-                .meta()
-                .and_then(|m| m.nodes.last().map(|n| n.node.index() + 1))
-                .unwrap_or(1),
-        };
+        let nodes = tsb1_node_count(&reader);
         // Same invariant from_records enforces: no decoded record may
         // reference a node outside 0..nodes, or the replay harness
         // would index out of bounds. A crafted trailer can satisfy the
@@ -181,6 +180,21 @@ impl StoredTrace {
     }
 }
 
+/// The node count a TSB1 reader implies, the same way every replay
+/// path derives it: the writer's declared count when the header
+/// carries one, else highest-emitting-node + 1 from the trailer
+/// metadata (available after [`TraceReader::open`] or full iteration),
+/// else 1.
+pub fn tsb1_node_count<R: Read>(reader: &TraceReader<R>) -> usize {
+    match reader.declared_nodes() {
+        Some(n) => usize::from(n),
+        None => reader
+            .meta()
+            .and_then(|m| m.nodes.last().map(|n| n.node.index() + 1))
+            .unwrap_or(1),
+    }
+}
+
 /// Replays a stored trace through the trace-driven harness.
 ///
 /// Identical semantics to [`run_trace`](crate::run_trace) — warm-up,
@@ -201,6 +215,261 @@ pub fn run_trace_stored(trace: &StoredTrace, cfg: &RunConfig) -> Result<RunResul
         trace.records.iter().copied(),
         cfg,
     )
+}
+
+/// Error from streamed replay: the trace was unreadable, or the run
+/// configuration was rejected.
+#[derive(Debug)]
+pub enum StreamedReplayError {
+    /// Reading or decoding the TSB1 source failed.
+    Trace(TraceIoError),
+    /// The system/engine configuration (or trace/system node-count
+    /// pairing) was invalid.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for StreamedReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamedReplayError::Trace(e) => write!(f, "trace error: {e}"),
+            StreamedReplayError::Config(e) => write!(f, "config error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamedReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamedReplayError::Trace(e) => Some(e),
+            StreamedReplayError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceIoError> for StreamedReplayError {
+    fn from(e: TraceIoError) -> Self {
+        StreamedReplayError::Trace(e)
+    }
+}
+
+impl From<ConfigError> for StreamedReplayError {
+    fn from(e: ConfigError) -> Self {
+        StreamedReplayError::Config(e)
+    }
+}
+
+/// Replays a TSB1 trace through the harness *as it streams off the
+/// source*, never materializing a [`StoredTrace`].
+///
+/// Raw blocks are read sequentially and handed to the global
+/// [`SweepPool`] for decode, so decoding runs ahead of the replay
+/// consumer; blocks re-enter in trace order through a reorder window.
+/// If the pool has not finished the next block by the time the consumer
+/// needs it (or the pool is saturated by enclosing sweep jobs — the
+/// consumer never waits on pool capacity), the consumer decodes that
+/// block inline. Results are bit-identical to loading the same file
+/// into a [`StoredTrace`] and calling [`run_trace_stored`]; peak memory
+/// is a few blocks instead of the whole trace, which is what makes
+/// 10^8-record traces replayable.
+///
+/// # Errors
+///
+/// [`StreamedReplayError::Trace`] on any TSB1 structural failure
+/// (including records naming nodes outside the declared node count);
+/// [`StreamedReplayError::Config`] if the configuration is invalid or
+/// the trace's node count differs from `cfg.sys.nodes`.
+pub fn run_trace_streamed<R: Read + Seek>(
+    name: impl Into<String>,
+    src: R,
+    cfg: &RunConfig,
+) -> Result<RunResult, StreamedReplayError> {
+    run_trace_streamed_reader(name, TraceReader::open(src)?, cfg)
+}
+
+/// [`run_trace_streamed`] over an already-open [`TraceReader`]
+/// (positioned at the first block, as [`TraceReader::open`] leaves it).
+/// Callers that inspect the header/trailer before replaying — e.g. to
+/// size the simulated machine from [`tsb1_node_count`] — reuse the
+/// reader instead of re-opening and re-parsing the trace.
+///
+/// # Errors
+///
+/// As [`run_trace_streamed`].
+pub fn run_trace_streamed_reader<R: Read + Seek>(
+    name: impl Into<String>,
+    reader: TraceReader<R>,
+    cfg: &RunConfig,
+) -> Result<RunResult, StreamedReplayError> {
+    let nodes = tsb1_node_count(&reader);
+    let total = usize::try_from(reader.records()).unwrap_or(usize::MAX);
+    let error = Rc::new(RefCell::new(None));
+    let stream = StreamedRecords::new(reader, nodes, Rc::clone(&error));
+    let result = run_interleaved(&name.into(), nodes, total, stream, cfg)?;
+    // A trace error mid-stream ends the record iterator early; surface
+    // it instead of the truncated result.
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
+/// Streamed replay of a TSB1 file, named after the file stem.
+///
+/// # Errors
+///
+/// As [`run_trace_streamed`], plus open failures as
+/// [`StreamedReplayError::Trace`].
+pub fn run_trace_streamed_path(
+    path: impl AsRef<Path>,
+    cfg: &RunConfig,
+) -> Result<RunResult, StreamedReplayError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let file = std::fs::File::open(path).map_err(TraceIoError::Io)?;
+    run_trace_streamed(name, std::io::BufReader::new(file), cfg)
+}
+
+/// The record iterator behind [`run_trace_streamed`]: pulls raw blocks
+/// off the reader, fans their decode out to the sweep pool, and yields
+/// records in trace order from a bounded reorder window.
+struct StreamedRecords<R: Read> {
+    reader: TraceReader<R>,
+    pool: &'static SweepPool,
+    /// Bound on blocks resident at once (raw in flight + decoded
+    /// pending), i.e. the decode-ahead distance.
+    window: usize,
+    rtx: mpsc::Sender<(u32, Result<Vec<AccessRecord>, TraceIoError>)>,
+    rrx: mpsc::Receiver<(u32, Result<Vec<AccessRecord>, TraceIoError>)>,
+    /// Blocks dispatched to the pool whose decode has not been observed.
+    raw: BTreeMap<u32, Arc<RawBlock>>,
+    /// Decoded blocks waiting for their turn.
+    decoded: BTreeMap<u32, Vec<AccessRecord>>,
+    /// Index of the next block to hand to the consumer.
+    next_emit: u32,
+    current: std::vec::IntoIter<AccessRecord>,
+    eof: bool,
+    nodes: usize,
+    error: Rc<RefCell<Option<TraceIoError>>>,
+}
+
+impl<R: Read> StreamedRecords<R> {
+    fn new(reader: TraceReader<R>, nodes: usize, error: Rc<RefCell<Option<TraceIoError>>>) -> Self {
+        let pool = SweepPool::global();
+        let (rtx, rrx) = mpsc::channel();
+        StreamedRecords {
+            reader,
+            pool,
+            window: pool.threads().clamp(2, 8) * 2,
+            rtx,
+            rrx,
+            raw: BTreeMap::new(),
+            decoded: BTreeMap::new(),
+            next_emit: 0,
+            current: Vec::new().into_iter(),
+            eof: false,
+            nodes,
+            error,
+        }
+    }
+
+    fn fail(&mut self, e: TraceIoError) {
+        self.error.borrow_mut().get_or_insert(e);
+        self.eof = true;
+        self.raw.clear();
+        self.decoded.clear();
+    }
+
+    /// Tops up the decode-ahead window with freshly read raw blocks.
+    fn dispatch(&mut self) {
+        while !self.eof && self.raw.len() + self.decoded.len() < self.window {
+            match self.reader.next_raw_block() {
+                Ok(Some(block)) => {
+                    let block = Arc::new(block);
+                    self.raw.insert(block.index, Arc::clone(&block));
+                    let rtx = self.rtx.clone();
+                    self.pool.execute(move || {
+                        let _ = rtx.send((block.index, decode_block(&block)));
+                    });
+                }
+                Ok(None) => self.eof = true,
+                Err(e) => return self.fail(e),
+            }
+        }
+    }
+
+    /// Produces the next block's records, in trace order.
+    fn next_block(&mut self) -> Option<Vec<AccessRecord>> {
+        self.dispatch();
+        // Observe every decode that has completed.
+        while let Ok((idx, result)) = self.rrx.try_recv() {
+            if self.raw.remove(&idx).is_some() {
+                match result {
+                    Ok(records) => {
+                        self.decoded.insert(idx, records);
+                    }
+                    Err(e) => {
+                        self.fail(e);
+                        return None;
+                    }
+                }
+            }
+            // else: the consumer already decoded it inline; drop the
+            // duplicate.
+        }
+        if self.error.borrow().is_some() {
+            return None;
+        }
+        if let Some(records) = self.decoded.remove(&self.next_emit) {
+            self.next_emit += 1;
+            return Some(records);
+        }
+        if let Some(block) = self.raw.remove(&self.next_emit) {
+            // The pool has not gotten to this block yet (or is saturated
+            // by enclosing sweep jobs): decode it here rather than wait,
+            // so streamed replay can never deadlock on pool capacity.
+            self.next_emit += 1;
+            return match decode_block(&block) {
+                Ok(records) => Some(records),
+                Err(e) => {
+                    self.fail(e);
+                    None
+                }
+            };
+        }
+        debug_assert!(self.eof, "blocks are dispatched in trace order");
+        None
+    }
+}
+
+impl<R: Read> Iterator for StreamedRecords<R> {
+    type Item = AccessRecord;
+
+    fn next(&mut self) -> Option<AccessRecord> {
+        loop {
+            if let Some(rec) = self.current.next() {
+                // Same invariant StoredTrace::load_tsb1 enforces: a
+                // record outside 0..nodes would index the harness out
+                // of bounds.
+                if rec.node.index() >= self.nodes {
+                    let e = TraceIoError::Corrupt {
+                        offset: 0,
+                        reason: format!(
+                            "record on node {} but the trace declares {} nodes",
+                            rec.node, self.nodes
+                        ),
+                    };
+                    self.current = Vec::new().into_iter();
+                    self.fail(e);
+                    return None;
+                }
+                return Some(rec);
+            }
+            self.current = self.next_block()?.into_iter();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +546,68 @@ mod tests {
         let loaded = StoredTrace::load_tsb1("t", &cur.get_ref()[..]).unwrap();
         assert_eq!(loaded.nodes(), 8, "declared node count must survive");
         assert_eq!(loaded.records(), stored.records());
+    }
+
+    #[test]
+    fn streamed_replay_is_bit_identical_to_stored_replay() {
+        // Several blocks' worth of records so the reorder window and
+        // pool decode-ahead actually engage.
+        let wl = Tpcc::scaled(OltpFlavor::Db2, 0.06);
+        let stored = StoredTrace::from_workload(&wl, 42);
+        assert!(
+            stored.len() > 3 * 4096,
+            "trace must span several TSB1 blocks, got {}",
+            stored.len()
+        );
+        let mut cur = Cursor::new(Vec::new());
+        stored.save_tsb1(&mut cur).unwrap();
+        let cfg = RunConfig {
+            engine: EngineKind::Tse(TseConfig::default()),
+            ..RunConfig::default()
+        };
+        let a = run_trace_stored(&stored, &cfg).unwrap();
+        let b = run_trace_streamed(stored.name(), Cursor::new(cur.into_inner()), &cfg).unwrap();
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.spin_misses, b.spin_misses);
+    }
+
+    #[test]
+    fn streamed_replay_rejects_node_count_mismatch() {
+        let stored = StoredTrace::from_workload(&Em3d::scaled(0.03), 1); // 16 nodes
+        let mut cur = Cursor::new(Vec::new());
+        stored.save_tsb1(&mut cur).unwrap();
+        let cfg = RunConfig {
+            sys: SystemConfig::builder()
+                .nodes(4)
+                .torus(2, 2)
+                .build()
+                .unwrap(),
+            ..RunConfig::default()
+        };
+        match run_trace_streamed("t", Cursor::new(cur.into_inner()), &cfg) {
+            Err(StreamedReplayError::Config(_)) => {}
+            other => panic!("expected a config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streamed_replay_surfaces_corruption() {
+        let stored = StoredTrace::from_workload(&Em3d::scaled(0.03), 1);
+        let mut cur = Cursor::new(Vec::new());
+        stored.save_tsb1(&mut cur).unwrap();
+        let mut bytes = cur.into_inner();
+        // Flip a bit in some block payload past the header.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let cfg = RunConfig::default();
+        match run_trace_streamed("t", Cursor::new(bytes), &cfg) {
+            Err(StreamedReplayError::Trace(_)) => {}
+            other => panic!("expected a trace error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,18 +1,184 @@
-//! Parallel experiment driver.
+//! Persistent parallel sweep executor.
 //!
 //! Figure sweeps run many independent (workload, configuration) pairs;
 //! each builds its own simulator, so they parallelize trivially across
-//! threads. Jobs are distributed over a crossbeam channel to a scoped
-//! worker pool and results are collected under a `parking_lot` mutex,
-//! preserving job order.
+//! threads. Earlier revisions spawned a fresh scoped thread pool inside
+//! every `run_parallel` call — one pool per grid, many pools per figure.
+//! All sweeps now share one persistent [`SweepPool`]: workers are
+//! spawned once, jobs are fed over a channel, and batches from any
+//! number of concurrent (even nested) sweeps interleave freely.
+//!
+//! The submitting thread *participates* in its own batch — it drains the
+//! batch's job queue alongside the workers. That keeps nested
+//! submissions deadlock-free (a batch never waits on pool capacity; at
+//! worst the submitter runs every job itself) and makes `threads = 1`
+//! exactly serial.
 
-use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, OnceLock};
 
-/// Runs `jobs` through `f` on up to `threads` worker threads, returning
-/// results in job order.
+/// A unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads executing submitted jobs.
 ///
-/// `threads = 0` means one thread per available CPU (capped by the job
-/// count).
+/// Workers live as long as the pool (the process, for
+/// [`SweepPool::global`]); dropping a pool disconnects its job channel
+/// and the workers exit after finishing what they hold. A panicking job
+/// never kills a worker: panics are caught and, for
+/// [`SweepPool::run`] batches, re-thrown on the submitting thread.
+///
+/// # Example
+///
+/// ```
+/// let squares = tse_sim::SweepPool::global().run((1u64..=3).collect(), 0, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub struct SweepPool {
+    tx: crossbeam::channel::Sender<Job>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SweepPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SweepPool {
+    /// Spawns a pool of `threads` workers (`0` = one per available
+    /// CPU).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        for i in 0..threads {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("sweep-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panic is the job's problem, not the pool's:
+                        // batch jobs report it to their submitter.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawn sweep worker");
+        }
+        SweepPool { tx, threads }
+    }
+
+    /// The process-wide pool (one worker per available CPU), created on
+    /// first use and shared by every sweep and streamed replay.
+    pub fn global() -> &'static SweepPool {
+        static POOL: OnceLock<SweepPool> = OnceLock::new();
+        POOL.get_or_init(|| SweepPool::new(0))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits one fire-and-forget job (used by the streamed-replay
+    /// decode pipeline; batch sweeps use [`SweepPool::run`]).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .send(Box::new(job))
+            .expect("sweep pool workers alive");
+    }
+
+    /// Runs `jobs` through `f`, returning results in job order.
+    ///
+    /// At most `limit` executors work the batch (`0` = all pool
+    /// workers), one of which is the calling thread itself — the call
+    /// makes progress even when every pool worker is busy with other
+    /// batches, so nesting `run` inside a job cannot deadlock.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the batch still drains (every job runs exactly
+    /// once) and the first panic is then re-thrown here.
+    pub fn run<J, R, F>(&self, jobs: Vec<J>, limit: usize, f: F) -> Vec<R>
+    where
+        J: Send + 'static,
+        R: Send + 'static,
+        F: Fn(J) -> R + Send + Sync + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let limit = if limit == 0 { self.threads } else { limit };
+        let f = Arc::new(f);
+
+        // The batch's private job queue: pool workers and the caller
+        // drain it concurrently; results funnel back over a channel.
+        let (jtx, jrx) = crossbeam::channel::unbounded::<(usize, J)>();
+        for job in jobs.into_iter().enumerate() {
+            jtx.send(job).expect("batch queue open");
+        }
+        drop(jtx);
+        let (rtx, rrx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        for _ in 0..n.min(limit).saturating_sub(1) {
+            let jrx = jrx.clone();
+            let f = Arc::clone(&f);
+            let rtx = rtx.clone();
+            self.execute(move || {
+                while let Some((idx, job)) = jrx.try_recv() {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(job)));
+                    if rtx.send((idx, r)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(rtx);
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        {
+            let mut completed = 0usize;
+            let mut book = |idx: usize, r: std::thread::Result<R>| match r {
+                Ok(v) => out[idx] = Some(v),
+                Err(p) => {
+                    panic.get_or_insert(p);
+                }
+            };
+            // Participate: the caller works the queue like any other
+            // worker.
+            while let Some((idx, job)) = jrx.try_recv() {
+                book(idx, catch_unwind(AssertUnwindSafe(|| f(job))));
+                completed += 1;
+            }
+            // Then wait out the jobs other workers picked up.
+            while completed < n {
+                let (idx, r) = rrx.recv().expect("every dispatched job reports");
+                book(idx, r);
+                completed += 1;
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every job completed"))
+            .collect()
+    }
+}
+
+/// Runs `jobs` through `f` on up to `threads` executors of the global
+/// [`SweepPool`], returning results in job order.
+///
+/// `threads = 0` means every pool worker (one per available CPU);
+/// `threads = 1` runs the jobs serially on the calling thread.
 ///
 /// # Example
 ///
@@ -22,52 +188,14 @@ use parking_lot::Mutex;
 /// ```
 pub fn run_parallel<J, R, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<R>
 where
-    J: Send,
-    R: Send,
-    F: Fn(J) -> R + Sync,
+    J: Send + 'static,
+    R: Send + 'static,
+    F: Fn(J) -> R + Send + Sync + 'static,
 {
-    let n_jobs = jobs.len();
-    if n_jobs == 0 {
-        return Vec::new();
-    }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(n_jobs);
-
-    if threads <= 1 {
+    if threads == 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(f).collect();
     }
-
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, J)>();
-    for job in jobs.into_iter().enumerate() {
-        tx.send(job).expect("queue open");
-    }
-    drop(tx);
-
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let results = &results;
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((idx, job)) = rx.recv() {
-                    let r = f(job);
-                    results.lock()[idx] = Some(r);
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job completed"))
-        .collect()
+    SweepPool::global().run(jobs, threads, f)
 }
 
 #[cfg(test)]
@@ -89,10 +217,25 @@ mod tests {
     }
 
     #[test]
+    fn order_is_stable_under_variable_job_cost() {
+        // Job durations vary wildly; completion order scrambles but
+        // results must come back in submission order.
+        let jobs: Vec<u64> = (0..40).collect();
+        let r = run_parallel(jobs, 0, |x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 3
+        });
+        assert_eq!(r, (0..40).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn all_jobs_execute_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let r = run_parallel((0..50).collect(), 4, |x: usize| {
-            counter.fetch_add(1, Ordering::SeqCst);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let r = run_parallel((0..50).collect(), 4, move |x: usize| {
+            c.fetch_add(1, Ordering::SeqCst);
             x
         });
         assert_eq!(r.len(), 50);
@@ -109,5 +252,59 @@ mod tests {
     fn zero_means_auto() {
         let r = run_parallel(vec![5u8; 10], 0, |x| x as u32);
         assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_batch_drains() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let e = Arc::clone(&executed);
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            run_parallel((0..20).collect::<Vec<usize>>(), 4, move |x| {
+                e.fetch_add(1, Ordering::SeqCst);
+                assert!(x != 7, "job 7 fails");
+                x
+            })
+        }));
+        assert!(result.is_err(), "the job panic must reach the caller");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            20,
+            "a panic must not cancel the rest of the batch"
+        );
+        // The pool survives and keeps serving batches.
+        let r = run_parallel(vec![1u8, 2], 4, |x| x);
+        assert_eq!(r, vec![1, 2]);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        // Saturate the pool with jobs that each submit an inner batch:
+        // caller participation guarantees progress even with every
+        // worker occupied.
+        let outer = run_parallel((0..8u64).collect(), 0, |x| {
+            run_parallel((0..8u64).collect(), 0, move |y| x * 10 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(outer.len(), 8);
+        assert_eq!(outer[2], (20..28).sum::<u64>());
+    }
+
+    #[test]
+    fn private_pools_run_batches_and_shut_down() {
+        let pool = SweepPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let r = pool.run((0..10u32).collect(), 0, |x| x + 1);
+        assert_eq!(r, (1..=10).collect::<Vec<_>>());
+        drop(pool); // workers exit on channel disconnect
+    }
+
+    #[test]
+    fn execute_runs_detached_jobs() {
+        let (tx, rx) = mpsc::channel();
+        SweepPool::global().execute(move || {
+            tx.send(41 + 1).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(42));
     }
 }

@@ -56,7 +56,7 @@ mod reader;
 mod varint;
 mod writer;
 
-pub use reader::{read_tsb1, TraceReader};
+pub use reader::{decode_block, read_tsb1, RawBlock, TraceReader};
 pub use writer::{write_tsb1, TraceWriter};
 
 use tse_types::NodeId;

@@ -248,37 +248,104 @@ impl<R: Read> TraceReader<R> {
                 Ok(true)
             }
             TRAILER_TAG => {
-                if tag_offset != self.header.trailer_offset {
-                    return Err(TraceIoError::corrupt(
-                        tag_offset,
-                        format!(
-                            "trailer at byte {tag_offset}, header says {}",
-                            self.header.trailer_offset
-                        ),
-                    ));
-                }
-                let body = self.read_payload("trailer")?;
-                let meta = parse_trailer(&body, &self.header, tag_offset)?;
-                if !self.seeked
-                    && (self.records_read != self.header.records
-                        || self.blocks_read != self.header.block_count)
-                {
-                    return Err(TraceIoError::corrupt(
-                        tag_offset,
-                        format!(
-                            "decoded {} records in {} blocks, header says {} in {}",
-                            self.records_read,
-                            self.blocks_read,
-                            self.header.records,
-                            self.header.block_count
-                        ),
-                    ));
-                }
-                if self.meta.is_none() {
-                    self.meta = Some(meta);
-                }
-                self.finished = true;
+                self.finish_at_trailer(tag_offset)?;
                 Ok(false)
+            }
+            other => Err(TraceIoError::corrupt(
+                tag_offset,
+                format!("unknown tag byte {other:#04x}"),
+            )),
+        }
+    }
+
+    /// Validates and consumes the trailer found at `tag_offset` (its tag
+    /// byte already read), checking the sequential record/block counts
+    /// and capturing the metadata.
+    fn finish_at_trailer(&mut self, tag_offset: u64) -> Result<(), TraceIoError> {
+        if tag_offset != self.header.trailer_offset {
+            return Err(TraceIoError::corrupt(
+                tag_offset,
+                format!(
+                    "trailer at byte {tag_offset}, header says {}",
+                    self.header.trailer_offset
+                ),
+            ));
+        }
+        let body = self.read_payload("trailer")?;
+        let meta = parse_trailer(&body, &self.header, tag_offset)?;
+        if !self.seeked
+            && (self.records_read != self.header.records
+                || self.blocks_read != self.header.block_count)
+        {
+            return Err(TraceIoError::corrupt(
+                tag_offset,
+                format!(
+                    "decoded {} records in {} blocks, header says {} in {}",
+                    self.records_read,
+                    self.blocks_read,
+                    self.header.records,
+                    self.header.block_count
+                ),
+            ));
+        }
+        if self.meta.is_none() {
+            self.meta = Some(meta);
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Reads the next block *raw*: CRC-validated but still encoded.
+    /// Returns `None` at the (validated) trailer.
+    ///
+    /// This is the producer half of pipelined replay: a reader thread
+    /// pulls raw blocks off the file while [`decode_block`] turns them
+    /// into records elsewhere (each block decodes independently — the
+    /// codec state resets at block boundaries). Raw reads share the
+    /// sequential cursor with record iteration, so they must not be
+    /// issued while a block is partially iterated.
+    ///
+    /// # Errors
+    ///
+    /// Any structural failure, as record iteration would report it, plus
+    /// [`TraceIoError::Corrupt`] when called mid-block.
+    pub fn next_raw_block(&mut self) -> Result<Option<RawBlock>, TraceIoError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.block_remaining != 0 {
+            return Err(TraceIoError::corrupt(
+                self.block_offset,
+                "raw block requested while a block is partially iterated",
+            ));
+        }
+        let tag_offset = self.offset;
+        let mut tag = [0u8; 1];
+        read_exact(&mut self.src, &mut tag, "block tag")?;
+        self.offset += 1;
+        match tag[0] {
+            BLOCK_TAG => {
+                let records = self.read_varint("block header")?;
+                if records == 0 || records > u64::from(self.header.block_len) {
+                    return Err(TraceIoError::corrupt(
+                        tag_offset,
+                        format!("block record count {records} out of range"),
+                    ));
+                }
+                let payload = self.read_payload("block")?;
+                let index = self.blocks_read;
+                self.blocks_read += 1;
+                self.records_read += records;
+                Ok(Some(RawBlock {
+                    index,
+                    records,
+                    offset: tag_offset,
+                    payload,
+                }))
+            }
+            TRAILER_TAG => {
+                self.finish_at_trailer(tag_offset)?;
+                Ok(None)
             }
             other => Err(TraceIoError::corrupt(
                 tag_offset,
@@ -473,6 +540,52 @@ fn parse_trailer(body: &[u8], header: &Header, at: u64) -> Result<TraceMeta, Tra
         blocks,
         nodes,
     })
+}
+
+/// One still-encoded block pulled off a trace by
+/// [`TraceReader::next_raw_block`]: CRC-checked payload bytes plus the
+/// record count the block header declared.
+#[derive(Debug, Clone)]
+pub struct RawBlock {
+    /// Position of the block in the trace (0-based).
+    pub index: u32,
+    /// Records encoded in the payload.
+    pub records: u64,
+    /// Absolute byte offset of the block's tag (error reporting).
+    pub offset: u64,
+    /// The delta-coded record bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Decodes a raw block into its records. Blocks are self-contained
+/// (per-node codec state resets at block boundaries), so any number of
+/// raw blocks decode independently — on worker threads, in any order.
+///
+/// # Errors
+///
+/// [`TraceIoError::Corrupt`] if the payload does not decode into
+/// exactly the declared record count.
+pub fn decode_block(block: &RawBlock) -> Result<Vec<AccessRecord>, TraceIoError> {
+    let mut dec = CodecState::default();
+    dec.next_block();
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(usize::try_from(block.records).unwrap_or(0).min(1 << 22));
+    for _ in 0..block.records {
+        let rec = decode_record(&mut dec, &block.payload, &mut pos).ok_or_else(|| {
+            TraceIoError::corrupt(
+                block.offset,
+                format!("undecodable record in block {}", block.index),
+            )
+        })?;
+        out.push(rec);
+    }
+    if pos != block.payload.len() {
+        return Err(TraceIoError::corrupt(
+            block.offset,
+            "trailing bytes after last record of block",
+        ));
+    }
+    Ok(out)
 }
 
 /// `read_exact` with EOF mapped to [`TraceIoError::Truncated`].

@@ -92,6 +92,34 @@ impl Tpcc {
             txns_per_node: scale_usize(400, 20),
         }
     }
+
+    /// Overrides the warehouse count independently of the uniform scale
+    /// factor: more warehouses spread the migratory hot sets over more
+    /// (warehouse, district) pairs, exploring database sizes beyond the
+    /// paper's 10 GB / 100-warehouse operating point.
+    #[must_use]
+    pub fn with_warehouses(mut self, warehouses: usize) -> Self {
+        self.warehouses = warehouses.max(1);
+        self
+    }
+
+    /// Overrides the per-node transaction count independently of the
+    /// uniform scale factor (trace length without changing the data
+    /// set).
+    #[must_use]
+    pub fn with_txns_per_node(mut self, txns: usize) -> Self {
+        self.txns_per_node = txns.max(1);
+        self
+    }
+
+    /// Overrides the random-stock pool size independently of the
+    /// uniform scale factor (the uncorrelated working set that defeats
+    /// caching).
+    #[must_use]
+    pub fn with_stock_lines(mut self, lines: usize) -> Self {
+        self.stock_lines = lines.max(1);
+        self
+    }
 }
 
 impl Workload for Tpcc {
@@ -341,6 +369,35 @@ mod tests {
             }
         }
         assert!(multi > 0, "some combo must be executed twice");
+    }
+
+    #[test]
+    fn scaling_knobs_are_independent() {
+        let base = Tpcc::scaled(OltpFlavor::Db2, 0.05);
+        let wide = base
+            .clone()
+            .with_warehouses(base.warehouses * 4)
+            .with_txns_per_node(base.txns_per_node / 2)
+            .with_stock_lines(base.stock_lines * 2);
+        assert_eq!(wide.warehouses, base.warehouses * 4);
+        assert_eq!(wide.txns_per_node, base.txns_per_node / 2);
+        assert_eq!(wide.stock_lines, base.stock_lines * 2);
+        // Trace length follows txns_per_node; hot-set spread follows
+        // warehouses (more distinct hot-walk base addresses).
+        let count = |wl: &Tpcc, seed| wl.generate(seed).iter().flatten().count();
+        assert!(count(&wide, 5) < count(&base, 5));
+        let distinct_bases = |wl: &Tpcc| {
+            let mut bases = std::collections::HashSet::new();
+            for recs in wl.generate(5) {
+                for w in recs.windows(2) {
+                    if w[1].pc == 0x410 && w[0].pc != 0x410 {
+                        bases.insert(w[1].line.index());
+                    }
+                }
+            }
+            bases.len()
+        };
+        assert!(distinct_bases(&wide) > distinct_bases(&base));
     }
 
     #[test]

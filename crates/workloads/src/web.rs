@@ -78,6 +78,25 @@ impl WebServer {
             requests_per_node: scale_usize(650, 30),
         }
     }
+
+    /// Overrides the file-set size independently of the uniform scale
+    /// factor: more files flatten the Zipf head and shorten recurring
+    /// streams, exploring content corpora beyond the paper's SPECweb99
+    /// fileset.
+    #[must_use]
+    pub fn with_files(mut self, files: usize) -> Self {
+        self.files = files.max(1);
+        self
+    }
+
+    /// Overrides the per-node request count independently of the
+    /// uniform scale factor (trace length without changing the
+    /// content set).
+    #[must_use]
+    pub fn with_requests_per_node(mut self, requests: usize) -> Self {
+        self.requests_per_node = requests.max(1);
+        self
+    }
 }
 
 impl Workload for WebServer {
@@ -305,6 +324,32 @@ mod tests {
             (max as f64) > mean * 3.0,
             "Zipf popularity must concentrate serves (max {max}, mean {mean:.1})"
         );
+    }
+
+    #[test]
+    fn scaling_knobs_are_independent() {
+        let base = WebServer::scaled(WebFlavor::Zeus, 0.05);
+        let wide = base
+            .clone()
+            .with_files(base.files * 8)
+            .with_requests_per_node(base.requests_per_node * 2);
+        assert_eq!(wide.files, base.files * 8);
+        assert_eq!(wide.requests_per_node, base.requests_per_node * 2);
+        let count = |wl: &WebServer| wl.generate(3).iter().flatten().count();
+        assert!(count(&wide) > count(&base));
+        // A wider file set spreads serves over more distinct stat lines.
+        let distinct_stats = |wl: &WebServer| {
+            let mut stats = std::collections::HashSet::new();
+            for recs in wl.generate(3) {
+                for r in recs {
+                    if r.pc == 0x510 {
+                        stats.insert(r.line.index());
+                    }
+                }
+            }
+            stats.len()
+        };
+        assert!(distinct_stats(&wide) > distinct_stats(&base));
     }
 
     #[test]

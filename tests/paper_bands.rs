@@ -4,7 +4,7 @@
 //! absolute numbers of the authors' Simics testbed.
 
 use temporal_streaming::sim::{
-    run_timing, run_trace, run_trace_stored, EngineKind, RunConfig, StoredTrace,
+    run_timing, run_trace, run_trace_stored, EngineKind, RunConfig, StoredTrace, StreamScope,
 };
 use temporal_streaming::types::{SystemConfig, TseConfig};
 use temporal_streaming::workloads::{suite, Em3d, OltpFlavor, Tpcc, WorkloadKind};
@@ -267,6 +267,101 @@ fn spin_filter_band() {
         "filtering spins must not cost coverage ({:.3} vs {:.3})",
         on.coverage(),
         off.coverage()
+    );
+}
+
+/// Ablation promoted from `experiments --bin ablations` (paper §3.3's
+/// half-queue chunked-refill policy): coverage is insensitive to the
+/// CMOB forwarding chunk size — refills happen off the critical path —
+/// while larger chunks ship more speculative addresses per stream, so
+/// address-stream traffic grows with the chunk.
+#[test]
+fn cmob_chunk_band() {
+    let trace = StoredTrace::from_workload(&Em3d::scaled(SCALE), 42);
+    let run = |chunk: usize| {
+        let tse = TseConfig {
+            chunk,
+            lookahead: 18,
+            ..TseConfig::default()
+        };
+        run_trace_stored(
+            &trace,
+            &RunConfig {
+                engine: EngineKind::Tse(tse),
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let small = run(4);
+    let big = run(64);
+    assert!(
+        (small.coverage() - big.coverage()).abs() < 0.02,
+        "coverage must be chunk-insensitive ({:.3} vs {:.3})",
+        small.coverage(),
+        big.coverage()
+    );
+    assert!(
+        big.traffic.stream_address_bytes as f64 > 1.3 * small.traffic.stream_address_bytes as f64,
+        "bigger chunks must ship more speculative addresses ({} vs {})",
+        big.traffic.stream_address_bytes,
+        small.traffic.stream_address_bytes
+    );
+    for r in [&small, &big] {
+        assert!(
+            r.traffic.overhead_ratio() < 0.2,
+            "em3d streaming overhead must stay small ({:.3})",
+            r.traffic.overhead_ratio()
+        );
+    }
+}
+
+/// Ablation promoted from `experiments --bin ablations` (the paper's
+/// Section 2 "generalized address streams" extension): recording and
+/// streaming *all* read misses covers strictly more misses than
+/// coherent-only streaming (cold/capacity misses become coverable), at
+/// the cost of more order recording and more overhead traffic, without
+/// collapsing the coverage rate.
+#[test]
+fn generalized_streams_band() {
+    let cfg = RunConfig::default();
+    let trace = StoredTrace::from_workload(&Tpcc::scaled(OltpFlavor::Db2, SCALE), cfg.seed);
+    let run = |scope: StreamScope| {
+        run_trace_stored(
+            &trace,
+            &RunConfig {
+                engine: EngineKind::Tse(TseConfig::default()),
+                stream_scope: scope,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let coherent = run(StreamScope::CoherentReads);
+    let all = run(StreamScope::AllReads);
+    assert!(
+        all.engine.covered as f64 > 1.05 * coherent.engine.covered as f64,
+        "generalized streams must cover more misses ({} vs {})",
+        all.engine.covered,
+        coherent.engine.covered
+    );
+    assert!(
+        all.engine.cmob_appends > coherent.engine.cmob_appends,
+        "streaming all reads must record more order entries ({} vs {})",
+        all.engine.cmob_appends,
+        coherent.engine.cmob_appends
+    );
+    assert!(
+        all.traffic.overhead_ratio() > coherent.traffic.overhead_ratio(),
+        "generalized streams must cost more overhead traffic ({:.3} vs {:.3})",
+        all.traffic.overhead_ratio(),
+        coherent.traffic.overhead_ratio()
+    );
+    assert!(
+        all.coverage() > coherent.coverage() - 0.10,
+        "the coverage rate must not collapse ({:.3} vs {:.3})",
+        all.coverage(),
+        coherent.coverage()
     );
 }
 

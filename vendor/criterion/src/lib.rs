@@ -13,10 +13,28 @@ pub use std::hint::black_box;
 /// Samples collected per benchmark.
 const SAMPLES: usize = 11;
 
+/// One finished benchmark's timings, in nanoseconds per iteration.
+///
+/// Not part of the real criterion API: this shim records its results so
+/// harnesses (e.g. the `tse-bench` baseline emitter) can persist them
+/// instead of scraping stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/name` for grouped benchmarks).
+    pub name: String,
+    /// Median across samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
 /// The benchmark driver.
 pub struct Criterion {
     sample_size: usize,
     target_time: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -24,6 +42,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: SAMPLES,
             target_time: Duration::from_millis(300),
+            results: Vec::new(),
         }
     }
 }
@@ -48,8 +67,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, self.target_time, &mut f);
+        let r = run_bench(name, self.sample_size, self.target_time, &mut f);
+        self.results.push(r);
         self
+    }
+
+    /// Results of every benchmark run through this driver so far
+    /// (shim extension; see [`BenchResult`]).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Opens a named group of benchmarks.
@@ -74,12 +100,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{name}", self.name);
-        run_bench(
+        let r = run_bench(
             &full,
             self.criterion.sample_size,
             self.criterion.target_time,
             &mut f,
         );
+        self.criterion.results.push(r);
         self
     }
 
@@ -130,7 +157,12 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, target: Duration, f: &mut F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    target: Duration,
+    f: &mut F,
+) -> BenchResult {
     // Calibrate: find an iteration count that runs for ~1/samples of the
     // target time, starting from one timed iteration.
     let mut b = Bencher {
@@ -158,6 +190,12 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, target: Duratio
     println!(
         "{name:<40} {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {iters} iters x {samples})"
     );
+    BenchResult {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: lo,
+        max_ns: hi,
+    }
 }
 
 /// Declares a benchmark group, mirroring criterion's two forms.
@@ -211,6 +249,12 @@ mod tests {
             .sample_size(3)
             .measurement_time(Duration::from_millis(5));
         quick(&mut c);
+        let names: Vec<&str> = c.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["sum", "grouped/batched"]);
+        assert!(c
+            .results()
+            .iter()
+            .all(|r| r.median_ns > 0.0 && r.min_ns <= r.median_ns && r.median_ns <= r.max_ns));
     }
 
     criterion_group!(smoke, quick);
