@@ -22,12 +22,13 @@ use tse_sim::{
     run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind, RunConfig,
     StoredTrace,
 };
+use tse_trace::corpus::{Corpus, CorpusWriter};
 use tse_trace::store::{is_tsb1, TraceReader, TraceWriter};
 use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
 use tse_types::{SystemConfig, TseConfig};
-use tse_workloads::suite;
+use tse_workloads::{suite_specs, workload_by_name, SUITE_ORDER};
 
-const USAGE: &str = "tracectl — generate, inspect, convert and replay memory traces
+const USAGE: &str = "tracectl — generate, inspect, convert, replay and manage memory traces
 
 USAGE:
   tracectl gen --workload <name> --out <path> [--scale <f>] [--seed <n>]
@@ -41,6 +42,15 @@ USAGE:
       a node count when the input carries none, e.g. JSONL)
   tracectl replay <path> [--engine tse|base] [--lookahead <n>] [--nodes <n>]
       replay a stored trace through the trace-driven harness
+  tracectl corpus gen --dir <d> [--scales <f,..>] [--seeds <n,..>] [--workloads <w,..>]
+      generate a managed suite of traces (every scale x seed x workload)
+      into <d> with a digest-carrying manifest the figure sweeps can
+      target via TSE_CORPUS (defaults: scale 0.1, seed 42, full suite)
+  tracectl corpus list <dir>
+      print the corpus manifest
+  tracectl corpus verify <dir>
+      recompute every trace's digest and structural metadata against
+      the manifest; exits nonzero on any mismatch
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +60,14 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("corpus") => match args.get(1).map(String::as_str) {
+            Some("gen") => cmd_corpus_gen(&args[2..]),
+            Some("list") => cmd_corpus_list(&args[2..]),
+            Some("verify") => cmd_corpus_verify(&args[2..]),
+            other => Err(format!(
+                "corpus needs a subcommand (gen, list, verify), got {other:?}\n\n{USAGE}"
+            )),
+        },
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -190,9 +208,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         Some(v) => parse(v, "--seed")?,
         None => 42,
     };
-    let wl = suite(scale)
-        .into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(name))
+    let wl = workload_by_name(name, scale)
         .ok_or_else(|| format!("unknown workload `{name}` (try em3d, DB2, Apache, ...)"))?;
     let per_node = wl.generate(seed);
     let records = write_records(
@@ -355,4 +371,109 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         r.spin_misses,
     );
     Ok(())
+}
+
+/// Parses a comma-separated `--flag` list, or returns the default.
+fn list_opt<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: Vec<T>,
+) -> Result<Vec<T>, String> {
+    match opt(args, flag)? {
+        None => Ok(default),
+        Some(text) => text
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| parse(s, flag))
+            .collect(),
+    }
+}
+
+fn cmd_corpus_gen(args: &[String]) -> Result<(), String> {
+    let dir = opt(args, "--dir")?.ok_or(format!("corpus gen needs --dir\n\n{USAGE}"))?;
+    let scales: Vec<f64> = list_opt(args, "--scales", vec![0.1])?;
+    if scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+        return Err("--scales must be positive numbers".into());
+    }
+    let seeds: Vec<u64> = list_opt(args, "--seeds", vec![42])?;
+    let workloads: Vec<String> = list_opt(args, "--workloads", Vec::new())?;
+    for w in &workloads {
+        if !SUITE_ORDER.iter().any(|s| s.eq_ignore_ascii_case(w)) {
+            return Err(format!(
+                "unknown workload `{w}` (try em3d, DB2, Apache, ...)"
+            ));
+        }
+    }
+    let mut writer = CorpusWriter::create(dir).map_err(|e| e.to_string())?;
+    let mut total_records = 0u64;
+    for spec in suite_specs(&scales, &seeds) {
+        if !workloads.is_empty() && !workloads.iter().any(|w| w.eq_ignore_ascii_case(spec.name)) {
+            continue;
+        }
+        let wl = spec.build();
+        let nodes = u16::try_from(wl.nodes())
+            .map_err(|_| format!("{}: more than {} nodes", spec.name, u16::MAX))?;
+        let per_node = wl.generate(spec.seed);
+        let entry = writer
+            .add_trace(
+                wl.name(),
+                spec.scale,
+                spec.seed,
+                nodes,
+                interleave(per_node.into_iter().map(Vec::into_iter).collect()),
+            )
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {:8} scale {:<5} seed {:<6} -> {} ({} records, {})",
+            entry.workload, entry.scale, entry.seed, entry.path, entry.records, entry.digest
+        );
+        total_records += entry.records;
+    }
+    let n = writer.entries().len();
+    let manifest = writer.finish().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {n} traces ({total_records} records) + manifest v{} to {dir}",
+        manifest.version
+    );
+    Ok(())
+}
+
+fn cmd_corpus_list(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "corpus directory")?;
+    let corpus = Corpus::open(dir).map_err(|e| e.to_string())?;
+    println!(
+        "{dir}: manifest v{}, {} traces",
+        corpus.manifest().version,
+        corpus.entries().len()
+    );
+    println!("  workload scale  seed    nodes  records     path");
+    for e in corpus.entries() {
+        println!(
+            "  {:8} {:<6} {:<7} {:<6} {:<11} {}",
+            e.workload, e.scale, e.seed, e.nodes, e.records, e.path
+        );
+    }
+    Ok(())
+}
+
+fn cmd_corpus_verify(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "corpus directory")?;
+    let corpus = Corpus::open(dir).map_err(|e| e.to_string())?;
+    let issues = corpus.verify();
+    if issues.is_empty() {
+        let records: u64 = corpus.entries().iter().map(|e| e.records).sum();
+        println!(
+            "{dir}: OK — {} traces, {records} records, all digests and metadata verified",
+            corpus.entries().len()
+        );
+        return Ok(());
+    }
+    for issue in &issues {
+        eprintln!("  {issue}");
+    }
+    Err(format!(
+        "{dir}: {} of {} traces failed verification",
+        issues.len(),
+        corpus.entries().len()
+    ))
 }

@@ -5,8 +5,8 @@ use serde_json::{json, Value};
 use std::sync::Arc;
 use tse_prefetch::GhbIndexing;
 use tse_sim::{
-    correlation_curve, run_parallel, run_timing, run_trace, run_trace_stored, EngineKind,
-    RunConfig, Samples, StoredTrace, TimingResult, MAX_DISTANCE,
+    correlation_curve, run_parallel, run_timing_stored, run_trace_stored, EngineKind, RunConfig,
+    Samples, StoredTrace, TimingResult, MAX_DISTANCE,
 };
 use tse_types::TseConfig;
 use tse_workloads::WorkloadKind;
@@ -25,15 +25,17 @@ fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
 }
 
 /// Materializes each suite workload's interleaved trace once per
-/// context (in parallel, at [`FIG_SEED`]), memoized in the context so
-/// `--bin all` pays the generation exactly once across all figures.
-/// Every trace-driven figure replays these across its whole
-/// configuration grid instead of regenerating the workload per cell;
-/// replay is bit-identical to `run_trace`.
-fn stored_suite(ctx: &ExperimentCtx) -> Arc<Vec<StoredTrace>> {
+/// context (in parallel, at [`FIG_SEED`]), resolved through the
+/// context's corpus-backed memo so `--bin all` pays generation (or
+/// corpus load) exactly once across all figures. Every figure — trace
+/// *and* timing — replays these across its whole configuration grid
+/// instead of regenerating the workload per cell; replay is
+/// bit-identical to the generate-and-run path.
+fn stored_suite(ctx: &ExperimentCtx) -> Arc<Vec<Arc<StoredTrace>>> {
     Arc::clone(ctx.stored_traces.get_or_init(|| {
-        Arc::new(run_parallel(ctx.suite(), 0, |wl| {
-            StoredTrace::from_workload(wl.as_ref(), FIG_SEED)
+        let c = ctx.clone();
+        Arc::new(run_parallel(ctx.suite(), 0, move |wl| {
+            c.trace_for(wl.as_ref(), FIG_SEED)
         }))
     }))
 }
@@ -94,13 +96,15 @@ pub fn tables12(ctx: &ExperimentCtx) -> Value {
 /// distance (±1..±16), per application.
 pub fn fig06(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 6: temporal correlation distance (cumulative % of consumptions) ==");
+    let traces = stored_suite(ctx);
     let c = ctx.clone();
-    let curves = run_parallel(ctx.suite(), 0, move |wl| {
+    let tr = Arc::clone(&traces);
+    let curves = run_parallel((0..traces.len()).collect(), 0, move |idx| {
         let mut cfg = run_cfg(&c, EngineKind::Baseline);
         cfg.collect_consumptions = true;
-        let r = run_trace(wl.as_ref(), &cfg).expect("baseline run");
+        let r = run_trace_stored(&tr[idx], &cfg).expect("baseline run");
         let curve = correlation_curve(c.sys.nodes, &r.consumptions);
-        (wl.name().to_string(), curve)
+        (tr[idx].name().to_string(), curve)
     });
 
     let mut header = vec!["app".to_string()];
@@ -368,12 +372,14 @@ pub fn fig10(ctx: &ExperimentCtx) -> Value {
 /// overhead to baseline traffic annotated.
 pub fn fig11(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 11: interconnect bisection bandwidth overhead ==");
+    let traces = stored_suite(ctx);
     let c = ctx.clone();
-    let results = run_parallel(ctx.suite(), 0, move |wl| {
-        let tse = tse_config_for(wl.name());
-        let r =
-            run_timing(wl.as_ref(), &c.sys, &EngineKind::Tse(tse), 42, 0.25).expect("timing run");
-        (wl.name().to_string(), r)
+    let tr = Arc::clone(&traces);
+    let results = run_parallel((0..traces.len()).collect(), 0, move |idx| {
+        let tse = tse_config_for(tr[idx].name());
+        let r = run_timing_stored(&tr[idx], &c.sys, &EngineKind::Tse(tse), 0.25)
+            .expect("timing replay");
+        (tr[idx].name().to_string(), r)
     });
 
     println!(
@@ -523,16 +529,18 @@ pub fn fig13(ctx: &ExperimentCtx) -> Value {
 /// full/partial coverage under the timing model.
 pub fn table3(ctx: &ExperimentCtx) -> Value {
     println!("== Table 3: streaming timeliness ==");
+    let traces = stored_suite(ctx);
     let c = ctx.clone();
-    let results = run_parallel(ctx.suite(), 0, move |wl| {
-        let name = wl.name().to_string();
+    let tr = Arc::clone(&traces);
+    let results = run_parallel((0..traces.len()).collect(), 0, move |idx| {
+        let name = tr[idx].name().to_string();
         let tse_cfg = tse_config_for(&name);
-        let trace = run_trace(wl.as_ref(), &run_cfg(&c, EngineKind::Tse(tse_cfg.clone())))
-            .expect("trace run");
-        let base = run_timing(wl.as_ref(), &c.sys, &EngineKind::Baseline, 42, 0.25)
-            .expect("baseline timing");
-        let timed = run_timing(wl.as_ref(), &c.sys, &EngineKind::Tse(tse_cfg), 42, 0.25)
-            .expect("tse timing");
+        let trace = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse_cfg.clone())))
+            .expect("trace replay");
+        let base = run_timing_stored(&tr[idx], &c.sys, &EngineKind::Baseline, 0.25)
+            .expect("baseline timing replay");
+        let timed = run_timing_stored(&tr[idx], &c.sys, &EngineKind::Tse(tse_cfg), 0.25)
+            .expect("tse timing replay");
         (name, trace, base, timed)
     });
 
@@ -594,9 +602,11 @@ pub fn fig14(ctx: &ExperimentCtx) -> Value {
         let tse_cfg = tse_config_for(&name);
         // Scientific runs are deterministic single measurements; the
         // commercial workloads are sampled over several seeds (the
-        // paper's SMARTS-style sampling), yielding 95% CIs.
+        // paper's SMARTS-style sampling), yielding 95% CIs. Each seed's
+        // trace is resolved through the corpus memo once and replayed
+        // under both engines.
         let seeds: Vec<u64> = if wl.kind() == WorkloadKind::Scientific {
-            vec![42]
+            vec![FIG_SEED]
         } else {
             c.seeds.clone()
         };
@@ -604,16 +614,14 @@ pub fn fig14(ctx: &ExperimentCtx) -> Value {
         let mut base_repr: Option<TimingResult> = None;
         let mut tse_repr: Option<TimingResult> = None;
         for &seed in &seeds {
-            let base = run_timing(wl.as_ref(), &c.sys, &EngineKind::Baseline, seed, 0.25)
-                .expect("baseline timing");
-            let tse = run_timing(
-                wl.as_ref(),
-                &c.sys,
-                &EngineKind::Tse(tse_cfg.clone()),
-                seed,
-                0.25,
-            )
-            .expect("tse timing");
+            // `_once`: each sampled trace is replayed exactly twice,
+            // right here — no other figure wants it, so don't pin it
+            // in the memo for the rest of the run.
+            let trace = c.trace_for_once(wl.as_ref(), seed);
+            let base = run_timing_stored(&trace, &c.sys, &EngineKind::Baseline, 0.25)
+                .expect("baseline timing replay");
+            let tse = run_timing_stored(&trace, &c.sys, &EngineKind::Tse(tse_cfg.clone()), 0.25)
+                .expect("tse timing replay");
             speedups.push(tse.speedup_over(&base));
             if base_repr.is_none() {
                 base_repr = Some(base);

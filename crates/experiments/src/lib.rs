@@ -21,17 +21,26 @@
 pub mod figs;
 
 use serde_json::Value;
+use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use tse_sim::StoredTrace;
+use tse_trace::corpus::Corpus;
 use tse_types::{SystemConfig, TseConfig};
 use tse_workloads::{suite, Workload};
 
+/// Memoized stored traces, keyed by `(workload name, scale bits,
+/// seed)`. Scale is part of the key because the context's `scale`
+/// field is public: a clone with an adjusted scale shares this memo
+/// and must not see traces resolved at the old scale.
+type TraceMemo = HashMap<(String, u64, u64), Arc<StoredTrace>>;
+
 /// Shared context for all experiments.
 ///
-/// Cloning is cheap (a few small vectors); sweep closures running on
-/// the persistent [`tse_sim::SweepPool`] each own a clone.
+/// Cloning is cheap (a few small vectors plus shared handles); sweep
+/// closures running on the persistent [`tse_sim::SweepPool`] each own a
+/// clone.
 #[derive(Clone)]
 pub struct ExperimentCtx {
     /// Workload scale factor in `(0, 1]`.
@@ -42,16 +51,25 @@ pub struct ExperimentCtx {
     pub seeds: Vec<u64>,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
-    /// Lazily-materialized stored traces of the suite, shared across
-    /// every figure run from this context (and its clones) so `--bin
-    /// all` generates the trace set once, not once per figure. See
-    /// `figs::stored_suite`.
-    pub(crate) stored_traces: Arc<OnceLock<Arc<Vec<StoredTrace>>>>,
+    /// Trace corpus directory (`TSE_CORPUS`), if set: every figure
+    /// resolves `(workload, scale, seed)` against it before falling
+    /// back to in-process generation.
+    pub corpus_dir: Option<PathBuf>,
+    /// The opened corpus, loaded once per context family.
+    corpus: Arc<OnceLock<Option<Corpus>>>,
+    /// Per-`(workload, seed)` stored traces, shared across every figure
+    /// run from this context (and its clones) so `--bin all` resolves
+    /// each trace exactly once — from the corpus when available, else
+    /// by generating. See [`ExperimentCtx::trace_for`].
+    trace_memo: Arc<Mutex<TraceMemo>>,
+    /// The suite's traces at the figure seed, materialized lazily in
+    /// parallel. See `figs::stored_suite`.
+    pub(crate) stored_traces: Arc<OnceLock<Arc<Vec<Arc<StoredTrace>>>>>,
 }
 
 impl ExperimentCtx {
-    /// Builds a context from `TSE_SCALE` / `TSE_SEEDS` environment
-    /// variables, with the paper's Table 1 machine.
+    /// Builds a context from `TSE_SCALE` / `TSE_SEEDS` / `TSE_CORPUS`
+    /// environment variables, with the paper's Table 1 machine.
     pub fn from_env() -> Self {
         let scale = std::env::var("TSE_SCALE")
             .ok()
@@ -63,11 +81,18 @@ impl ExperimentCtx {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|n| *n >= 1)
             .unwrap_or(5);
+        let corpus_dir = std::env::var("TSE_CORPUS")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from);
         ExperimentCtx {
             scale,
             sys: SystemConfig::default(),
             seeds: (0..n_seeds as u64).map(|i| 1000 + 7 * i).collect(),
             out_dir: PathBuf::from("target/experiments"),
+            corpus_dir,
+            corpus: Arc::new(OnceLock::new()),
+            trace_memo: Arc::new(Mutex::new(HashMap::new())),
             stored_traces: Arc::new(OnceLock::new()),
         }
     }
@@ -75,6 +100,96 @@ impl ExperimentCtx {
     /// The seven-application suite at this context's scale.
     pub fn suite(&self) -> Vec<Box<dyn Workload>> {
         suite(self.scale)
+    }
+
+    /// The stored trace of `wl` at `seed`, memoized across the context
+    /// family: resolved from the corpus (`TSE_CORPUS`) when it holds a
+    /// matching `(workload, scale, seed)` entry of the right node
+    /// count, generated in-process otherwise. Either way the records
+    /// are identical — generation is deterministic and corpus entries
+    /// are digest-pinned — so every figure replays the same trace
+    /// whether or not a corpus is mounted.
+    pub fn trace_for(&self, wl: &dyn Workload, seed: u64) -> Arc<StoredTrace> {
+        let key = (wl.name().to_string(), self.scale.to_bits(), seed);
+        if let Some(t) = self.trace_memo.lock().expect("memo lock").get(&key) {
+            return Arc::clone(t);
+        }
+        // Resolve outside the lock: generation/loading is the expensive
+        // part and concurrent workers resolve *different* workloads.
+        let trace = Arc::new(self.resolve_trace(wl, seed));
+        Arc::clone(
+            self.trace_memo
+                .lock()
+                .expect("memo lock")
+                .entry(key)
+                .or_insert(trace),
+        )
+    }
+
+    /// Like [`ExperimentCtx::trace_for`], but without retaining a new
+    /// resolution in the memo — for traces only one figure replays
+    /// (fig14's sampled commercial seeds), which would otherwise stay
+    /// pinned in memory for the process lifetime. Memo hits are still
+    /// shared.
+    pub fn trace_for_once(&self, wl: &dyn Workload, seed: u64) -> Arc<StoredTrace> {
+        let key = (wl.name().to_string(), self.scale.to_bits(), seed);
+        if let Some(t) = self.trace_memo.lock().expect("memo lock").get(&key) {
+            return Arc::clone(t);
+        }
+        Arc::new(self.resolve_trace(wl, seed))
+    }
+
+    fn resolve_trace(&self, wl: &dyn Workload, seed: u64) -> StoredTrace {
+        if let Some(corpus) = self.corpus() {
+            if let Some(entry) = corpus.find(wl.name(), self.scale, seed) {
+                let path = corpus.path_of(entry);
+                // Check the manifest's node count before paying to load
+                // and decode a trace that would only be discarded.
+                if usize::from(entry.nodes) != wl.nodes() {
+                    eprintln!(
+                        "warning: corpus trace {} has {} nodes, workload wants {}; regenerating",
+                        path.display(),
+                        entry.nodes,
+                        wl.nodes()
+                    );
+                    return StoredTrace::from_workload(wl, seed);
+                }
+                // Named after the workload (not the file stem) so figure
+                // labels and replay results match the generation path.
+                let loaded = fs::File::open(&path)
+                    .map_err(tse_trace::TraceIoError::Io)
+                    .and_then(|f| StoredTrace::load_tsb1(wl.name(), std::io::BufReader::new(f)));
+                match loaded {
+                    Ok(t) if t.nodes() == wl.nodes() => return t,
+                    Ok(t) => eprintln!(
+                        "warning: corpus trace {} has {} nodes, workload wants {}; regenerating",
+                        path.display(),
+                        t.nodes(),
+                        wl.nodes()
+                    ),
+                    Err(e) => eprintln!(
+                        "warning: cannot load corpus trace {}: {e}; regenerating",
+                        path.display()
+                    ),
+                }
+            }
+        }
+        StoredTrace::from_workload(wl, seed)
+    }
+
+    fn corpus(&self) -> Option<&Corpus> {
+        self.corpus
+            .get_or_init(|| {
+                let dir = self.corpus_dir.as_ref()?;
+                match Corpus::open(dir) {
+                    Ok(c) => Some(c),
+                    Err(e) => {
+                        eprintln!("warning: cannot open corpus {}: {e}", dir.display());
+                        None
+                    }
+                }
+            })
+            .as_ref()
     }
 
     /// Persists a JSON result under `out_dir`.

@@ -1,6 +1,6 @@
 //! Full-map directory for the invalidation protocol.
 
-use crate::FastHashMap;
+use crate::LineMap;
 use tse_types::{Line, NodeId};
 
 /// Sharing state of a line at its home directory.
@@ -41,6 +41,14 @@ impl DirectoryEntry {
     }
 }
 
+impl Default for DirectoryEntry {
+    /// An `Uncached`, never-written entry — the state every line starts
+    /// in (also the placeholder [`LineMap`] stores in empty slots).
+    fn default() -> Self {
+        DirectoryEntry::new()
+    }
+}
+
 /// Outcome of a fused read-miss directory transaction
 /// ([`Directory::read_fill`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +66,11 @@ pub struct WriteGrant {
     pub invalidated: u64,
     /// The entry's write-generation counter after the acquisition.
     pub version: u64,
+    /// True if the writer already held the line exclusively (a silent
+    /// upgrade: no state change, no version bump). Reported so
+    /// [`crate::DsmSystem`] can detect silent store hits without a
+    /// second directory lookup.
+    pub was_exclusive: bool,
 }
 
 /// A full-map directory covering the whole simulated address space.
@@ -80,7 +93,7 @@ pub struct WriteGrant {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Directory {
-    entries: FastHashMap<Line, DirectoryEntry>,
+    entries: LineMap<DirectoryEntry>,
     nodes: usize,
 }
 
@@ -97,7 +110,7 @@ impl Directory {
             "directory supports 1..=64 nodes, got {nodes}"
         );
         Directory {
-            entries: FastHashMap::default(),
+            entries: LineMap::new(),
             nodes,
         }
     }
@@ -120,14 +133,11 @@ impl Directory {
     /// Returns the entry for a line (an `Uncached`, never-written entry if
     /// the line has no state yet).
     pub fn entry(&self, line: Line) -> DirectoryEntry {
-        self.entries
-            .get(&line)
-            .copied()
-            .unwrap_or_else(DirectoryEntry::new)
+        self.entries.get(line).unwrap_or_default()
     }
 
     fn entry_mut(&mut self, line: Line) -> &mut DirectoryEntry {
-        self.entries.entry(line).or_insert_with(DirectoryEntry::new)
+        self.entries.get_or_insert_with(line, DirectoryEntry::new)
     }
 
     fn mask(node: NodeId) -> u64 {
@@ -199,6 +209,7 @@ impl Directory {
                     return WriteGrant {
                         invalidated: 0,
                         version: e.version,
+                        was_exclusive: true,
                     };
                 }
                 Self::mask(owner)
@@ -210,6 +221,7 @@ impl Directory {
         WriteGrant {
             invalidated,
             version: e.version,
+            was_exclusive: false,
         }
     }
 
@@ -219,7 +231,7 @@ impl Directory {
     /// Returns true if the node was the exclusive owner (the caller should
     /// account a dirty writeback).
     pub fn remove_node(&mut self, node: NodeId, line: Line) -> bool {
-        let Some(e) = self.entries.get_mut(&line) else {
+        let Some(e) = self.entries.get_mut(line) else {
             return false;
         };
         match e.state {

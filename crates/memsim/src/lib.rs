@@ -39,12 +39,13 @@
 
 mod cache;
 mod directory;
-mod hasher;
+mod linemap;
 mod stats;
 mod system;
 
 pub use cache::SetAssocCache;
 pub use directory::{DirState, Directory, DirectoryEntry, ReadFill, WriteGrant};
-pub use hasher::{FastHashMap, FastHashSet, FastHasher};
+pub use linemap::LineMap;
 pub use stats::MemStats;
 pub use system::{DsmSystem, FillPath, HitLevel, MissClass, MissInfo, ReadOutcome, WriteOutcome};
+pub use tse_types::{FastHashMap, FastHashSet, FastHasher};

@@ -1,6 +1,7 @@
 //! The DSM system model: per-node cache hierarchies + directory protocol.
 
-use crate::{DirState, Directory, FastHashMap, MemStats, SetAssocCache};
+use crate::{Directory, FastHashMap, MemStats, SetAssocCache};
+use std::collections::hash_map::Entry;
 use tse_interconnect::{Torus, Traffic, TrafficClass};
 use tse_types::{ConfigError, Line, NodeId, SystemConfig, LINE_BYTES};
 
@@ -113,6 +114,9 @@ pub struct DsmSystem {
     l2: Vec<SetAssocCache<u64>>,
     directory: Directory,
     /// Per node: last directory version of each line the node held.
+    /// Stays a SwissTable-backed map: these 16 tables are probed cold
+    /// (each node's map sees 1/16th of the traffic), where the compact
+    /// control bytes beat an open-addressed u64 probe on cache misses.
     seen: Vec<FastHashMap<Line, u64>>,
     traffic: Traffic,
     stats: MemStats,
@@ -228,12 +232,18 @@ impl DsmSystem {
     }
 
     fn fill_caches(&mut self, node: NodeId, line: Line, version: u64) {
+        self.fill_hierarchy(node, line, version);
+        self.seen[node.index()].insert(line, version);
+    }
+
+    /// The L1/L2 half of [`DsmSystem::fill_caches`], for callers that
+    /// have already updated the node's seen-version slot in place.
+    fn fill_hierarchy(&mut self, node: NodeId, line: Line, version: u64) {
         let n = node.index();
         if let Some((victim, _)) = self.l2[n].insert(line, version) {
             self.handle_l2_eviction(node, victim);
         }
         self.l1[n].insert(line, version);
-        self.seen[n].insert(line, version);
     }
 
     fn handle_l2_eviction(&mut self, node: NodeId, victim: Line) {
@@ -291,10 +301,18 @@ impl DsmSystem {
     /// traffic. Callers must have established that the local hierarchy
     /// (and any SVB) missed.
     pub fn read_miss(&mut self, node: NodeId, line: Line) -> MissInfo {
-        let v_seen = self.seen[node.index()].get(&line).copied();
         // One fused directory transaction: sharer registration + version
         // (reads never change the version, so it also classifies).
         let grant = self.directory.read_fill(node, line);
+        // One probe of the seen-version table serves both the
+        // classification read and the update.
+        let v_seen = match self.seen[node.index()].entry(line) {
+            Entry::Occupied(mut e) => Some(e.insert(grant.version)),
+            Entry::Vacant(e) => {
+                e.insert(grant.version);
+                None
+            }
+        };
         let class = match (v_seen, grant.version) {
             (_, 0) => MissClass::Cold,
             (None, _) => MissClass::Coherence,
@@ -310,7 +328,7 @@ impl DsmSystem {
         };
         self.account_fill_traffic(node, fill, TrafficClass::Demand);
 
-        self.fill_caches(node, line, grant.version);
+        self.fill_hierarchy(node, line, grant.version);
 
         match class {
             MissClass::Cold => self.stats.cold_misses += 1,
@@ -384,22 +402,23 @@ impl DsmSystem {
     pub fn write(&mut self, node: NodeId, line: Line) -> WriteOutcome {
         self.stats.writes += 1;
         let n = node.index();
-        let entry = self.directory.entry(line);
-        let already_exclusive =
-            entry.state == DirState::Modified(node) && self.l2[n].contains(line);
+        let had_line = self.l2[n].contains(line);
+        // One directory transaction decides both questions: a silent
+        // upgrade (`was_exclusive`) leaves the entry untouched, so
+        // probing state first and acquiring second would do the same
+        // work with a second map lookup.
+        let grant = self.directory.write_acquire(node, line);
 
-        if already_exclusive {
+        if grant.was_exclusive && had_line {
             // Silent store hit: refresh LRU.
             self.l2[n].get(line);
-            self.l1[n].insert(line, entry.version);
+            self.l1[n].insert(line, grant.version);
             return WriteOutcome {
                 silent: true,
                 invalidated: 0,
             };
         }
 
-        let had_line = self.l2[n].contains(line);
-        let grant = self.directory.write_acquire(node, line);
         let invalidated = grant.invalidated;
         self.stats.write_transactions += 1;
         let home = self.cfg.home_node(line);

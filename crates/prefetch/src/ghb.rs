@@ -1,8 +1,7 @@
 //! Global History Buffer prefetcher (Nesbit & Smith, HPCA 2004).
 
 use crate::Prefetcher;
-use std::collections::HashMap;
-use tse_types::Line;
+use tse_types::{FastHashMap, Line};
 
 /// GHB indexing mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,7 +62,11 @@ pub struct GhbPrefetcher {
     width: usize,
     buf: Vec<Entry>,
     head: u64,
-    index: HashMap<Key, u64>,
+    /// Index table: last history position per key. On the hot path of
+    /// every consumption miss (each `on_miss` probes and updates it),
+    /// so it uses the workspace's multiply-xor hasher rather than
+    /// SipHash.
+    index: FastHashMap<Key, u64>,
     last: Option<Line>,
 }
 
@@ -83,7 +86,7 @@ impl GhbPrefetcher {
             width,
             buf: Vec::with_capacity(capacity),
             head: 0,
-            index: HashMap::new(),
+            index: FastHashMap::default(),
             last: None,
         }
     }

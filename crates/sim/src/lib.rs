@@ -13,10 +13,12 @@
 //!
 //! Plus the [`CorrelationAnalysis`] (Figure 6's measurement),
 //! [`Samples`] statistics with 95% confidence intervals, a parallel
-//! sweep driver ([`run_parallel`]), and stored-trace replay
-//! ([`StoredTrace`], [`run_trace_stored`]) so sweeps replay one
-//! materialized (or TSB1-loaded) trace instead of regenerating the
-//! workload per grid cell.
+//! sweep driver ([`run_parallel`]), and stored-trace replay for *both*
+//! methodologies ([`StoredTrace`], [`run_trace_stored`],
+//! [`run_timing_stored`], and their streamed TSB1 variants) so sweeps
+//! replay one materialized (or corpus-loaded) trace instead of
+//! regenerating the workload per grid cell — generation and replay are
+//! bit-identical by construction.
 //!
 //! # Example
 //!
@@ -53,7 +55,10 @@ pub use replay::{
 };
 pub use runner::{run_parallel, SweepPool};
 pub use stats::Samples;
-pub use timing::{run_timing, TimingResult};
+pub use timing::{
+    run_timing, run_timing_stored, run_timing_streamed, run_timing_streamed_path,
+    run_timing_streamed_reader, TimingResult,
+};
 
 use tse_prefetch::GhbIndexing;
 use tse_types::TseConfig;

@@ -332,10 +332,11 @@ pub fn run_trace_streamed_path(
     run_trace_streamed(name, std::io::BufReader::new(file), cfg)
 }
 
-/// The record iterator behind [`run_trace_streamed`]: pulls raw blocks
-/// off the reader, fans their decode out to the sweep pool, and yields
-/// records in trace order from a bounded reorder window.
-struct StreamedRecords<R: Read> {
+/// The record iterator behind [`run_trace_streamed`] (and the timing
+/// model's `run_timing_streamed`): pulls raw blocks off the reader,
+/// fans their decode out to the sweep pool, and yields records in trace
+/// order from a bounded reorder window.
+pub(crate) struct StreamedRecords<R: Read> {
     reader: TraceReader<R>,
     pool: &'static SweepPool,
     /// Bound on blocks resident at once (raw in flight + decoded
@@ -356,7 +357,11 @@ struct StreamedRecords<R: Read> {
 }
 
 impl<R: Read> StreamedRecords<R> {
-    fn new(reader: TraceReader<R>, nodes: usize, error: Rc<RefCell<Option<TraceIoError>>>) -> Self {
+    pub(crate) fn new(
+        reader: TraceReader<R>,
+        nodes: usize,
+        error: Rc<RefCell<Option<TraceIoError>>>,
+    ) -> Self {
         let pool = SweepPool::global();
         let (rtx, rrx) = mpsc::channel();
         StreamedRecords {

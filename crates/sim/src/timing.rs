@@ -17,12 +17,18 @@
 //! a decoupled approximation that keeps the simulator fast and
 //! deterministic.
 
-use crate::EngineKind;
+use crate::replay::{tsb1_node_count, StreamedRecords};
+use crate::{EngineKind, StoredTrace, StreamedReplayError};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::io::{Read, Seek};
+use std::path::Path;
+use std::rc::Rc;
 use tse_core::{TemporalStreamingEngine, TseStats};
 use tse_interconnect::TrafficReport;
 use tse_memsim::{DsmSystem, HitLevel, MemStats, MissClass};
-use tse_trace::{interleave, AccessKind, SpinFilter};
+use tse_trace::store::TraceReader;
+use tse_trace::{interleave, AccessKind, AccessRecord, SpinFilter, TraceIoError};
 use tse_types::{ConfigError, Cycle, SystemConfig};
 use tse_workloads::Workload;
 
@@ -164,7 +170,11 @@ impl Core {
 }
 
 /// Result of a timing run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including the derived floats), so
+/// equality means *bit-identical* runs — the property the stored and
+/// streamed replay paths guarantee against the generation path.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingResult {
     /// Workload name.
     pub workload: String,
@@ -217,7 +227,12 @@ impl TimingResult {
     }
 }
 
-/// Runs the interval timing model over a workload.
+/// Runs the interval timing model over a workload: generates the trace
+/// at `seed`, interleaves it, and replays it through
+/// [`run_timing_interleaved`]. A thin generate-then-replay wrapper —
+/// replaying the same records from a [`StoredTrace`]
+/// ([`run_timing_stored`]) or a TSB1 stream ([`run_timing_streamed`])
+/// produces bit-identical results.
 ///
 /// `engine` must be [`EngineKind::Baseline`] or [`EngineKind::Tse`];
 /// the fixed-depth prefetchers are evaluated in trace mode only, as in
@@ -234,9 +249,147 @@ pub fn run_timing(
     seed: u64,
     warm_fraction: f64,
 ) -> Result<TimingResult, ConfigError> {
+    let per_node = workload.generate(seed);
+    let total: usize = per_node.iter().map(Vec::len).sum();
+    run_timing_interleaved(
+        workload.name(),
+        workload.nodes(),
+        total,
+        interleave(per_node.into_iter().map(Vec::into_iter).collect()),
+        sys,
+        engine,
+        warm_fraction,
+    )
+}
+
+/// Replays a stored trace through the interval timing model.
+///
+/// Identical semantics to [`run_timing`] — warm-up boundary, spin
+/// filtering, logical-clock work accounting, per-record private stalls
+/// — except that the records come from `trace` rather than being
+/// regenerated. Replaying a [`StoredTrace::from_workload`] trace is
+/// bit-identical to `run_timing` at the same seed.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] for invalid configurations, a prefetcher
+/// engine kind, or a trace/system node-count mismatch.
+pub fn run_timing_stored(
+    trace: &StoredTrace,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, ConfigError> {
+    run_timing_interleaved(
+        trace.name(),
+        trace.nodes(),
+        trace.len(),
+        trace.records().iter().copied(),
+        sys,
+        engine,
+        warm_fraction,
+    )
+}
+
+/// Replays a TSB1 trace through the interval timing model *as it
+/// streams off the source*, never materializing a [`StoredTrace`] —
+/// the same pipelined block decode as
+/// [`run_trace_streamed`](crate::run_trace_streamed), feeding the
+/// timing event loop instead of the trace-driven harness. Bit-identical
+/// to [`run_timing_stored`] over the same file.
+///
+/// # Errors
+///
+/// [`StreamedReplayError::Trace`] on any TSB1 structural failure;
+/// [`StreamedReplayError::Config`] for invalid configurations, a
+/// prefetcher engine kind, or a trace/system node-count mismatch.
+pub fn run_timing_streamed<R: Read + Seek>(
+    name: impl Into<String>,
+    src: R,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, StreamedReplayError> {
+    run_timing_streamed_reader(name, TraceReader::open(src)?, sys, engine, warm_fraction)
+}
+
+/// [`run_timing_streamed`] over an already-open [`TraceReader`], with
+/// an explicit trace name (callers that sized the machine from the
+/// header reuse the reader instead of re-parsing the trace).
+///
+/// # Errors
+///
+/// As [`run_timing_streamed`].
+pub fn run_timing_streamed_reader<R: Read + Seek>(
+    name: impl Into<String>,
+    reader: TraceReader<R>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, StreamedReplayError> {
+    let nodes = tsb1_node_count(&reader);
+    let total = usize::try_from(reader.records()).unwrap_or(usize::MAX);
+    let error: Rc<RefCell<Option<TraceIoError>>> = Rc::new(RefCell::new(None));
+    let stream = StreamedRecords::new(reader, nodes, Rc::clone(&error));
+    let result = run_timing_interleaved(
+        &name.into(),
+        nodes,
+        total,
+        stream,
+        sys,
+        engine,
+        warm_fraction,
+    )?;
+    // A trace error mid-stream ends the record iterator early; surface
+    // it instead of the truncated result.
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
+/// Streamed timing replay of a TSB1 file, named after the file stem.
+///
+/// # Errors
+///
+/// As [`run_timing_streamed`], plus open failures as
+/// [`StreamedReplayError::Trace`].
+pub fn run_timing_streamed_path(
+    path: impl AsRef<Path>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, StreamedReplayError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let file = std::fs::File::open(path).map_err(TraceIoError::Io)?;
+    let reader = TraceReader::open(std::io::BufReader::new(file))?;
+    run_timing_streamed_reader(name, reader, sys, engine, warm_fraction)
+}
+
+/// The timing event loop shared by [`run_timing`] (generate),
+/// [`run_timing_stored`] (in-memory replay) and [`run_timing_streamed`]
+/// (TSB1 block stream): drives coherence + TSE state in logical-clock
+/// order while each node's physical time advances through the interval
+/// model.
+pub(crate) fn run_timing_interleaved(
+    name: &str,
+    trace_nodes: usize,
+    total: usize,
+    records: impl Iterator<Item = AccessRecord>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, ConfigError> {
     let mut dsm = DsmSystem::new(sys)?;
-    if workload.nodes() != sys.nodes {
-        return Err(ConfigError::new("workload/system node-count mismatch"));
+    if trace_nodes != sys.nodes {
+        return Err(ConfigError::new(format!(
+            "trace is configured for {trace_nodes} nodes but the system has {}",
+            sys.nodes
+        )));
     }
     let mut tse = match engine {
         EngineKind::Baseline => None,
@@ -252,8 +405,6 @@ pub fn run_timing(
         }
     };
 
-    let per_node = workload.generate(seed);
-    let total: usize = per_node.iter().map(Vec::len).sum();
     let warm_records = (total as f64 * warm_fraction) as usize;
 
     let mut cores: Vec<Core> = (0..sys.nodes).map(|_| Core::new(sys)).collect();
@@ -263,7 +414,7 @@ pub fn run_timing(
     let mut processed = 0usize;
 
     #[allow(clippy::explicit_counter_loop)] // `processed` is also read inside the body
-    for rec in interleave(per_node.into_iter().map(Vec::into_iter).collect()) {
+    for rec in records {
         if processed == warm_records {
             dsm.reset_stats();
             if let Some(t) = tse.as_mut() {
@@ -368,7 +519,7 @@ pub fn run_timing(
     };
 
     Ok(TimingResult {
-        workload: workload.name().to_string(),
+        workload: name.to_string(),
         engine_name: match engine {
             EngineKind::Baseline => "base".to_string(),
             _ => "TSE".to_string(),

@@ -1,0 +1,444 @@
+//! Managed corpora of stored traces.
+//!
+//! A *corpus* is a directory of TSB1 traces plus a versioned JSON
+//! manifest (`corpus.json`) describing each one: which workload it came
+//! from, at what scale knob and seed, how many nodes and records it
+//! holds, and a content digest of the trace file. The manifest is what
+//! lets every figure pipeline — trace-driven *and* timing — resolve a
+//! `(workload, scale, seed)` request to a stored trace instead of
+//! regenerating the workload, and what lets a sweep job on another host
+//! verify it replays the exact bytes the manifest promised.
+//!
+//! Determinism contract: workload generation is a pure function of
+//! `(workload, scale, seed)`, TSB1 encoding is canonical, and the
+//! digest pins the file contents — so two corpora generated from the
+//! same specs are byte-identical, and any replay of a verified entry is
+//! bit-identical to generating the workload in-process.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tse_trace::corpus::{Corpus, CorpusWriter};
+//! use tse_trace::AccessRecord;
+//! use tse_types::{Line, NodeId};
+//!
+//! let mut w = CorpusWriter::create("traces")?;
+//! let records = (0..10_000u64).map(|i| {
+//!     AccessRecord::read(NodeId::new((i % 4) as u16), i, Line::new(i))
+//! });
+//! w.add_trace("em3d", 0.05, 42, 4, records)?;
+//! w.finish()?;
+//!
+//! let corpus = Corpus::open("traces")?;
+//! let entry = corpus.find("em3d", 0.05, 42).expect("just written");
+//! assert_eq!(entry.nodes, 4);
+//! assert!(corpus.verify().is_empty());
+//! # Ok::<(), tse_trace::corpus::CorpusError>(())
+//! ```
+
+use crate::store::{TraceReader, TraceWriter};
+use crate::{AccessRecord, TraceIoError};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a corpus directory.
+pub const MANIFEST_NAME: &str = "corpus.json";
+
+/// The manifest format version this build reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The parsed corpus manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusManifest {
+    /// Manifest format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// One entry per stored trace.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// One stored trace, as the manifest describes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Workload name (as in the paper's figures, e.g. `"em3d"`).
+    pub workload: String,
+    /// Scale knob the workload was generated at.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Node count the trace was collected on.
+    pub nodes: u16,
+    /// Total records stored.
+    pub records: u64,
+    /// Trace file name, relative to the corpus directory.
+    pub path: String,
+    /// Content digest of the trace file (`"fnv1a64:<16 hex digits>"`).
+    pub digest: String,
+}
+
+impl TraceEntry {
+    /// True if this entry answers a `(workload, scale, seed)` request.
+    /// Workload names compare case-insensitively (matching the CLI);
+    /// scales compare exactly — both sides come from parsing the same
+    /// decimal literal, which is deterministic.
+    pub fn matches(&self, workload: &str, scale: f64, seed: u64) -> bool {
+        self.workload.eq_ignore_ascii_case(workload) && self.scale == scale && self.seed == seed
+    }
+}
+
+/// Error raised by corpus operations.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// Reading or writing a TSB1 trace failed.
+    Trace(TraceIoError),
+    /// The manifest is missing, unparsable, version-incompatible or
+    /// internally inconsistent.
+    Manifest(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus I/O error: {e}"),
+            CorpusError::Trace(e) => write!(f, "corpus trace error: {e}"),
+            CorpusError::Manifest(reason) => write!(f, "corpus manifest error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            CorpusError::Trace(e) => Some(e),
+            CorpusError::Manifest(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl From<TraceIoError> for CorpusError {
+    fn from(e: TraceIoError) -> Self {
+        CorpusError::Trace(e)
+    }
+}
+
+/// One problem [`Corpus::verify`] found with a stored trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusIssue {
+    /// The offending entry's trace path (relative to the corpus).
+    pub path: String,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CorpusIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.reason)
+    }
+}
+
+/// Builds a corpus: writes traces into a directory, then persists the
+/// manifest on [`CorpusWriter::finish`].
+#[derive(Debug)]
+pub struct CorpusWriter {
+    dir: PathBuf,
+    entries: Vec<TraceEntry>,
+}
+
+impl CorpusWriter {
+    /// Creates (or reuses) the corpus directory. Any existing manifest
+    /// is superseded when [`CorpusWriter::finish`] writes the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, CorpusError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CorpusWriter {
+            dir,
+            entries: Vec::new(),
+        })
+    }
+
+    /// The canonical trace file name for a `(workload, scale, seed)`
+    /// spec.
+    pub fn file_name(workload: &str, scale: f64, seed: u64) -> String {
+        format!("{}-x{scale}-s{seed}.tsb1", workload.to_ascii_lowercase())
+    }
+
+    /// Streams `records` into a TSB1 file and registers its manifest
+    /// entry (digested after writing).
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] on a duplicate `(workload, scale,
+    /// seed)`; [`CorpusError::Trace`] / [`CorpusError::Io`] on write or
+    /// digest failure (including records naming nodes outside
+    /// `0..nodes`, which the TSB1 writer rejects at finish).
+    pub fn add_trace(
+        &mut self,
+        workload: &str,
+        scale: f64,
+        seed: u64,
+        nodes: u16,
+        records: impl IntoIterator<Item = AccessRecord>,
+    ) -> Result<&TraceEntry, CorpusError> {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.matches(workload, scale, seed))
+        {
+            return Err(CorpusError::Manifest(format!(
+                "duplicate corpus entry: {workload} scale {scale} seed {seed}"
+            )));
+        }
+        let file_name = Self::file_name(workload, scale, seed);
+        let path = self.dir.join(&file_name);
+        let mut w = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
+        w.declare_nodes(nodes);
+        w.extend(records)?;
+        let (meta, _) = w.finish()?;
+        let digest = digest_file(&path)?;
+        self.entries.push(TraceEntry {
+            workload: workload.to_string(),
+            scale,
+            seed,
+            nodes,
+            records: meta.records,
+            path: file_name,
+            digest,
+        });
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Entries registered so far.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Writes the manifest and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] on write failure.
+    pub fn finish(self) -> Result<CorpusManifest, CorpusError> {
+        let manifest = CorpusManifest {
+            version: MANIFEST_VERSION,
+            entries: self.entries,
+        };
+        let text = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| CorpusError::Manifest(e.to_string()))?;
+        fs::write(self.dir.join(MANIFEST_NAME), text)?;
+        Ok(manifest)
+    }
+}
+
+/// An opened corpus: the manifest plus the directory it governs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    dir: PathBuf,
+    manifest: CorpusManifest,
+}
+
+impl Corpus {
+    /// Opens a corpus directory, parsing and validating its manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the manifest cannot be read;
+    /// [`CorpusError::Manifest`] if it does not parse, declares an
+    /// unsupported version, or lists the same `(workload, scale, seed)`
+    /// twice.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CorpusError> {
+        let dir = dir.into();
+        let text = fs::read_to_string(dir.join(MANIFEST_NAME))?;
+        let manifest: CorpusManifest =
+            serde_json::from_str(&text).map_err(|e| CorpusError::Manifest(e.to_string()))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(CorpusError::Manifest(format!(
+                "manifest version {} unsupported (this build reads {MANIFEST_VERSION})",
+                manifest.version
+            )));
+        }
+        for (i, a) in manifest.entries.iter().enumerate() {
+            if manifest.entries[..i]
+                .iter()
+                .any(|b| b.matches(&a.workload, a.scale, a.seed))
+            {
+                return Err(CorpusError::Manifest(format!(
+                    "duplicate entry: {} scale {} seed {}",
+                    a.workload, a.scale, a.seed
+                )));
+            }
+        }
+        Ok(Corpus { dir, manifest })
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &CorpusManifest {
+        &self.manifest
+    }
+
+    /// All entries, in manifest order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.manifest.entries
+    }
+
+    /// Looks up the entry for a `(workload, scale, seed)` spec.
+    pub fn find(&self, workload: &str, scale: f64, seed: u64) -> Option<&TraceEntry> {
+        self.manifest
+            .entries
+            .iter()
+            .find(|e| e.matches(workload, scale, seed))
+    }
+
+    /// Absolute path of an entry's trace file.
+    pub fn path_of(&self, entry: &TraceEntry) -> PathBuf {
+        self.dir.join(&entry.path)
+    }
+
+    /// Checks every entry against its stored trace: file readable,
+    /// digest matching, TSB1 structurally valid (header/trailer
+    /// cross-checks), and record/node counts agreeing with the
+    /// manifest. Returns one issue per failing entry (empty = corpus
+    /// verified).
+    pub fn verify(&self) -> Vec<CorpusIssue> {
+        let mut issues = Vec::new();
+        for entry in &self.manifest.entries {
+            if let Err(reason) = self.verify_entry(entry) {
+                issues.push(CorpusIssue {
+                    path: entry.path.clone(),
+                    reason,
+                });
+            }
+        }
+        issues
+    }
+
+    fn verify_entry(&self, entry: &TraceEntry) -> Result<(), String> {
+        let path = self.path_of(entry);
+        let digest = digest_file(&path).map_err(|e| e.to_string())?;
+        if digest != entry.digest {
+            return Err(format!(
+                "digest mismatch: manifest says {}, file is {digest}",
+                entry.digest
+            ));
+        }
+        let file = File::open(&path).map_err(|e| e.to_string())?;
+        let reader = TraceReader::open(BufReader::new(file)).map_err(|e| e.to_string())?;
+        if reader.records() != entry.records {
+            return Err(format!(
+                "record count mismatch: manifest says {}, trace holds {}",
+                entry.records,
+                reader.records()
+            ));
+        }
+        if reader.declared_nodes() != Some(entry.nodes) {
+            return Err(format!(
+                "node count mismatch: manifest says {}, trace declares {:?}",
+                entry.nodes,
+                reader.declared_nodes()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Streaming FNV-1a 64 digest of a file's contents, formatted as
+/// `"fnv1a64:<16 hex digits>"`.
+///
+/// # Errors
+///
+/// [`CorpusError::Io`] if the file cannot be read.
+pub fn digest_file(path: impl AsRef<Path>) -> Result<String, CorpusError> {
+    let mut file = File::open(path)?;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for &b in &buf[..n] {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Ok(format!("fnv1a64:{hash:016x}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_are_canonical() {
+        assert_eq!(
+            CorpusWriter::file_name("DB2", 0.05, 42),
+            "db2-x0.05-s42.tsb1"
+        );
+        assert_eq!(CorpusWriter::file_name("em3d", 1.0, 7), "em3d-x1-s7.tsb1");
+    }
+
+    #[test]
+    fn entry_matching_is_case_insensitive_and_exact_on_knobs() {
+        let e = TraceEntry {
+            workload: "DB2".into(),
+            scale: 0.05,
+            seed: 42,
+            nodes: 16,
+            records: 1,
+            path: "x.tsb1".into(),
+            digest: "fnv1a64:0".into(),
+        };
+        assert!(e.matches("db2", 0.05, 42));
+        assert!(!e.matches("db2", 0.1, 42));
+        assert!(!e.matches("db2", 0.05, 43));
+        assert!(!e.matches("zeus", 0.05, 42));
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let m = CorpusManifest {
+            version: MANIFEST_VERSION,
+            entries: vec![
+                TraceEntry {
+                    workload: "em3d".into(),
+                    scale: 0.05,
+                    seed: 42,
+                    nodes: 16,
+                    records: 123_456,
+                    path: "em3d-x0.05-s42.tsb1".into(),
+                    digest: "fnv1a64:0123456789abcdef".into(),
+                },
+                TraceEntry {
+                    workload: "DB2".into(),
+                    scale: 1.0,
+                    seed: 1007,
+                    nodes: 16,
+                    records: 99,
+                    path: "db2-x1-s1007.tsb1".into(),
+                    digest: "fnv1a64:fedcba9876543210".into(),
+                },
+            ],
+        };
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: CorpusManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m, "scales and seeds must survive the round trip");
+    }
+}

@@ -16,7 +16,10 @@
 //! * JSON-lines (de)serialization for traces ([`write_jsonl`],
 //!   [`read_jsonl`]);
 //! * the TSB1 binary trace store ([`store`]) — block-based, varint +
-//!   delta coded, seekable; the format for traces at 10^6-10^8 records.
+//!   delta coded, seekable; the format for traces at 10^6-10^8 records;
+//! * managed trace corpora ([`corpus`]) — directories of TSB1 traces
+//!   with a versioned, digest-carrying JSON manifest that figure sweeps
+//!   resolve `(workload, scale, seed)` requests against.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 mod io;
 mod record;
 mod spin;

@@ -1,0 +1,224 @@
+//! Corpus manifest round-trip, verification and corruption tests.
+//!
+//! The contract under test: a corpus written by [`CorpusWriter`]
+//! re-opens to the same manifest, resolves every `(workload, scale,
+//! seed)` spec it stored, and [`Corpus::verify`] flags any damage to a
+//! trace file (byte flips, truncation, removal) or any manifest drift —
+//! a mis-stated digest, record count or node count — without ever
+//! accepting wrong bytes.
+
+use proptest::prelude::*;
+use std::fs;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tse_trace::corpus::{digest_file, Corpus, CorpusError, CorpusWriter, MANIFEST_NAME};
+use tse_trace::store::TraceReader;
+use tse_trace::AccessRecord;
+use tse_types::{Line, NodeId};
+
+/// A unique scratch directory per test invocation, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tse-corpus-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn synthetic_records(nodes: u16, count: u64, salt: u64) -> Vec<AccessRecord> {
+    (0..count)
+        .map(|i| {
+            let node = NodeId::new((i % u64::from(nodes)) as u16);
+            let line = Line::new((i.wrapping_mul(salt | 1)) % 4096);
+            if i % 5 == 0 {
+                AccessRecord::write(node, i, line)
+            } else {
+                AccessRecord::read(node, i, line).with_dependent(i % 3 == 0)
+            }
+        })
+        .collect()
+}
+
+/// Writes a 2-scale x 2-seed corpus of two synthetic "workloads".
+fn build_corpus(dir: &ScratchDir) -> Vec<(String, f64, u64, Vec<AccessRecord>)> {
+    let mut writer = CorpusWriter::create(&dir.0).unwrap();
+    let mut written = Vec::new();
+    for (wl, nodes) in [("alpha", 4u16), ("beta", 8)] {
+        for scale in [0.05f64, 0.1] {
+            for seed in [42u64, 1007] {
+                let count = (scale * 100_000.0) as u64 + seed % 10;
+                let recs = synthetic_records(nodes, count, seed ^ wl.len() as u64);
+                writer
+                    .add_trace(wl, scale, seed, nodes, recs.iter().copied())
+                    .unwrap();
+                written.push((wl.to_string(), scale, seed, recs));
+            }
+        }
+    }
+    let manifest = writer.finish().unwrap();
+    assert_eq!(manifest.entries.len(), written.len());
+    written
+}
+
+#[test]
+fn multi_scale_multi_seed_corpus_round_trips_through_manifest() {
+    let dir = ScratchDir::new("roundtrip");
+    let written = build_corpus(&dir);
+
+    let corpus = Corpus::open(&dir.0).unwrap();
+    assert_eq!(corpus.entries().len(), written.len());
+    assert!(corpus.verify().is_empty(), "fresh corpus must verify clean");
+
+    for (wl, scale, seed, recs) in &written {
+        let entry = corpus
+            .find(wl, *scale, *seed)
+            .unwrap_or_else(|| panic!("{wl} x{scale} s{seed} missing"));
+        assert_eq!(entry.records, recs.len() as u64);
+        // Case-insensitive resolution, exact on the knobs.
+        assert!(corpus.find(&wl.to_uppercase(), *scale, *seed).is_some());
+        assert!(corpus.find(wl, *scale, seed + 1).is_none());
+        // The stored trace decodes to exactly the records written.
+        let file = fs::File::open(corpus.path_of(entry)).unwrap();
+        let back: Vec<AccessRecord> = TraceReader::open(BufReader::new(file))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(&back, recs);
+    }
+}
+
+#[test]
+fn duplicate_specs_are_rejected_on_write_and_open() {
+    let dir = ScratchDir::new("dupes");
+    let mut writer = CorpusWriter::create(&dir.0).unwrap();
+    let recs = synthetic_records(2, 100, 1);
+    writer
+        .add_trace("alpha", 0.1, 42, 2, recs.iter().copied())
+        .unwrap();
+    let err = writer
+        .add_trace("ALPHA", 0.1, 42, 2, recs.iter().copied())
+        .unwrap_err();
+    assert!(matches!(err, CorpusError::Manifest(_)), "got {err:?}");
+    writer.finish().unwrap();
+
+    // Hand-craft a duplicated manifest: open must refuse it.
+    let manifest_path = dir.0.join(MANIFEST_NAME);
+    let text = fs::read_to_string(&manifest_path).unwrap();
+    let entry_block = text
+        .split_once('[')
+        .and_then(|(_, rest)| rest.rsplit_once(']'))
+        .map(|(inner, _)| inner.trim().trim_end_matches(','))
+        .unwrap();
+    let duplicated = text.replace(entry_block, &format!("{entry_block},\n{entry_block}"));
+    fs::write(&manifest_path, duplicated).unwrap();
+    let err = Corpus::open(&dir.0).unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate"),
+        "expected duplicate-entry error, got {err}"
+    );
+}
+
+#[test]
+fn missing_and_truncated_traces_fail_verification() {
+    let dir = ScratchDir::new("damage");
+    build_corpus(&dir);
+    let corpus = Corpus::open(&dir.0).unwrap();
+
+    // Truncate one trace, delete another.
+    let victim_a = corpus.path_of(&corpus.entries()[0]);
+    let bytes = fs::read(&victim_a).unwrap();
+    fs::write(&victim_a, &bytes[..bytes.len() / 2]).unwrap();
+    let victim_b = corpus.path_of(&corpus.entries()[1]);
+    fs::remove_file(&victim_b).unwrap();
+
+    let issues = corpus.verify();
+    assert_eq!(issues.len(), 2, "exactly the damaged entries: {issues:?}");
+    assert_eq!(issues[0].path, corpus.entries()[0].path);
+    assert_eq!(issues[1].path, corpus.entries()[1].path);
+}
+
+#[test]
+fn manifest_drift_fails_verification() {
+    let dir = ScratchDir::new("drift");
+    build_corpus(&dir);
+    // Rewrite the manifest with one record count off by one: the trace
+    // bytes are intact (digest still matches the file), but the
+    // metadata cross-check must catch the lie.
+    let manifest_path = dir.0.join(MANIFEST_NAME);
+    let text = fs::read_to_string(&manifest_path).unwrap();
+    let corpus = Corpus::open(&dir.0).unwrap();
+    let honest = corpus.entries()[0].records;
+    let drifted = text.replacen(
+        &format!("\"records\": {honest}"),
+        &format!("\"records\": {}", honest + 1),
+        1,
+    );
+    assert_ne!(drifted, text, "the replace must hit");
+    fs::write(&manifest_path, drifted).unwrap();
+
+    let corpus = Corpus::open(&dir.0).unwrap();
+    let issues = corpus.verify();
+    assert_eq!(issues.len(), 1, "{issues:?}");
+    assert!(
+        issues[0].reason.contains("record count"),
+        "got: {}",
+        issues[0].reason
+    );
+}
+
+#[test]
+fn missing_manifest_is_an_io_error() {
+    let dir = ScratchDir::new("nomanifest");
+    let err = Corpus::open(&dir.0).unwrap_err();
+    assert!(matches!(err, CorpusError::Io(_)), "got {err:?}");
+}
+
+proptest! {
+    /// Any record set survives the corpus round trip, and flipping any
+    /// single byte of the stored trace is caught by `verify` (digest
+    /// first; structural checks as backstop).
+    #[test]
+    fn corpus_digest_catches_any_single_byte_flip(
+        count in 1u64..600,
+        salt in any::<u64>(),
+        flip_pos in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        let dir = ScratchDir::new("prop");
+        let recs = synthetic_records(4, count, salt);
+        let mut writer = CorpusWriter::create(&dir.0).unwrap();
+        writer.add_trace("alpha", 0.5, 7, 4, recs.iter().copied()).unwrap();
+        writer.finish().unwrap();
+
+        let corpus = Corpus::open(&dir.0).unwrap();
+        prop_assert!(corpus.verify().is_empty());
+        let entry = corpus.find("alpha", 0.5, 7).unwrap();
+        prop_assert_eq!(entry.records, recs.len() as u64);
+        let path = corpus.path_of(entry);
+        prop_assert_eq!(&digest_file(&path).unwrap(), &entry.digest);
+
+        // Flip one bit anywhere in the file.
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = (flip_pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << flip_bit;
+        fs::write(&path, bytes).unwrap();
+
+        let issues = corpus.verify();
+        prop_assert!(issues.len() == 1, "flip at byte {pos} must be caught: {issues:?}");
+        prop_assert!(issues[0].reason.contains("digest mismatch"));
+    }
+}

@@ -65,6 +65,73 @@ fn seek_to_block_reads_exactly_that_block_onward() {
 }
 
 #[test]
+fn seek_to_first_block_rewinds_after_partial_iteration() {
+    let recs: Vec<AccessRecord> = (0..9_000u64)
+        .map(|i| AccessRecord::read(NodeId::new((i % 4) as u16), i, Line::new(i % 777)))
+        .collect();
+    let bytes = tsb1_bytes(&recs);
+    let mut r = TraceReader::open(Cursor::new(bytes)).unwrap();
+    // Consume partway into the second block, then rewind to block 0.
+    let _: Vec<AccessRecord> = r.by_ref().take(5_000).map(Result::unwrap).collect();
+    r.seek_to_block(0).unwrap();
+    let replayed: Vec<AccessRecord> = r.map(Result::unwrap).collect();
+    assert_eq!(replayed, recs, "seek(0) must replay the whole trace");
+}
+
+#[test]
+fn seek_to_last_block_stops_cleanly_at_trailer() {
+    let recs: Vec<AccessRecord> = (0..4_096u64 + 1)
+        .map(|i| AccessRecord::write(NodeId::new(0), i, Line::new(i)))
+        .collect();
+    let bytes = tsb1_bytes(&recs);
+    let mut r = TraceReader::open(Cursor::new(bytes)).unwrap();
+    let blocks = r.meta().unwrap().blocks.len();
+    assert_eq!(blocks, 2, "one full block plus a one-record straggler");
+    r.seek_to_block(blocks - 1).unwrap();
+    let tail: Vec<AccessRecord> = r.by_ref().map(Result::unwrap).collect();
+    assert_eq!(tail[..], recs[4_096..]);
+    // The reader is finished: iterating again yields nothing, and the
+    // trailer validation accepted the seeked read.
+    assert!(r.next().is_none());
+}
+
+#[test]
+fn seek_out_of_range_is_a_typed_error() {
+    let recs: Vec<AccessRecord> = (0..100u64)
+        .map(|i| AccessRecord::read(NodeId::new(0), i, Line::new(i)))
+        .collect();
+    let bytes = tsb1_bytes(&recs);
+    let mut r = TraceReader::open(Cursor::new(bytes)).unwrap();
+    assert_eq!(r.meta().unwrap().blocks.len(), 1);
+    match r.seek_to_block(1) {
+        Err(TraceIoError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("out of range"), "got: {reason}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // The failed seek must not poison the reader: block 0 still reads.
+    r.seek_to_block(0).unwrap();
+    assert_eq!(r.map(Result::unwrap).count(), 100);
+}
+
+#[test]
+fn seek_without_loaded_index_is_rejected() {
+    let bytes = tsb1_bytes(
+        &(0..10u64)
+            .map(|i| AccessRecord::read(NodeId::new(0), i, Line::new(i)))
+            .collect::<Vec<_>>(),
+    );
+    // `new` (streaming open) never loads the trailer's block index.
+    let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+    match r.seek_to_block(0) {
+        Err(TraceIoError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("no block index"), "got: {reason}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
 fn streaming_writer_agrees_with_one_shot_writer() {
     let recs: Vec<AccessRecord> = (0..5_000u64)
         .map(|i| AccessRecord::read(NodeId::new((i % 3) as u16), i, Line::new(1000 - (i % 100))))

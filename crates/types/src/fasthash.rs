@@ -1,11 +1,13 @@
 //! A fast, deterministic hasher for simulator-internal maps.
 //!
-//! The directory and per-node bookkeeping maps are on the hot path of
-//! every simulated access; `std`'s default SipHash is needlessly slow (and
-//! randomly seeded, which hurts reproducibility of iteration-order-derived
-//! debug output). This is an FxHash-style multiply-xor hasher: not
-//! DoS-resistant, which is fine for a simulator whose keys come from
-//! seeded generators. Implemented locally to avoid an extra dependency.
+//! Directory state, per-node bookkeeping and predictor index tables are
+//! on the hot path of every simulated access; `std`'s default SipHash is
+//! needlessly slow (and randomly seeded, which hurts reproducibility of
+//! iteration-order-derived debug output). This is an FxHash-style
+//! multiply-xor hasher: not DoS-resistant, which is fine for a simulator
+//! whose keys come from seeded generators. Implemented locally to avoid
+//! an extra dependency; it lives in `tse-types` so every layer (memsim,
+//! prefetch, core) shares one implementation.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -60,17 +62,16 @@ pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tse_types::Line;
 
     #[test]
     fn map_basic_operations() {
-        let mut m: FastHashMap<Line, u32> = FastHashMap::default();
-        for i in 0..1000 {
-            m.insert(Line::new(i), i as u32);
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as u32);
         }
         assert_eq!(m.len(), 1000);
-        for i in 0..1000 {
-            assert_eq!(m.get(&Line::new(i)), Some(&(i as u32)));
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i as u32)));
         }
     }
 
@@ -88,7 +89,7 @@ mod tests {
     fn distributes_sequential_keys() {
         use std::hash::{BuildHasher, BuildHasherDefault};
         let bh: BuildHasherDefault<FastHasher> = BuildHasherDefault::default();
-        // Sequential line indices must not collide in the low bits en masse.
+        // Sequential keys must not collide in the low bits en masse.
         let mut low_bits: FastHashSet<u64> = FastHashSet::default();
         for i in 0..256u64 {
             low_bits.insert(bh.hash_one(i) & 0xff);

@@ -26,11 +26,13 @@
 mod addr;
 mod config;
 mod error;
+mod fasthash;
 mod node;
 mod time;
 
 pub use addr::{Addr, Line, LINE_BYTES, LINE_SHIFT};
 pub use config::{SystemConfig, SystemConfigBuilder, TseConfig, TseConfigBuilder};
 pub use error::ConfigError;
+pub use fasthash::{FastHashMap, FastHashSet, FastHasher};
 pub use node::NodeId;
 pub use time::Cycle;

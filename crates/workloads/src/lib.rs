@@ -106,6 +106,48 @@ pub fn suite(scale: f64) -> Vec<Box<dyn Workload>> {
 /// Names of the suite in the paper's figure order.
 pub const SUITE_ORDER: [&str; 7] = ["em3d", "moldyn", "ocean", "Apache", "DB2", "Oracle", "Zeus"];
 
+/// Builds one suite workload by (case-insensitive) name at `scale`, or
+/// `None` for a name outside [`SUITE_ORDER`].
+pub fn workload_by_name(name: &str, scale: f64) -> Option<Box<dyn Workload>> {
+    suite(scale)
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+/// One `(workload, scale, seed)` cell of a generation grid — the unit a
+/// trace corpus stores and a sharded sweep ships to a worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteSpec {
+    /// Workload name (one of [`SUITE_ORDER`]).
+    pub name: &'static str,
+    /// Scale knob.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl SuiteSpec {
+    /// Builds the workload this spec names.
+    pub fn build(&self) -> Box<dyn Workload> {
+        workload_by_name(self.name, self.scale).expect("suite specs name suite workloads")
+    }
+}
+
+/// Enumerates the full suite across a grid of scales and seeds, in
+/// deterministic order (scale-major, then seed, then the paper's figure
+/// order) — the generation plan behind `tracectl corpus gen`.
+pub fn suite_specs(scales: &[f64], seeds: &[u64]) -> Vec<SuiteSpec> {
+    let mut specs = Vec::with_capacity(scales.len() * seeds.len() * SUITE_ORDER.len());
+    for &scale in scales {
+        for &seed in seeds {
+            for name in SUITE_ORDER {
+                specs.push(SuiteSpec { name, scale, seed });
+            }
+        }
+    }
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +200,32 @@ mod tests {
         let a = wl.generate(1);
         let b = wl.generate(2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn workload_by_name_is_case_insensitive() {
+        assert_eq!(workload_by_name("db2", 0.02).unwrap().name(), "DB2");
+        assert_eq!(workload_by_name("EM3D", 0.02).unwrap().name(), "em3d");
+        assert!(workload_by_name("nope", 0.02).is_none());
+    }
+
+    #[test]
+    fn suite_specs_enumerate_the_grid_deterministically() {
+        let specs = suite_specs(&[0.02, 0.05], &[1, 2]);
+        assert_eq!(specs.len(), 2 * 2 * SUITE_ORDER.len());
+        assert_eq!(
+            specs[0],
+            SuiteSpec {
+                name: "em3d",
+                scale: 0.02,
+                seed: 1
+            }
+        );
+        // Scale-major: the second scale starts after all seeds of the first.
+        assert_eq!(specs[2 * SUITE_ORDER.len()].scale, 0.05);
+        assert_eq!(specs[0].build().name(), "em3d");
+        // Deterministic: same grid, same plan.
+        assert_eq!(specs, suite_specs(&[0.02, 0.05], &[1, 2]));
     }
 
     #[test]
