@@ -7,7 +7,15 @@
 //! baseline that silently rots as benchmarks are added or renamed.
 //! Numbers are machine-relative — the file records the trajectory on
 //! the machine that produced it, for eyeballing regressions across PRs,
-//! not a cross-machine contract.
+//! not a cross-machine contract. To compare two baselines *across*
+//! machine states (CPU scaling, container noise, kernel drift — PR 4
+//! measured untouched kernels at 0.83-0.9x of PR 3's run), use the
+//! like-for-like mode: [`compare`] normalizes every ratio by the median
+//! drift of the [`SENTINEL_KERNELS`] — kernels whose code has never
+//! been touched since their introduction, so any ratio change they show
+//! is the machine, not the code. The sentinel list is recorded in the
+//! baseline file itself (`"sentinels"`), so a stale list fails
+//! [`check`].
 
 use criterion::Criterion;
 use serde_json::{json, Value};
@@ -27,6 +35,22 @@ pub const REQUIRED_GROUPS: &[&str] = &[
     "prefetchers",
     "dsm",
     "sweep",
+];
+
+/// Kernels whose benchmark bodies *and* measured code paths have been
+/// untouched since they were introduced (PR 2/3): their new/old ratio
+/// between two baseline files measures machine drift, nothing else.
+/// Deliberately excluded: `stream_queue/*` (rewritten PR 3),
+/// `directory/*`, `prefetchers/ghb_ac_on_miss`, `dsm/*` (PR 4),
+/// `sweep/*` (PR 3, and sensitive to core count).
+pub const SENTINEL_KERNELS: &[&str] = &[
+    "cmob/append",
+    "cmob/read_window_32",
+    "svb/insert_take",
+    "svb/probe_miss",
+    "cache/l2_get_insert",
+    "torus/hops_and_bisection",
+    "prefetchers/stride_on_miss",
 ];
 
 /// Runs the kernel and sweep benchmark suites, returning the baseline
@@ -63,8 +87,120 @@ pub fn measure(quick: bool) -> Value {
     json!({
         "format": FORMAT,
         "quick": quick,
+        "sentinels": SENTINEL_KERNELS,
         "groups": Value::Object(groups),
     })
+}
+
+/// Looks up `group/bench` → `median_ns` in a baseline document.
+fn median_of(doc: &Value, name: &str) -> Option<f64> {
+    let (group, bench) = name.split_once('/')?;
+    doc.get("groups")?
+        .get(group)?
+        .get(bench)?
+        .get("median_ns")?
+        .as_f64()
+}
+
+/// Every `group/bench` name in a baseline document, in file order.
+fn bench_names(doc: &Value) -> Vec<String> {
+    let mut names = Vec::new();
+    if let Some(groups) = doc.get("groups").and_then(Value::as_object) {
+        for (group, benches) in groups {
+            if let Some(benches) = benches.as_object() {
+                for (bench, _) in benches {
+                    names.push(format!("{group}/{bench}"));
+                }
+            }
+        }
+    }
+    names
+}
+
+/// One kernel's row in a like-for-like comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareEntry {
+    /// `group/bench` name.
+    pub name: String,
+    /// Median in the old baseline (ns).
+    pub old_ns: f64,
+    /// Median in the new baseline (ns).
+    pub new_ns: f64,
+    /// Whether this kernel is a drift sentinel.
+    pub sentinel: bool,
+}
+
+impl CompareEntry {
+    /// Raw new/old ratio (machine drift included).
+    pub fn raw_ratio(&self) -> f64 {
+        self.new_ns / self.old_ns
+    }
+}
+
+/// A like-for-like comparison of two baseline files (see [`compare`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Median raw ratio over the sentinel kernels: the machine-drift
+    /// factor between the two runs.
+    pub drift: f64,
+    /// Per-kernel rows, in the old file's order (kernels present in
+    /// both files only).
+    pub entries: Vec<CompareEntry>,
+}
+
+impl CompareReport {
+    /// A kernel's drift-normalized ratio: raw ratio divided by the
+    /// sentinel drift. ~1.0 means "moved with the machine"; below 1.0
+    /// is a genuine speedup, above a genuine regression.
+    pub fn normalized(&self, entry: &CompareEntry) -> f64 {
+        entry.raw_ratio() / self.drift
+    }
+}
+
+/// Compares two baseline documents like for like: every kernel's
+/// new/old median ratio is normalized by the median ratio of the
+/// [`SENTINEL_KERNELS`], cancelling machine drift between the runs.
+///
+/// # Errors
+///
+/// A description of the first problem: unparsable documents, or fewer
+/// than three sentinel kernels present in both files (too few to take a
+/// robust median).
+pub fn compare(old: &Value, new: &Value) -> Result<CompareReport, String> {
+    let mut entries = Vec::new();
+    for name in bench_names(old) {
+        let (Some(old_ns), Some(new_ns)) = (median_of(old, &name), median_of(new, &name)) else {
+            continue;
+        };
+        if old_ns <= 0.0 || new_ns <= 0.0 {
+            return Err(format!("`{name}` has a non-positive median"));
+        }
+        entries.push(CompareEntry {
+            sentinel: SENTINEL_KERNELS.contains(&name.as_str()),
+            name,
+            old_ns,
+            new_ns,
+        });
+    }
+    let mut sentinel_ratios: Vec<f64> = entries
+        .iter()
+        .filter(|e| e.sentinel)
+        .map(CompareEntry::raw_ratio)
+        .collect();
+    if sentinel_ratios.len() < 3 {
+        return Err(format!(
+            "only {} sentinel kernels present in both files; need >= 3 for a drift estimate",
+            sentinel_ratios.len()
+        ));
+    }
+    sentinel_ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let mid = sentinel_ratios.len() / 2;
+    let drift = if sentinel_ratios.len() % 2 == 1 {
+        sentinel_ratios[mid]
+    } else {
+        (sentinel_ratios[mid - 1] + sentinel_ratios[mid]) / 2.0
+    };
+    Ok(CompareReport { drift, entries })
 }
 
 /// Validates a baseline document: format version, every required group
@@ -83,6 +219,32 @@ pub fn check(doc: &Value, require_full: bool) -> Result<usize, String> {
     }
     if require_full && doc.get("quick").and_then(Value::as_bool) != Some(false) {
         return Err("baseline was measured with --quick sampling; regenerate without it".into());
+    }
+    if require_full {
+        // The committed baseline must document the current sentinel set
+        // (and the sentinels must actually exist in it), so the
+        // like-for-like comparison cannot silently rot.
+        let listed: Vec<String> = doc
+            .get("sentinels")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(String::from))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for required in SENTINEL_KERNELS {
+            if !listed.iter().any(|s| s == required) {
+                return Err(format!(
+                    "sentinel `{required}` missing from the baseline's `sentinels` list"
+                ));
+            }
+            if median_of(doc, required).is_none() {
+                return Err(format!(
+                    "sentinel `{required}` names no benchmark entry in the baseline"
+                ));
+            }
+        }
     }
     let groups = doc
         .get("groups")
@@ -173,6 +335,107 @@ mod tests {
         groups[0].1 = json!({ "x": { "median_ns": -1.0 } });
         let doc = json!({ "format": FORMAT, "groups": Value::Object(groups) });
         assert!(check(&doc, false).is_err());
+    }
+
+    /// Builds a baseline doc from `(group/bench, median)` pairs.
+    fn doc_of(entries: &[(&str, f64)]) -> Value {
+        let mut groups: Vec<(String, Value)> = Vec::new();
+        for (name, median) in entries {
+            let (group, bench) = name.split_once('/').unwrap();
+            let entry = json!({ "median_ns": median, "min_ns": median, "max_ns": median });
+            match groups.iter_mut().find(|(g, _)| g == group) {
+                Some((_, benches)) => {
+                    if let Value::Object(b) = benches {
+                        b.push((bench.to_string(), entry));
+                    }
+                }
+                None => groups.push((
+                    group.to_string(),
+                    Value::Object(vec![(bench.to_string(), entry)]),
+                )),
+            }
+        }
+        json!({ "format": FORMAT, "quick": false, "groups": Value::Object(groups) })
+    }
+
+    #[test]
+    fn compare_normalizes_by_sentinel_drift() {
+        // Machine got 2x slower: every sentinel doubles. One touched
+        // kernel ("dsm/read_write_pair") also doubles raw — i.e. it
+        // merely moved with the machine — and one actually got faster.
+        let mut old_entries: Vec<(&str, f64)> =
+            SENTINEL_KERNELS.iter().map(|s| (*s, 100.0)).collect();
+        old_entries.push(("dsm/read_write_pair", 600.0));
+        old_entries.push(("stream_queue/pop_agreed_2way", 400.0));
+        let mut new_entries: Vec<(&str, f64)> =
+            SENTINEL_KERNELS.iter().map(|s| (*s, 200.0)).collect();
+        new_entries.push(("dsm/read_write_pair", 1200.0));
+        new_entries.push(("stream_queue/pop_agreed_2way", 400.0));
+
+        let report = compare(&doc_of(&old_entries), &doc_of(&new_entries)).unwrap();
+        assert!((report.drift - 2.0).abs() < 1e-12, "drift {}", report.drift);
+        let by_name = |n: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.name == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        let moved_with_machine = by_name("dsm/read_write_pair");
+        assert!((moved_with_machine.raw_ratio() - 2.0).abs() < 1e-12);
+        assert!(
+            (report.normalized(moved_with_machine) - 1.0).abs() < 1e-12,
+            "a kernel that doubled on a 2x-slower machine is unchanged like-for-like"
+        );
+        let genuinely_faster = by_name("stream_queue/pop_agreed_2way");
+        assert!(
+            (report.normalized(genuinely_faster) - 0.5).abs() < 1e-12,
+            "flat raw time on a 2x-slower machine is a genuine 2x speedup"
+        );
+        assert!(by_name("cmob/append").sentinel);
+        assert!(!moved_with_machine.sentinel);
+    }
+
+    #[test]
+    fn compare_needs_enough_sentinels() {
+        let old = doc_of(&[("cmob/append", 1.0), ("svb/probe_miss", 1.0)]);
+        let new = doc_of(&[("cmob/append", 1.0), ("svb/probe_miss", 1.0)]);
+        let err = compare(&old, &new).unwrap_err();
+        assert!(err.contains("sentinel"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn full_check_requires_the_sentinel_list() {
+        let mut entries: Vec<(&str, f64)> = SENTINEL_KERNELS.iter().map(|s| (*s, 1.0)).collect();
+        entries.extend(REQUIRED_GROUPS.iter().map(|g| {
+            // Ensure every required group has at least one bench.
+            match *g {
+                "cmob" => ("cmob/append", 1.0),
+                "svb" => ("svb/probe_miss", 1.0),
+                "stream_queue" => ("stream_queue/x", 1.0),
+                "directory" => ("directory/x", 1.0),
+                "cache" => ("cache/l2_get_insert", 1.0),
+                "torus" => ("torus/hops_and_bisection", 1.0),
+                "prefetchers" => ("prefetchers/stride_on_miss", 1.0),
+                "dsm" => ("dsm/x", 1.0),
+                _ => ("sweep/x", 1.0),
+            }
+        }));
+        let mut doc = doc_of(&entries);
+        assert!(
+            check(&doc, true).unwrap_err().contains("sentinel"),
+            "a full baseline without a sentinel list must be rejected"
+        );
+        if let Value::Object(pairs) = &mut doc {
+            pairs.insert(
+                2,
+                (
+                    "sentinels".to_string(),
+                    serde_json::to_value(&SENTINEL_KERNELS),
+                ),
+            );
+        }
+        check(&doc, true).expect("sentinel-listing baseline validates");
     }
 
     #[test]

@@ -1,20 +1,25 @@
 //! `bench-baseline` — produce or validate `BENCH_baseline.json`.
 //!
 //! ```text
-//! bench-baseline --out BENCH_baseline.json    # measure and write (add --quick for CI smoke)
-//! bench-baseline --check BENCH_baseline.json  # parse + coverage validation only
+//! bench-baseline --out BENCH_baseline.json        # measure and write (add --quick for CI smoke)
+//! bench-baseline --check BENCH_baseline.json      # parse + coverage validation only
+//! bench-baseline --compare OLD.json NEW.json      # like-for-like ratios, drift-normalized
 //! ```
 
 use std::process::ExitCode;
 use tse_bench::baseline;
 
-const USAGE: &str = "bench-baseline — produce or validate the committed perf baseline
+const USAGE: &str = "bench-baseline — produce, validate or compare the committed perf baseline
 
 usage:
   bench-baseline --out <path> [--quick]         measure the kernel + sweep benches and write JSON
   bench-baseline --check <path> [--allow-quick] validate a baseline file (the committed one must
                                                 be a full-sampling run; --allow-quick loosens
                                                 that for CI smoke artifacts)
+  bench-baseline --compare <old> <new>          like-for-like comparison: every kernel's new/old
+                                                ratio, normalized by the median drift of the
+                                                untouched sentinel kernels — read the last column,
+                                                not the raw one, when the machine state moved
 ";
 
 fn main() -> ExitCode {
@@ -43,6 +48,39 @@ fn run(args: &[String]) -> Result<(), String> {
         let entries =
             baseline::check(&doc, require_full).map_err(|e| format!("{path} invalid: {e}"))?;
         println!("{path}: ok ({entries} benchmark entries)");
+        return Ok(());
+    }
+    if let Some(old_path) = flag("--compare") {
+        let new_path = args
+            .iter()
+            .position(|a| a == "--compare")
+            .and_then(|i| args.get(i + 2))
+            .ok_or("--compare needs two paths: <old> <new>")?;
+        let read = |path: &str| -> Result<serde_json::Value, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))
+        };
+        let report = baseline::compare(&read(old_path)?, &read(new_path)?)?;
+        println!(
+            "sentinel drift {old_path} -> {new_path}: {:.3}x (like-for-like = raw / drift)",
+            report.drift
+        );
+        println!(
+            "  {:34} {:>12} {:>12} {:>7} {:>14}",
+            "kernel", "old ns", "new ns", "raw", "like-for-like"
+        );
+        for e in &report.entries {
+            println!(
+                "  {:34} {:>12.2} {:>12.2} {:>6.2}x {:>13.2}x{}",
+                e.name,
+                e.old_ns,
+                e.new_ns,
+                e.raw_ratio(),
+                report.normalized(e),
+                if e.sentinel { "  [sentinel]" } else { "" },
+            );
+        }
         return Ok(());
     }
     if let Some(path) = flag("--out") {

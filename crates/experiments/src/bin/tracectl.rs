@@ -13,20 +13,25 @@
 //! Input formats are sniffed from the file's magic bytes; output
 //! formats follow the extension (`.tsb1`/`.tsb` = binary, anything
 //! else = JSONL).
+//!
+//! Exit codes are scriptable (see `tse_experiments::cli`): `2` usage
+//! errors, `3` I/O/format/replay failures, `4` corpus verification
+//! failures — CI asserts a corrupted corpus fails with `4`.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use tse_experiments::cli::{self, opt, parse, positional, CliError};
 use tse_sim::{
-    run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind, RunConfig,
-    StoredTrace,
+    run_parallel, run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind,
+    RunConfig, StoredTrace,
 };
-use tse_trace::corpus::{Corpus, CorpusWriter};
+use tse_trace::corpus::{Corpus, CorpusWriter, TraceEntry};
 use tse_trace::store::{is_tsb1, TraceReader, TraceWriter};
 use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
 use tse_types::{SystemConfig, TseConfig};
-use tse_workloads::{suite_specs, workload_by_name, SUITE_ORDER};
+use tse_workloads::{suite_specs, workload_by_name, SuiteSpec, SUITE_ORDER};
 
 const USAGE: &str = "tracectl — generate, inspect, convert, replay and manage memory traces
 
@@ -45,12 +50,17 @@ USAGE:
   tracectl corpus gen --dir <d> [--scales <f,..>] [--seeds <n,..>] [--workloads <w,..>]
       generate a managed suite of traces (every scale x seed x workload)
       into <d> with a digest-carrying manifest the figure sweeps can
-      target via TSE_CORPUS (defaults: scale 0.1, seed 42, full suite)
+      target via TSE_CORPUS (defaults: scale 0.1, seed 42, full suite).
+      Incremental: entries whose stored trace still digest-verifies are
+      skipped; the rest generate in parallel on the sweep pool
   tracectl corpus list <dir>
       print the corpus manifest
   tracectl corpus verify <dir>
       recompute every trace's digest and structural metadata against
-      the manifest; exits nonzero on any mismatch
+      the manifest; exits 4 on any mismatch
+
+EXIT CODES: 0 ok, 2 usage error, 3 I/O or replay failure, 4 corpus
+verification failure
 ";
 
 fn main() -> ExitCode {
@@ -64,59 +74,19 @@ fn main() -> ExitCode {
             Some("gen") => cmd_corpus_gen(&args[2..]),
             Some("list") => cmd_corpus_list(&args[2..]),
             Some("verify") => cmd_corpus_verify(&args[2..]),
-            other => Err(format!(
+            other => Err(CliError::usage(format!(
                 "corpus needs a subcommand (gen, list, verify), got {other:?}\n\n{USAGE}"
-            )),
+            ))),
         },
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("tracectl: {msg}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// Pulls the value of `--flag` out of an option list.
-fn opt<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
-    match args.iter().position(|a| a == flag) {
-        None => Ok(None),
-        Some(i) => args
-            .get(i + 1)
-            .map(|s| Some(s.as_str()))
-            .ok_or_else(|| format!("{flag} needs a value")),
-    }
-}
-
-fn parse<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
-    value
-        .parse()
-        .map_err(|_| format!("invalid {what}: `{value}`"))
-}
-
-fn positional<'a>(args: &'a [String], n: usize, what: &str) -> Result<&'a str, String> {
-    // Every tracectl flag takes a value, so skip `--flag value` pairs
-    // wherever they appear relative to the positionals.
-    let mut found = 0usize;
-    let mut i = 0usize;
-    while i < args.len() {
-        if args[i].starts_with("--") {
-            i += 2;
-            continue;
-        }
-        if found == n {
-            return Ok(&args[i]);
-        }
-        found += 1;
-        i += 1;
-    }
-    Err(format!("missing {what}\n\n{USAGE}"))
+    cli::exit("tracectl", result)
 }
 
 /// Near-square torus factorization of `n` (w <= h, w * h == n).
@@ -139,10 +109,11 @@ fn is_tsb1_path(path: &str) -> bool {
 /// Sniffs whether the file at `path` is a TSB1 trace (magic bytes, not
 /// extension) — the one format-detection implementation every
 /// subcommand shares.
-fn sniff_tsb1(path: &str) -> Result<bool, String> {
-    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+fn sniff_tsb1(path: &str) -> Result<bool, CliError> {
+    let mut file =
+        File::open(path).map_err(|e| CliError::io(format!("cannot open {path}: {e}")))?;
     let mut magic = [0u8; 4];
-    let got = file.read(&mut magic).map_err(|e| e.to_string())?;
+    let got = file.read(&mut magic).map_err(CliError::io)?;
     Ok(got == 4 && is_tsb1(&magic))
 }
 
@@ -152,15 +123,16 @@ fn write_records(
     path: &str,
     nodes: Option<u16>,
     records: impl IntoIterator<Item = AccessRecord>,
-) -> Result<u64, String> {
-    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+) -> Result<u64, CliError> {
+    let file =
+        File::create(path).map_err(|e| CliError::io(format!("cannot create {path}: {e}")))?;
     if is_tsb1_path(path) {
-        let mut w = TraceWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+        let mut w = TraceWriter::new(BufWriter::new(file)).map_err(CliError::io)?;
         if let Some(n) = nodes {
             w.declare_nodes(n);
         }
-        w.extend(records).map_err(|e| e.to_string())?;
-        let (meta, _) = w.finish().map_err(|e| e.to_string())?;
+        w.extend(records).map_err(CliError::io)?;
+        let (meta, _) = w.finish().map_err(CliError::io)?;
         Ok(meta.records)
     } else {
         let mut n = 0u64;
@@ -168,33 +140,35 @@ fn write_records(
             BufWriter::new(file),
             records.into_iter().inspect(|_| n += 1),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::io)?;
         Ok(n)
     }
 }
 
 /// Reads a whole trace from `path`, sniffing the format. Also returns
 /// the declared node count, if the file carries one.
-fn read_records(path: &str) -> Result<(Vec<AccessRecord>, Option<u16>), String> {
+fn read_records(path: &str) -> Result<(Vec<AccessRecord>, Option<u16>), CliError> {
     let binary = sniff_tsb1(path)?;
-    let file = File::open(path).map_err(|e| e.to_string())?;
+    let file = File::open(path).map_err(CliError::io)?;
     if binary {
-        let mut reader = TraceReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let mut reader = TraceReader::new(BufReader::new(file)).map_err(CliError::io)?;
         let declared = reader.declared_nodes();
         let mut records = Vec::new();
         for rec in reader.by_ref() {
-            records.push(rec.map_err(|e| e.to_string())?);
+            records.push(rec.map_err(CliError::io)?);
         }
         Ok((records, declared))
     } else {
-        let records = read_jsonl(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let records = read_jsonl(BufReader::new(file)).map_err(CliError::io)?;
         Ok((records, None))
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let name = opt(args, "--workload")?.ok_or(format!("gen needs --workload\n\n{USAGE}"))?;
-    let out = opt(args, "--out")?.ok_or(format!("gen needs --out\n\n{USAGE}"))?;
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    let name = opt(args, "--workload")?
+        .ok_or_else(|| CliError::usage(format!("gen needs --workload\n\n{USAGE}")))?;
+    let out = opt(args, "--out")?
+        .ok_or_else(|| CliError::usage(format!("gen needs --out\n\n{USAGE}")))?;
     let scale: f64 = match opt(args, "--scale")? {
         Some(v) => parse(v, "--scale")?,
         None => 0.1,
@@ -202,14 +176,17 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     // Scales above 1.0 grow the workload beyond the paper's operating
     // point — the whole reason a compact trace store exists.
     if !scale.is_finite() || scale <= 0.0 {
-        return Err("--scale must be a positive number".into());
+        return Err(CliError::usage("--scale must be a positive number"));
     }
     let seed: u64 = match opt(args, "--seed")? {
         Some(v) => parse(v, "--seed")?,
         None => 42,
     };
-    let wl = workload_by_name(name, scale)
-        .ok_or_else(|| format!("unknown workload `{name}` (try em3d, DB2, Apache, ...)"))?;
+    let wl = workload_by_name(name, scale).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown workload `{name}` (try em3d, DB2, Apache, ...)"
+        ))
+    })?;
     let per_node = wl.generate(seed);
     let records = write_records(
         out,
@@ -226,10 +203,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let path = positional(args, 0, "trace path")?;
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let path = positional(args, 0, "trace path", USAGE)?;
     let bytes = std::fs::metadata(path)
-        .map_err(|e| format!("cannot stat {path}: {e}"))?
+        .map_err(|e| CliError::io(format!("cannot stat {path}: {e}")))?
         .len();
     if !sniff_tsb1(path)? {
         // JSONL (or unknown): summarize by parsing.
@@ -245,8 +222,8 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    let file = File::open(path).map_err(|e| e.to_string())?;
-    let reader = TraceReader::open(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let file = File::open(path).map_err(CliError::io)?;
+    let reader = TraceReader::open(BufReader::new(file)).map_err(CliError::io)?;
     let meta = reader.meta().expect("open loads metadata").clone();
     println!("{path}: TSB1 v{}", meta.version);
     println!(
@@ -275,9 +252,9 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let input = positional(args, 0, "input path")?;
-    let output = positional(args, 1, "output path")?;
+fn cmd_convert(args: &[String]) -> Result<(), CliError> {
+    let input = positional(args, 0, "input path", USAGE)?;
+    let output = positional(args, 1, "output path", USAGE)?;
     let (recs, declared) = read_records(input)?;
     let nodes = match opt(args, "--nodes")? {
         Some(v) => Some(parse(v, "--nodes")?),
@@ -293,8 +270,8 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let path = positional(args, 0, "trace path")?;
+fn cmd_replay(args: &[String]) -> Result<(), CliError> {
+    let path = positional(args, 0, "trace path", USAGE)?;
     let engine = match opt(args, "--engine")? {
         None | Some("tse") => {
             let lookahead: usize = match opt(args, "--lookahead")? {
@@ -307,7 +284,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             })
         }
         Some("base") => EngineKind::Baseline,
-        Some(other) => return Err(format!("unknown engine `{other}` (tse or base)")),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown engine `{other}` (tse or base)"
+            )))
+        }
     };
     let nodes_override: Option<usize> = match opt(args, "--nodes")? {
         Some(v) => Some(parse(v, "--nodes")?),
@@ -315,7 +296,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     };
     // Simulate a machine of the trace's size (near-square torus), not
     // the paper's fixed 16-node default.
-    let machine = |nodes: usize| -> Result<SystemConfig, String> {
+    let machine = |nodes: usize| -> Result<SystemConfig, CliError> {
         if nodes == SystemConfig::default().nodes {
             Ok(SystemConfig::default())
         } else {
@@ -324,14 +305,14 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 .nodes(nodes)
                 .torus(w, h)
                 .build()
-                .map_err(|e| format!("no valid machine for {nodes} nodes: {e}"))
+                .map_err(|e| CliError::io(format!("no valid machine for {nodes} nodes: {e}")))
         }
     };
     let r = if sniff_tsb1(path)? && nodes_override.is_none() {
         // TSB1 replays streamed: blocks decode on pool workers ahead of
         // the consumer and the trace is never materialized in memory.
-        let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-        let reader = TraceReader::open(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+        let file = std::fs::File::open(path).map_err(CliError::io)?;
+        let reader = TraceReader::open(std::io::BufReader::new(file)).map_err(CliError::io)?;
         // Size the machine exactly the way the replay derives it, then
         // hand the same reader over — the header and trailer are
         // parsed once.
@@ -344,7 +325,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "trace".to_string());
-        run_trace_streamed_reader(name, reader, &cfg).map_err(|e| e.to_string())?
+        run_trace_streamed_reader(name, reader, &cfg).map_err(CliError::io)?
     } else {
         let (recs, declared) = read_records(path)?;
         let nodes = nodes_override
@@ -352,13 +333,13 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             .or(recs.iter().map(|r| r.node.index() + 1).max())
             .unwrap_or(1);
         let trace =
-            StoredTrace::from_records(path.to_string(), nodes, recs).map_err(|e| e.to_string())?;
+            StoredTrace::from_records(path.to_string(), nodes, recs).map_err(CliError::io)?;
         let cfg = RunConfig {
             engine,
             sys: machine(trace.nodes())?,
             ..RunConfig::default()
         };
-        run_trace_stored(&trace, &cfg).map_err(|e| e.to_string())?
+        run_trace_stored(&trace, &cfg).map_err(CliError::io)?
     };
     println!(
         "{} [{}]: {} measured records, {} consumptions, coverage {:.1}%, discards {:.1}%, {} spin misses",
@@ -378,7 +359,7 @@ fn list_opt<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
     default: Vec<T>,
-) -> Result<Vec<T>, String> {
+) -> Result<Vec<T>, CliError> {
     match opt(args, flag)? {
         None => Ok(default),
         Some(text) => text
@@ -389,58 +370,111 @@ fn list_opt<T: std::str::FromStr>(
     }
 }
 
-fn cmd_corpus_gen(args: &[String]) -> Result<(), String> {
-    let dir = opt(args, "--dir")?.ok_or(format!("corpus gen needs --dir\n\n{USAGE}"))?;
+fn cmd_corpus_gen(args: &[String]) -> Result<(), CliError> {
+    let dir = opt(args, "--dir")?
+        .ok_or_else(|| CliError::usage(format!("corpus gen needs --dir\n\n{USAGE}")))?;
     let scales: Vec<f64> = list_opt(args, "--scales", vec![0.1])?;
     if scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
-        return Err("--scales must be positive numbers".into());
+        return Err(CliError::usage("--scales must be positive numbers"));
     }
     let seeds: Vec<u64> = list_opt(args, "--seeds", vec![42])?;
     let workloads: Vec<String> = list_opt(args, "--workloads", Vec::new())?;
     for w in &workloads {
         if !SUITE_ORDER.iter().any(|s| s.eq_ignore_ascii_case(w)) {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown workload `{w}` (try em3d, DB2, Apache, ...)"
-            ));
+            )));
         }
     }
-    let mut writer = CorpusWriter::create(dir).map_err(|e| e.to_string())?;
-    let mut total_records = 0u64;
-    for spec in suite_specs(&scales, &seeds) {
-        if !workloads.is_empty() && !workloads.iter().any(|w| w.eq_ignore_ascii_case(spec.name)) {
+    // Incremental: reuse the manifest, keep entries whose trace still
+    // verifies, regenerate the rest (in parallel — every spec writes
+    // its own file; only the manifest assembly is serial). A successful
+    // gen must leave the *whole* manifest verified, so entries outside
+    // the requested grid (earlier scales/seeds) are re-checked — and
+    // regenerated from their recorded spec — too.
+    let mut writer = CorpusWriter::open(dir).map_err(CliError::io)?;
+    let requested: Vec<SuiteSpec> = suite_specs(&scales, &seeds)
+        .into_iter()
+        .filter(|spec| {
+            workloads.is_empty() || workloads.iter().any(|w| w.eq_ignore_ascii_case(spec.name))
+        })
+        .collect();
+    let mut specs: Vec<(String, f64, u64)> = requested
+        .iter()
+        .map(|s| (s.name.to_string(), s.scale, s.seed))
+        .collect();
+    for e in writer.entries().to_vec() {
+        if !requested.iter().any(|s| e.matches(s.name, s.scale, s.seed)) {
+            specs.push((e.workload, e.scale, e.seed));
+        }
+    }
+
+    let mut skipped = 0usize;
+    let mut to_generate: Vec<(String, f64, u64)> = Vec::new();
+    for (name, scale, seed) in specs {
+        if writer.verified(&name, scale, seed) {
+            println!("  {name:8} scale {scale:<5} seed {seed:<6} verified, skipped");
+            skipped += 1;
             continue;
         }
-        let wl = spec.build();
-        let nodes = u16::try_from(wl.nodes())
-            .map_err(|_| format!("{}: more than {} nodes", spec.name, u16::MAX))?;
-        let per_node = wl.generate(spec.seed);
-        let entry = writer
-            .add_trace(
+        if workload_by_name(&name, scale).is_none() {
+            // A stale entry gen cannot rebuild (not a suite workload):
+            // refuse to write a manifest that promises unverifiable
+            // bytes.
+            return Err(CliError::verify(format!(
+                "entry {name} scale {scale} seed {seed} fails verification and names no \
+                 suite workload to regenerate it from"
+            )));
+        }
+        // Drop any stale entry (missing/corrupt file, drifted metadata);
+        // generation below replaces it.
+        writer.remove(&name, scale, seed);
+        to_generate.push((name, scale, seed));
+    }
+
+    let dir_owned = PathBuf::from(dir);
+    let generated: Vec<Result<TraceEntry, String>> =
+        run_parallel(to_generate, 0, move |(name, scale, seed)| {
+            let wl = workload_by_name(&name, scale).expect("checked above");
+            let nodes = u16::try_from(wl.nodes())
+                .map_err(|_| format!("{name}: more than {} nodes", u16::MAX))?;
+            let per_node = wl.generate(seed);
+            CorpusWriter::write_trace_file(
+                &dir_owned,
                 wl.name(),
-                spec.scale,
-                spec.seed,
+                scale,
+                seed,
                 nodes,
                 interleave(per_node.into_iter().map(Vec::into_iter).collect()),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| e.to_string())
+        });
+
+    let mut regenerated = 0usize;
+    let mut new_records = 0u64;
+    for result in generated {
+        let entry = result.map_err(CliError::io)?;
         println!(
             "  {:8} scale {:<5} seed {:<6} -> {} ({} records, {})",
             entry.workload, entry.scale, entry.seed, entry.path, entry.records, entry.digest
         );
-        total_records += entry.records;
+        new_records += entry.records;
+        regenerated += 1;
+        writer.insert(entry).map_err(CliError::io)?;
     }
     let n = writer.entries().len();
-    let manifest = writer.finish().map_err(|e| e.to_string())?;
+    let manifest = writer.finish().map_err(CliError::io)?;
     println!(
-        "wrote {n} traces ({total_records} records) + manifest v{} to {dir}",
+        "corpus {dir}: {regenerated} regenerated ({new_records} records), {skipped} skipped \
+         (digest verified), {n} traces in manifest v{}",
         manifest.version
     );
     Ok(())
 }
 
-fn cmd_corpus_list(args: &[String]) -> Result<(), String> {
-    let dir = positional(args, 0, "corpus directory")?;
-    let corpus = Corpus::open(dir).map_err(|e| e.to_string())?;
+fn cmd_corpus_list(args: &[String]) -> Result<(), CliError> {
+    let dir = positional(args, 0, "corpus directory", USAGE)?;
+    let corpus = Corpus::open(dir).map_err(CliError::io)?;
     println!(
         "{dir}: manifest v{}, {} traces",
         corpus.manifest().version,
@@ -456,9 +490,9 @@ fn cmd_corpus_list(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_corpus_verify(args: &[String]) -> Result<(), String> {
-    let dir = positional(args, 0, "corpus directory")?;
-    let corpus = Corpus::open(dir).map_err(|e| e.to_string())?;
+fn cmd_corpus_verify(args: &[String]) -> Result<(), CliError> {
+    let dir = positional(args, 0, "corpus directory", USAGE)?;
+    let corpus = Corpus::open(dir).map_err(CliError::io)?;
     let issues = corpus.verify();
     if issues.is_empty() {
         let records: u64 = corpus.entries().iter().map(|e| e.records).sum();
@@ -471,9 +505,9 @@ fn cmd_corpus_verify(args: &[String]) -> Result<(), String> {
     for issue in &issues {
         eprintln!("  {issue}");
     }
-    Err(format!(
+    Err(CliError::verify(format!(
         "{dir}: {} of {} traces failed verification",
         issues.len(),
         corpus.entries().len()
-    ))
+    )))
 }

@@ -1,43 +1,61 @@
 //! One function per table/figure of the paper's evaluation section.
+//!
+//! Every sweep figure enumerates its grid through [`crate::grid`] (one
+//! stable cell list per figure) and replays it in-process with
+//! [`grid::run_cells`]; the same cell lists drive the sharded execution
+//! path (`tse_sim::shard`, `sweepctl`), which is asserted bit-identical
+//! to this one.
 
-use crate::{lookahead_for, pct, row, tse_config_for, ExperimentCtx};
+use crate::{grid, lookahead_for, pct, row, tse_config_for, ExperimentCtx};
+use grid::FIG_SEED;
 use serde_json::{json, Value};
-use std::sync::Arc;
 use tse_prefetch::GhbIndexing;
+use tse_sim::shard::CellOutput;
 use tse_sim::{
-    correlation_curve, run_parallel, run_timing_stored, run_trace_stored, EngineKind, RunConfig,
-    Samples, StoredTrace, TimingResult, MAX_DISTANCE,
+    correlation_curve, run_parallel, run_timing_stored, EngineKind, RunConfig, RunResult, Samples,
+    TimingResult, MAX_DISTANCE,
 };
 use tse_types::TseConfig;
 use tse_workloads::WorkloadKind;
 
-/// The seed every non-sampled figure runs (and stores traces) at.
-const FIG_SEED: u64 = 42;
-
-fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
-    RunConfig {
-        sys: ctx.sys.clone(),
-        engine,
-        seed: FIG_SEED,
-        warm_fraction: 0.25,
-        ..RunConfig::default()
+/// The TSE parameters of a sweep cell (grids tag every TSE cell's axis
+/// position in its engine config).
+fn tse_of(cfg: &RunConfig) -> &TseConfig {
+    match &cfg.engine {
+        EngineKind::Tse(t) => t,
+        other => panic!("expected a TSE cell, got {other:?}"),
     }
 }
 
-/// Materializes each suite workload's interleaved trace once per
-/// context (in parallel, at [`FIG_SEED`]), resolved through the
-/// context's corpus-backed memo so `--bin all` pays generation (or
-/// corpus load) exactly once across all figures. Every figure — trace
-/// *and* timing — replays these across its whole configuration grid
-/// instead of regenerating the workload per cell; replay is
-/// bit-identical to the generate-and-run path.
-fn stored_suite(ctx: &ExperimentCtx) -> Arc<Vec<Arc<StoredTrace>>> {
-    Arc::clone(ctx.stored_traces.get_or_init(|| {
-        let c = ctx.clone();
-        Arc::new(run_parallel(ctx.suite(), 0, move |wl| {
-            c.trace_for(wl.as_ref(), FIG_SEED)
-        }))
-    }))
+/// Display label of a competitive-comparison engine (Figure 12's bars).
+fn engine_label(engine: &EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Baseline => "base",
+        EngineKind::Tse(_) => "TSE",
+        EngineKind::Stride { .. } => "Stride",
+        EngineKind::Ghb {
+            indexing: GhbIndexing::DistanceCorrelation,
+            ..
+        } => "G/DC",
+        EngineKind::Ghb {
+            indexing: GhbIndexing::AddressCorrelation,
+            ..
+        } => "G/AC",
+    }
+}
+
+/// Runs a figure's grid and unwraps the trace-mode results, paired with
+/// their jobs' configs.
+fn trace_grid(ctx: &ExperimentCtx, figure: &str) -> Vec<(RunConfig, RunResult)> {
+    let jobs = grid::figure_jobs(ctx, figure).expect("known trace figure");
+    grid::run_cells(ctx, &jobs)
+        .into_iter()
+        .zip(jobs)
+        .map(|(out, job)| match out {
+            CellOutput::Trace(r) => (job.config, r),
+            CellOutput::Timing(_) => panic!("{figure} cells are trace mode"),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -96,16 +114,13 @@ pub fn tables12(ctx: &ExperimentCtx) -> Value {
 /// distance (±1..±16), per application.
 pub fn fig06(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 6: temporal correlation distance (cumulative % of consumptions) ==");
-    let traces = stored_suite(ctx);
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let curves = run_parallel((0..traces.len()).collect(), 0, move |idx| {
-        let mut cfg = run_cfg(&c, EngineKind::Baseline);
-        cfg.collect_consumptions = true;
-        let r = run_trace_stored(&tr[idx], &cfg).expect("baseline run");
-        let curve = correlation_curve(c.sys.nodes, &r.consumptions);
-        (tr[idx].name().to_string(), curve)
-    });
+    let curves: Vec<_> = trace_grid(ctx, "fig06")
+        .into_iter()
+        .map(|(_, r)| {
+            let curve = correlation_curve(ctx.sys.nodes, &r.consumptions);
+            (r.workload, curve)
+        })
+        .collect();
 
     let mut header = vec!["app".to_string()];
     for d in [1usize, 2, 4, 8, 16] {
@@ -141,27 +156,13 @@ pub fn fig07(ctx: &ExperimentCtx) -> Value {
     println!(
         "== Figure 7: coverage/discards vs compared streams (unconstrained HW, lookahead 8) =="
     );
-    let traces = stored_suite(ctx);
-    let mut jobs = Vec::new();
-    for idx in 0..traces.len() {
-        for k in 1..=4usize {
-            jobs.push((idx, k));
-        }
-    }
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel(jobs, 0, move |(idx, k)| {
-        let mut tse = TseConfig::unconstrained();
-        tse.compared_streams = k;
-        tse.directory_pointers = k.max(2);
-        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
-        (
-            tr[idx].name().to_string(),
-            k,
-            r.coverage(),
-            r.discard_rate(),
-        )
-    });
+    let results: Vec<_> = trace_grid(ctx, "fig07")
+        .into_iter()
+        .map(|(cfg, r)| {
+            let k = tse_of(&cfg).compared_streams;
+            (r.workload.clone(), k, r.coverage(), r.discard_rate())
+        })
+        .collect();
 
     println!(
         "{}",
@@ -193,27 +194,14 @@ pub fn fig07(ctx: &ExperimentCtx) -> Value {
 /// Figure 8: discards (normalized to consumptions) vs. stream lookahead.
 pub fn fig08(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 8: discards vs stream lookahead ==");
-    let lookaheads = [1usize, 2, 4, 8, 12, 16, 20, 24];
-    let traces = stored_suite(ctx);
-    let mut jobs = Vec::new();
-    for idx in 0..traces.len() {
-        for &la in &lookaheads {
-            jobs.push((idx, la));
-        }
-    }
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel(jobs, 0, move |(idx, la)| {
-        let mut tse = TseConfig::unconstrained();
-        tse.lookahead = la;
-        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
-        (
-            tr[idx].name().to_string(),
-            la,
-            r.discard_rate(),
-            r.coverage(),
-        )
-    });
+    let lookaheads = grid::FIG08_LOOKAHEADS;
+    let results: Vec<_> = trace_grid(ctx, "fig08")
+        .into_iter()
+        .map(|(cfg, r)| {
+            let la = tse_of(&cfg).lookahead;
+            (r.workload.clone(), la, r.discard_rate(), r.coverage())
+        })
+        .collect();
 
     let mut header = vec!["app".to_string()];
     header.extend(lookaheads.iter().map(|l| format!("la={l}")));
@@ -247,35 +235,18 @@ pub fn fig08(ctx: &ExperimentCtx) -> Value {
 /// unlimited), lookahead 8.
 pub fn fig09(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 9: sensitivity to SVB size ==");
-    // 64-byte blocks: 512 B = 8 entries, 2 KB = 32, 8 KB = 128.
-    let sizes: [(&str, Option<usize>); 4] = [
-        ("512", Some(8)),
-        ("2k", Some(32)),
-        ("8k", Some(128)),
-        ("inf", None),
-    ];
-    let traces = stored_suite(ctx);
-    let mut jobs = Vec::new();
-    for idx in 0..traces.len() {
-        for (label, entries) in sizes {
-            jobs.push((idx, label.to_string(), entries));
-        }
-    }
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel(jobs, 0, move |(idx, label, entries)| {
-        let tse = TseConfig {
-            svb_entries: entries,
-            ..TseConfig::default()
-        };
-        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
-        (
-            tr[idx].name().to_string(),
-            label,
-            r.coverage(),
-            r.discard_rate(),
-        )
-    });
+    let results: Vec<_> = trace_grid(ctx, "fig09")
+        .into_iter()
+        .map(|(cfg, r)| {
+            let entries = tse_of(&cfg).svb_entries;
+            let label = grid::FIG09_SVB_SIZES
+                .iter()
+                .find(|(_, e)| *e == entries)
+                .expect("fig09 cells use the figure's SVB axis")
+                .0;
+            (r.workload.clone(), label, r.coverage(), r.discard_rate())
+        })
+        .collect();
 
     println!(
         "{}",
@@ -312,24 +283,14 @@ pub fn fig09(ctx: &ExperimentCtx) -> Value {
 /// Figure 10: fraction of peak coverage vs. CMOB capacity per node.
 pub fn fig10(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 10: CMOB storage requirements (% of peak coverage) ==");
-    let capacities: [usize; 10] = [2, 8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288];
-    let traces = stored_suite(ctx);
-    let mut jobs = Vec::new();
-    for idx in 0..traces.len() {
-        for &cap in &capacities {
-            jobs.push((idx, cap));
-        }
-    }
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel(jobs, 0, move |(idx, cap)| {
-        let tse = TseConfig {
-            cmob_capacity: cap,
-            ..TseConfig::default()
-        };
-        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
-        (tr[idx].name().to_string(), cap, r.coverage())
-    });
+    let capacities = grid::FIG10_CAPACITIES;
+    let results: Vec<_> = trace_grid(ctx, "fig10")
+        .into_iter()
+        .map(|(cfg, r)| {
+            let cap = tse_of(&cfg).cmob_capacity;
+            (r.workload.clone(), cap, r.coverage())
+        })
+        .collect();
 
     let entry_bytes = ctx.sys.cmob_entry_bytes;
     let mut header = vec!["app".to_string()];
@@ -372,15 +333,14 @@ pub fn fig10(ctx: &ExperimentCtx) -> Value {
 /// overhead to baseline traffic annotated.
 pub fn fig11(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 11: interconnect bisection bandwidth overhead ==");
-    let traces = stored_suite(ctx);
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel((0..traces.len()).collect(), 0, move |idx| {
-        let tse = tse_config_for(tr[idx].name());
-        let r = run_timing_stored(&tr[idx], &c.sys, &EngineKind::Tse(tse), 0.25)
-            .expect("timing replay");
-        (tr[idx].name().to_string(), r)
-    });
+    let jobs = grid::figure_jobs(ctx, "fig11").expect("fig11 grid");
+    let results: Vec<TimingResult> = grid::run_cells(ctx, &jobs)
+        .into_iter()
+        .map(|out| match out {
+            CellOutput::Timing(r) => r,
+            CellOutput::Trace(_) => panic!("fig11 cells are timing mode"),
+        })
+        .collect();
 
     println!(
         "{}",
@@ -391,7 +351,8 @@ pub fn fig11(ctx: &ExperimentCtx) -> Value {
         ])
     );
     let mut out = Vec::new();
-    for (name, r) in &results {
+    for r in &results {
+        let name = &r.workload;
         let gbps = r.traffic.overhead_bisection_gbps(r.seconds);
         let ratio = r.traffic.overhead_ratio();
         println!(
@@ -421,36 +382,13 @@ pub fn fig11(ctx: &ExperimentCtx) -> Value {
 /// Figure 12: TSE vs. stride and GHB (G/DC, G/AC) prefetchers.
 pub fn fig12(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 12: TSE vs stride and GHB prefetchers ==");
-    let engines: Vec<(&str, EngineKind)> = vec![
-        ("Stride", EngineKind::paper_stride()),
-        (
-            "G/DC",
-            EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation),
-        ),
-        (
-            "G/AC",
-            EngineKind::paper_ghb(GhbIndexing::AddressCorrelation),
-        ),
-        ("TSE", EngineKind::Tse(TseConfig::default())),
-    ];
-    let traces = stored_suite(ctx);
-    let mut jobs = Vec::new();
-    for idx in 0..traces.len() {
-        for (label, engine) in &engines {
-            jobs.push((idx, label.to_string(), engine.clone()));
-        }
-    }
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel(jobs, 0, move |(idx, label, engine)| {
-        let r = run_trace_stored(&tr[idx], &run_cfg(&c, engine)).expect("run");
-        (
-            tr[idx].name().to_string(),
-            label,
-            r.coverage(),
-            r.discard_rate(),
-        )
-    });
+    let results: Vec<_> = trace_grid(ctx, "fig12")
+        .into_iter()
+        .map(|(cfg, r)| {
+            let label = engine_label(&cfg.engine);
+            (r.workload.clone(), label, r.coverage(), r.discard_rate())
+        })
+        .collect();
 
     println!(
         "{}",
@@ -491,14 +429,10 @@ pub fn fig13(ctx: &ExperimentCtx) -> Value {
         0u64, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
     ]
     .to_vec();
-    let traces = stored_suite(ctx);
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel((0..traces.len()).collect(), 0, move |idx| {
-        let tse = tse_config_for(tr[idx].name());
-        let r = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse))).expect("tse run");
-        (tr[idx].name().to_string(), r.engine)
-    });
+    let results: Vec<_> = trace_grid(ctx, "fig13")
+        .into_iter()
+        .map(|(_, r)| (r.workload.clone(), r.engine))
+        .collect();
 
     let mut header = vec!["app".to_string()];
     header.extend(buckets.iter().map(|b| format!("≤{b}")));
@@ -529,20 +463,19 @@ pub fn fig13(ctx: &ExperimentCtx) -> Value {
 /// full/partial coverage under the timing model.
 pub fn table3(ctx: &ExperimentCtx) -> Value {
     println!("== Table 3: streaming timeliness ==");
-    let traces = stored_suite(ctx);
-    let c = ctx.clone();
-    let tr = Arc::clone(&traces);
-    let results = run_parallel((0..traces.len()).collect(), 0, move |idx| {
-        let name = tr[idx].name().to_string();
-        let tse_cfg = tse_config_for(&name);
-        let trace = run_trace_stored(&tr[idx], &run_cfg(&c, EngineKind::Tse(tse_cfg.clone())))
-            .expect("trace replay");
-        let base = run_timing_stored(&tr[idx], &c.sys, &EngineKind::Baseline, 0.25)
-            .expect("baseline timing replay");
-        let timed = run_timing_stored(&tr[idx], &c.sys, &EngineKind::Tse(tse_cfg), 0.25)
-            .expect("tse timing replay");
-        (name, trace, base, timed)
-    });
+    let jobs = grid::figure_jobs(ctx, "table3").expect("table3 grid");
+    let outs = grid::run_cells(ctx, &jobs);
+    // Three cells per workload, in grid order: trace, baseline timing,
+    // TSE timing.
+    let results: Vec<(String, &RunResult, &TimingResult, &TimingResult)> = outs
+        .chunks(3)
+        .map(|chunk| {
+            let trace = chunk[0].as_trace().expect("table3 cell 0 is trace mode");
+            let base = chunk[1].as_timing().expect("table3 cell 1 is timing mode");
+            let timed = chunk[2].as_timing().expect("table3 cell 2 is timing mode");
+            (trace.workload.clone(), trace, base, timed)
+        })
+        .collect();
 
     println!(
         "{}",
@@ -594,6 +527,12 @@ pub fn table3(ctx: &ExperimentCtx) -> Value {
 /// Figure 14: normalized execution-time breakdown (busy / other stalls /
 /// coherent read stalls) and TSE speedup, with 95% confidence intervals
 /// for the sampled commercial workloads.
+///
+/// Unlike the grid-driven figures, fig14 executes its sampled cells
+/// per-workload (each sampled trace is resolved, replayed twice and
+/// dropped) so the sampled traces never accumulate in memory; its grid
+/// (`grid::figure_jobs(ctx, "fig14")`) enumerates the identical cells
+/// for the sharded path, where workers stream from the corpus anyway.
 pub fn fig14(ctx: &ExperimentCtx) -> Value {
     println!("== Figure 14: execution time breakdown and speedup ==");
     let c = ctx.clone();

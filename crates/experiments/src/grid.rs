@@ -1,0 +1,345 @@
+//! Figure grids as explicit, serializable cell lists.
+//!
+//! Every figure sweep used to exist only as a closure captured by its
+//! `figs::*` function; this module reifies each grid as a `Vec` of
+//! [`ShardJob`]s — `(figure, cell id, trace reference, run config)` —
+//! in a **stable enumeration order** (trace-major in the paper's suite
+//! order, then the figure's parameter axis). The same cell list drives
+//! both execution paths:
+//!
+//! * **in-process** ([`run_cells`]): resolve each referenced trace once
+//!   through the context's corpus-backed memo, replay every cell on the
+//!   persistent [`tse_sim::SweepPool`] — this is what the `figs::*`
+//!   functions themselves run on;
+//! * **sharded** (`tse_sim::shard`): split the list with
+//!   `ShardPlan::split`, execute shards on corpus-holding workers, and
+//!   merge — bit-identical to the in-process grid by the determinism
+//!   contract.
+
+use crate::{tse_config_for, ExperimentCtx};
+use std::sync::Arc;
+use tse_prefetch::GhbIndexing;
+use tse_sim::shard::{CellOutput, ShardJob, ShardMode, TraceRef};
+use tse_sim::{
+    run_parallel, run_timing_stored, run_trace_stored, EngineKind, RunConfig, StoredTrace,
+};
+use tse_types::TseConfig;
+use tse_workloads::{workload_by_name, WorkloadKind};
+
+/// The seed every non-sampled figure runs (and stores traces) at.
+pub const FIG_SEED: u64 = 42;
+
+/// Figures whose grids this module enumerates (everything but the
+/// parameter-table printer `tables12`).
+pub const SHARDABLE_FIGURES: [&str; 10] = [
+    "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table3",
+];
+
+/// Figure 7's compared-stream counts.
+pub const FIG07_STREAMS: [usize; 4] = [1, 2, 3, 4];
+
+/// Figure 8's lookahead axis.
+pub const FIG08_LOOKAHEADS: [usize; 8] = [1, 2, 4, 8, 12, 16, 20, 24];
+
+/// Figure 9's SVB sizes: label and entry count (64-byte blocks; `None`
+/// = unlimited).
+pub const FIG09_SVB_SIZES: [(&str, Option<usize>); 4] = [
+    ("512", Some(8)),
+    ("2k", Some(32)),
+    ("8k", Some(128)),
+    ("inf", None),
+];
+
+/// Figure 10's CMOB capacities (entries per node).
+pub const FIG10_CAPACITIES: [usize; 10] = [2, 8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288];
+
+/// The default [`RunConfig`] every figure cell starts from.
+pub(crate) fn run_cfg(ctx: &ExperimentCtx, engine: EngineKind) -> RunConfig {
+    RunConfig {
+        sys: ctx.sys.clone(),
+        engine,
+        seed: FIG_SEED,
+        warm_fraction: 0.25,
+        ..RunConfig::default()
+    }
+}
+
+/// Figure 12's competitive engines, in bar order.
+pub(crate) fn fig12_engines() -> Vec<(&'static str, EngineKind)> {
+    vec![
+        ("Stride", EngineKind::paper_stride()),
+        (
+            "G/DC",
+            EngineKind::paper_ghb(GhbIndexing::DistanceCorrelation),
+        ),
+        (
+            "G/AC",
+            EngineKind::paper_ghb(GhbIndexing::AddressCorrelation),
+        ),
+        ("TSE", EngineKind::Tse(TseConfig::default())),
+    ]
+}
+
+/// Builder state threaded through a figure's enumeration: appends jobs
+/// with consecutive cell ids.
+struct GridBuilder<'a> {
+    ctx: &'a ExperimentCtx,
+    figure: &'a str,
+    jobs: Vec<ShardJob>,
+}
+
+impl GridBuilder<'_> {
+    fn push(&mut self, workload: &str, seed: u64, mode: ShardMode, config: RunConfig) {
+        self.jobs.push(ShardJob {
+            figure: self.figure.to_string(),
+            cell: self.jobs.len() as u64,
+            mode,
+            trace: TraceRef {
+                workload: workload.to_string(),
+                scale: self.ctx.scale,
+                seed,
+                digest: None,
+            },
+            config,
+        });
+    }
+
+    fn trace(&mut self, workload: &str, config: RunConfig) {
+        self.push(workload, FIG_SEED, ShardMode::Trace, config);
+    }
+
+    fn timing(&mut self, workload: &str, seed: u64, engine: EngineKind) {
+        let config = run_cfg(self.ctx, engine);
+        self.push(workload, seed, ShardMode::Timing, config);
+    }
+}
+
+/// Enumerates one figure's full sweep grid in its stable cell order, or
+/// `None` for a name outside [`SHARDABLE_FIGURES`]. Digests are left
+/// unpinned (`ShardPlan::pin_digests` adds them when a corpus is at
+/// hand).
+pub fn figure_jobs(ctx: &ExperimentCtx, figure: &str) -> Option<Vec<ShardJob>> {
+    let suite = ctx.suite();
+    let names: Vec<&'static str> = suite.iter().map(|w| w.name()).collect();
+    let mut b = GridBuilder {
+        ctx,
+        figure,
+        jobs: Vec::new(),
+    };
+    match figure {
+        "fig06" => {
+            for name in &names {
+                let mut cfg = run_cfg(ctx, EngineKind::Baseline);
+                cfg.collect_consumptions = true;
+                b.trace(name, cfg);
+            }
+        }
+        "fig07" => {
+            for name in &names {
+                for k in FIG07_STREAMS {
+                    let mut tse = TseConfig::unconstrained();
+                    tse.compared_streams = k;
+                    tse.directory_pointers = k.max(2);
+                    b.trace(name, run_cfg(ctx, EngineKind::Tse(tse)));
+                }
+            }
+        }
+        "fig08" => {
+            for name in &names {
+                for la in FIG08_LOOKAHEADS {
+                    let mut tse = TseConfig::unconstrained();
+                    tse.lookahead = la;
+                    b.trace(name, run_cfg(ctx, EngineKind::Tse(tse)));
+                }
+            }
+        }
+        "fig09" => {
+            for name in &names {
+                for (_, entries) in FIG09_SVB_SIZES {
+                    let tse = TseConfig {
+                        svb_entries: entries,
+                        ..TseConfig::default()
+                    };
+                    b.trace(name, run_cfg(ctx, EngineKind::Tse(tse)));
+                }
+            }
+        }
+        "fig10" => {
+            for name in &names {
+                for cap in FIG10_CAPACITIES {
+                    let tse = TseConfig {
+                        cmob_capacity: cap,
+                        ..TseConfig::default()
+                    };
+                    b.trace(name, run_cfg(ctx, EngineKind::Tse(tse)));
+                }
+            }
+        }
+        "fig11" => {
+            for name in &names {
+                b.timing(name, FIG_SEED, EngineKind::Tse(tse_config_for(name)));
+            }
+        }
+        "fig12" => {
+            for name in &names {
+                for (_, engine) in fig12_engines() {
+                    b.trace(name, run_cfg(ctx, engine));
+                }
+            }
+        }
+        "fig13" => {
+            for name in &names {
+                b.trace(name, run_cfg(ctx, EngineKind::Tse(tse_config_for(name))));
+            }
+        }
+        "table3" => {
+            // Per workload: trace-mode coverage, baseline timing (MLP),
+            // TSE timing (full/partial coverage) — three cells.
+            for name in &names {
+                b.trace(name, run_cfg(ctx, EngineKind::Tse(tse_config_for(name))));
+                b.timing(name, FIG_SEED, EngineKind::Baseline);
+                b.timing(name, FIG_SEED, EngineKind::Tse(tse_config_for(name)));
+            }
+        }
+        "fig14" => {
+            // Scientific runs are deterministic single measurements; the
+            // commercial workloads sample several seeds (the paper's
+            // SMARTS-style sampling). Per seed: baseline then TSE.
+            for wl in &suite {
+                let seeds: Vec<u64> = if wl.kind() == WorkloadKind::Scientific {
+                    vec![FIG_SEED]
+                } else {
+                    ctx.seeds.clone()
+                };
+                for seed in seeds {
+                    b.timing(wl.name(), seed, EngineKind::Baseline);
+                    b.timing(wl.name(), seed, EngineKind::Tse(tse_config_for(wl.name())));
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(b.jobs)
+}
+
+/// Resolves one trace reference through the context: corpus-backed and
+/// memoized for the figure seed (every figure shares those traces),
+/// unpinned for sampled seeds only fig14 replays.
+fn resolve_trace(ctx: &ExperimentCtx, r: &TraceRef) -> Arc<StoredTrace> {
+    let wl = workload_by_name(&r.workload, r.scale).expect("grids name suite workloads");
+    if r.seed == FIG_SEED {
+        ctx.trace_for(wl.as_ref(), r.seed)
+    } else {
+        ctx.trace_for_once(wl.as_ref(), r.seed)
+    }
+}
+
+/// Runs a cell list in-process on the persistent
+/// [`tse_sim::SweepPool`]: jobs are grouped by referenced trace, each
+/// group's trace is resolved once (through the context's corpus-backed
+/// memo) *inside* the group's job and its cells replay as a nested
+/// parallel batch — so an unmemoized (sampled-seed) trace is dropped
+/// as soon as its cells finish instead of pinning every trace of the
+/// grid in memory at once, matching the bounded-memory discipline of
+/// the per-workload fig14 path. Outputs come back in cell order; this
+/// is the execution path behind the `figs::*` functions and the
+/// reference the sharded path is asserted bit-identical against.
+///
+/// # Panics
+///
+/// Panics if a cell's configuration is rejected by the harness — grids
+/// enumerate valid configurations by construction.
+pub fn run_cells(ctx: &ExperimentCtx, jobs: &[ShardJob]) -> Vec<CellOutput> {
+    // Group cells by trace, preserving first-seen (grid) order.
+    let mut groups: Vec<(TraceRef, Vec<(usize, ShardJob)>)> = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|(r, _)| r.key() == job.trace.key()) {
+            Some((_, cells)) => cells.push((idx, job.clone())),
+            None => groups.push((job.trace.clone(), vec![(idx, job.clone())])),
+        }
+    }
+    let c = ctx.clone();
+    let grouped = run_parallel(groups, 0, move |(r, cells)| {
+        let trace = resolve_trace(&c, &r);
+        run_parallel(cells, 0, move |(idx, job)| {
+            let output = match job.mode {
+                ShardMode::Trace => CellOutput::Trace(
+                    run_trace_stored(&trace, &job.config).expect("grid cell must replay"),
+                ),
+                ShardMode::Timing => CellOutput::Timing(
+                    run_timing_stored(
+                        &trace,
+                        &job.config.sys,
+                        &job.config.engine,
+                        job.config.warm_fraction,
+                    )
+                    .expect("grid cell must replay"),
+                ),
+            };
+            (idx, output)
+        })
+        // The group's Arc drops here: unmemoized traces free as soon as
+        // their cells are done.
+    });
+
+    let mut outputs: Vec<Option<CellOutput>> = jobs.iter().map(|_| None).collect();
+    for (idx, output) in grouped.into_iter().flatten() {
+        outputs[idx] = Some(output);
+    }
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every cell ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentCtx {
+        ExperimentCtx {
+            scale: 0.02,
+            ..ExperimentCtx::from_env()
+        }
+    }
+
+    #[test]
+    fn grids_are_stable_and_cover_every_figure() {
+        let ctx = tiny_ctx();
+        for figure in SHARDABLE_FIGURES {
+            let jobs = figure_jobs(&ctx, figure).expect("shardable figure");
+            assert!(!jobs.is_empty(), "{figure} grid is empty");
+            for (i, job) in jobs.iter().enumerate() {
+                assert_eq!(job.cell, i as u64, "{figure} cell ids must be 0..n");
+                assert_eq!(job.figure, figure);
+                assert_eq!(job.trace.scale, ctx.scale);
+            }
+            // Deterministic: the same context enumerates the same grid.
+            let again = figure_jobs(&ctx, figure).unwrap();
+            assert_eq!(jobs.len(), again.len());
+            for (a, b) in jobs.iter().zip(&again) {
+                assert_eq!(a.trace, b.trace, "{figure} enumeration drifted");
+            }
+        }
+        assert!(figure_jobs(&ctx, "tables12").is_none());
+        assert!(figure_jobs(&ctx, "nope").is_none());
+    }
+
+    #[test]
+    fn fig08_grid_shape_matches_the_paper_axis() {
+        let ctx = tiny_ctx();
+        let jobs = figure_jobs(&ctx, "fig08").unwrap();
+        assert_eq!(jobs.len(), 7 * FIG08_LOOKAHEADS.len());
+        assert!(jobs.iter().all(|j| j.mode == ShardMode::Trace));
+        // Trace-major: the first 8 cells sweep em3d's lookaheads.
+        assert!(jobs[..8].iter().all(|j| j.trace.workload == "em3d"));
+    }
+
+    #[test]
+    fn fig11_grid_is_timing_mode() {
+        let ctx = tiny_ctx();
+        let jobs = figure_jobs(&ctx, "fig11").unwrap();
+        assert_eq!(jobs.len(), 7);
+        assert!(jobs.iter().all(|j| j.mode == ShardMode::Timing));
+    }
+}

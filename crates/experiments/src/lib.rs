@@ -18,7 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figs;
+pub mod grid;
 
 use serde_json::Value;
 use std::collections::HashMap;
@@ -62,9 +64,6 @@ pub struct ExperimentCtx {
     /// each trace exactly once — from the corpus when available, else
     /// by generating. See [`ExperimentCtx::trace_for`].
     trace_memo: Arc<Mutex<TraceMemo>>,
-    /// The suite's traces at the figure seed, materialized lazily in
-    /// parallel. See `figs::stored_suite`.
-    pub(crate) stored_traces: Arc<OnceLock<Arc<Vec<Arc<StoredTrace>>>>>,
 }
 
 impl ExperimentCtx {
@@ -93,7 +92,6 @@ impl ExperimentCtx {
             corpus_dir,
             corpus: Arc::new(OnceLock::new()),
             trace_memo: Arc::new(Mutex::new(HashMap::new())),
-            stored_traces: Arc::new(OnceLock::new()),
         }
     }
 

@@ -1,0 +1,202 @@
+//! Shard determinism suite: `plan → run shards (in shuffled order,
+//! partitioned across 1, 3 and 7 workers) → merge` must be
+//! **bit-identical** to the in-process `SweepPool` path, for a
+//! trace-driven figure (fig08) and a timing figure (fig11).
+//!
+//! Workers here are separate `execute_shard` invocations against one
+//! shared, digest-verified corpus — exactly what `sweepctl run` does on
+//! separate machines; bundles are additionally pushed through their
+//! JSON wire format before merging, so the serialization layer is part
+//! of the asserted path.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tse_experiments::{grid, ExperimentCtx};
+use tse_sim::shard::{execute_shard, merge, CellOutput, MergedGrid, ShardPlan, ShardResult};
+use tse_trace::corpus::{Corpus, CorpusWriter};
+use tse_trace::interleave;
+use tse_workloads::suite_specs;
+
+/// A unique scratch directory per test invocation, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tse-shard-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const SCALE: f64 = 0.02;
+
+/// A context pinned to the test corpus at the test scale, isolated from
+/// the environment (`TSE_SCALE`/`TSE_CORPUS` must not leak in).
+fn ctx_for(corpus_dir: &Path) -> ExperimentCtx {
+    let mut ctx = ExperimentCtx::from_env();
+    ctx.scale = SCALE;
+    ctx.corpus_dir = Some(corpus_dir.to_path_buf());
+    // Drop env-dependent state the constructor may have picked up.
+    ctx.seeds = vec![1000, 1007];
+    ctx
+}
+
+/// Generates the suite corpus at the figure seed.
+fn build_corpus(dir: &Path) -> Corpus {
+    let mut w = CorpusWriter::create(dir).unwrap();
+    for spec in suite_specs(&[SCALE], &[grid::FIG_SEED]) {
+        let wl = spec.build();
+        let per_node = wl.generate(spec.seed);
+        w.add_trace(
+            wl.name(),
+            spec.scale,
+            spec.seed,
+            u16::try_from(wl.nodes()).unwrap(),
+            interleave(per_node.into_iter().map(Vec::into_iter).collect()),
+        )
+        .unwrap();
+    }
+    w.finish().unwrap();
+    Corpus::open(dir).unwrap()
+}
+
+/// Serializes a bundle to its JSON wire format and parses it back —
+/// the round trip every real worker-to-merger handoff goes through.
+fn over_the_wire(bundle: ShardResult) -> ShardResult {
+    let text = serde_json::to_string_pretty(&bundle).unwrap();
+    serde_json::from_str(&text).unwrap()
+}
+
+/// The full contract for one figure: for every worker count, execute
+/// the shards in a shuffled order, ship bundles over the wire, merge,
+/// and compare against the in-process grid — `PartialEq` on the merged
+/// grid, i.e. on every `RunResult`/`TimingResult` field.
+fn assert_sharded_matches_in_process(figure: &str) {
+    let scratch = ScratchDir::new(figure);
+    let corpus = build_corpus(&scratch.0);
+    let ctx = ctx_for(&scratch.0);
+
+    let jobs = grid::figure_jobs(&ctx, figure).expect("known figure");
+    let reference = MergedGrid::from_outputs(figure, grid::run_cells(&ctx, &jobs));
+
+    for shards in [1u32, 3, 7] {
+        let mut plan = ShardPlan::split(jobs.clone(), shards).unwrap();
+        plan.pin_digests(&corpus).unwrap();
+        // Execute in shuffled (reversed, then rotated) order: shard
+        // execution order must not matter.
+        let mut order: Vec<u32> = (0..shards).rev().collect();
+        order.rotate_left((shards as usize) / 2);
+        let bundles: Vec<ShardResult> = order
+            .iter()
+            .map(|&s| over_the_wire(execute_shard(&plan, s, &corpus).unwrap()))
+            .collect();
+        let merged = merge(&plan, &bundles).unwrap();
+        assert_eq!(
+            merged, reference,
+            "{figure} with {shards} shards must be bit-identical to the in-process sweep"
+        );
+        // And the serialized forms agree byte for byte (what CI diffs).
+        assert_eq!(
+            serde_json::to_string_pretty(&merged).unwrap(),
+            serde_json::to_string_pretty(&reference).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn sharded_fig08_is_bit_identical_to_sweep_pool() {
+    assert_sharded_matches_in_process("fig08");
+}
+
+#[test]
+fn sharded_fig11_is_bit_identical_to_sweep_pool() {
+    assert_sharded_matches_in_process("fig11");
+}
+
+#[test]
+fn workers_refuse_drifted_corpora() {
+    let scratch = ScratchDir::new("drift");
+    let corpus = build_corpus(&scratch.0);
+    let ctx = ctx_for(&scratch.0);
+    let jobs = grid::figure_jobs(&ctx, "fig11").unwrap();
+    let mut plan = ShardPlan::split(jobs, 2).unwrap();
+    plan.pin_digests(&corpus).unwrap();
+
+    // Corrupt one trace: the shard replaying it must fail verification,
+    // before any replay output is produced.
+    let victim = corpus.path_of(&corpus.entries()[0]);
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&victim, bytes).unwrap();
+
+    let failures: Vec<bool> = (0..2)
+        .map(|s| {
+            matches!(
+                execute_shard(&plan, s, &corpus),
+                Err(tse_sim::shard::ShardError::Verify(_))
+            )
+        })
+        .collect();
+    assert!(
+        failures.iter().any(|f| *f),
+        "at least the shard owning the corrupted trace must fail verification"
+    );
+
+    // A plan pinned against the original digests also refuses a corpus
+    // that was (legitimately) regenerated to different content.
+    let mut w = CorpusWriter::open(&scratch.0).unwrap();
+    let entry0 = corpus.entries()[0].clone();
+    w.remove(&entry0.workload, entry0.scale, entry0.seed);
+    let wl = tse_workloads::workload_by_name(&entry0.workload, 0.03).unwrap();
+    let per_node = wl.generate(7);
+    // Same spec key, different content (scale knob recorded as the
+    // original so the lookup still matches).
+    let entry = CorpusWriter::write_trace_file(
+        &scratch.0,
+        &entry0.workload,
+        entry0.scale,
+        entry0.seed,
+        entry0.nodes,
+        interleave(per_node.into_iter().map(Vec::into_iter).collect()),
+    )
+    .unwrap();
+    w.insert(entry).unwrap();
+    w.finish().unwrap();
+    let regenerated = Corpus::open(&scratch.0).unwrap();
+    let err = (0..2)
+        .filter_map(|s| execute_shard(&plan, s, &regenerated).err())
+        .next()
+        .expect("pinned digests must reject the replaced trace");
+    assert!(matches!(err, tse_sim::shard::ShardError::Verify(_)));
+}
+
+#[test]
+fn merged_outputs_expose_typed_results() {
+    let scratch = ScratchDir::new("typed");
+    let corpus = build_corpus(&scratch.0);
+    let ctx = ctx_for(&scratch.0);
+    let jobs = grid::figure_jobs(&ctx, "fig11").unwrap();
+    let plan = ShardPlan::split(jobs, 1).unwrap();
+    let merged = merge(&plan, &[execute_shard(&plan, 0, &corpus).unwrap()]).unwrap();
+    let outputs = merged.into_outputs();
+    assert_eq!(outputs.len(), 7);
+    for out in outputs {
+        match out {
+            CellOutput::Timing(r) => assert!(r.cycles > 0, "{} ran", r.workload),
+            CellOutput::Trace(_) => panic!("fig11 is a timing figure"),
+        }
+    }
+}

@@ -1,10 +1,11 @@
 //! Global History Buffer prefetcher (Nesbit & Smith, HPCA 2004).
 
 use crate::Prefetcher;
+use serde::{Deserialize, Serialize};
 use tse_types::{FastHashMap, Line};
 
 /// GHB indexing mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GhbIndexing {
     /// Global address correlation: the index table keys on the miss
     /// address; prediction replays the addresses that followed the

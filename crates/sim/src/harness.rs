@@ -7,6 +7,7 @@
 //! consumptions.
 
 use crate::{EngineKind, StreamScope};
+use serde::{Deserialize, Serialize};
 use tse_core::{Svb, TemporalStreamingEngine, TseStats};
 use tse_interconnect::{TrafficClass, TrafficReport};
 use tse_memsim::{DsmSystem, MemStats, MissClass};
@@ -16,7 +17,11 @@ use tse_types::{ConfigError, Cycle, NodeId, SystemConfig};
 use tse_workloads::Workload;
 
 /// Configuration of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Serializes to JSON (via the [`crate::shard`] job-spec machinery) so a
+/// sweep cell can be shipped to another host; every field round-trips
+/// exactly, floats included.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunConfig {
     /// The simulated machine (Table 1).
     pub sys: SystemConfig,
@@ -50,7 +55,12 @@ impl Default for RunConfig {
 }
 
 /// Result of a trace-driven run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter, so equality means *bit-identical*
+/// runs — the property the shard merge path asserts against the
+/// in-process sweep. Serialization (JSON, exact round-trip) is what a
+/// shard worker ships back to the merge step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,

@@ -44,6 +44,7 @@ mod analysis;
 mod harness;
 mod replay;
 mod runner;
+pub mod shard;
 mod stats;
 mod timing;
 
@@ -60,11 +61,12 @@ pub use timing::{
     run_timing_streamed_reader, TimingResult,
 };
 
+use serde::{Deserialize, Serialize};
 use tse_prefetch::GhbIndexing;
 use tse_types::TseConfig;
 
 /// Which read misses the TSE records in CMOBs and launches streams on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum StreamScope {
     /// Coherent read misses only — the paper's focus (consumptions).
     #[default]

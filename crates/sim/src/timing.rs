@@ -19,6 +19,7 @@
 
 use crate::replay::{tsb1_node_count, StreamedRecords};
 use crate::{EngineKind, StoredTrace, StreamedReplayError};
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{Read, Seek};
@@ -174,7 +175,7 @@ impl Core {
 /// `PartialEq` compares every field (including the derived floats), so
 /// equality means *bit-identical* runs — the property the stored and
 /// streamed replay paths guarantee against the generation path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingResult {
     /// Workload name.
     pub workload: String,

@@ -170,6 +170,110 @@ impl CorpusWriter {
         })
     }
 
+    /// Opens the corpus directory for *incremental* writing: existing
+    /// manifest entries are loaded and kept, so a second `corpus gen`
+    /// over an intact corpus re-verifies instead of regenerating. A
+    /// missing manifest yields an empty writer (same as
+    /// [`CorpusWriter::create`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the directory cannot be created;
+    /// [`CorpusError::Manifest`] if a manifest exists but does not parse
+    /// or declares an unsupported version.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CorpusError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if !dir.join(MANIFEST_NAME).exists() {
+            return Ok(CorpusWriter {
+                dir,
+                entries: Vec::new(),
+            });
+        }
+        let corpus = Corpus::open(&dir)?;
+        Ok(CorpusWriter {
+            dir,
+            entries: corpus.manifest.entries,
+        })
+    }
+
+    /// True if an entry for `(workload, scale, seed)` is registered and
+    /// its trace file still verifies (digest, structure, counts) — the
+    /// incremental-generation skip test.
+    pub fn verified(&self, workload: &str, scale: f64, seed: u64) -> bool {
+        self.entries
+            .iter()
+            .find(|e| e.matches(workload, scale, seed))
+            .is_some_and(|e| verify_entry_at(&self.dir, e).is_ok())
+    }
+
+    /// Drops the entry for `(workload, scale, seed)`, returning whether
+    /// one was registered (its trace file is left on disk; regeneration
+    /// overwrites it).
+    pub fn remove(&mut self, workload: &str, scale: f64, seed: u64) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.matches(workload, scale, seed));
+        before != self.entries.len()
+    }
+
+    /// Registers an externally written entry (see
+    /// [`CorpusWriter::write_trace_file`], which parallel generation
+    /// calls off-thread before inserting the results in plan order).
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] on a duplicate `(workload, scale,
+    /// seed)`.
+    pub fn insert(&mut self, entry: TraceEntry) -> Result<&TraceEntry, CorpusError> {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.matches(&entry.workload, entry.scale, entry.seed))
+        {
+            return Err(CorpusError::Manifest(format!(
+                "duplicate corpus entry: {} scale {} seed {}",
+                entry.workload, entry.scale, entry.seed
+            )));
+        }
+        self.entries.push(entry);
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Streams `records` into the canonical TSB1 file for the spec under
+    /// `dir` and returns its manifest entry (digested after writing) —
+    /// the write side of [`CorpusWriter::add_trace`], free of `&mut
+    /// self` so independent specs can generate in parallel.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Trace`] / [`CorpusError::Io`] on write or digest
+    /// failure.
+    pub fn write_trace_file(
+        dir: &Path,
+        workload: &str,
+        scale: f64,
+        seed: u64,
+        nodes: u16,
+        records: impl IntoIterator<Item = AccessRecord>,
+    ) -> Result<TraceEntry, CorpusError> {
+        let file_name = Self::file_name(workload, scale, seed);
+        let path = dir.join(&file_name);
+        let mut w = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
+        w.declare_nodes(nodes);
+        w.extend(records)?;
+        let (meta, _) = w.finish()?;
+        let digest = digest_file(&path)?;
+        Ok(TraceEntry {
+            workload: workload.to_string(),
+            scale,
+            seed,
+            nodes,
+            records: meta.records,
+            path: file_name,
+            digest,
+        })
+    }
+
     /// The canonical trace file name for a `(workload, scale, seed)`
     /// spec.
     pub fn file_name(workload: &str, scale: f64, seed: u64) -> String {
@@ -202,22 +306,8 @@ impl CorpusWriter {
                 "duplicate corpus entry: {workload} scale {scale} seed {seed}"
             )));
         }
-        let file_name = Self::file_name(workload, scale, seed);
-        let path = self.dir.join(&file_name);
-        let mut w = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
-        w.declare_nodes(nodes);
-        w.extend(records)?;
-        let (meta, _) = w.finish()?;
-        let digest = digest_file(&path)?;
-        self.entries.push(TraceEntry {
-            workload: workload.to_string(),
-            scale,
-            seed,
-            nodes,
-            records: meta.records,
-            path: file_name,
-            digest,
-        });
+        let entry = Self::write_trace_file(&self.dir, workload, scale, seed, nodes, records)?;
+        self.entries.push(entry);
         Ok(self.entries.last().expect("just pushed"))
     }
 
@@ -330,33 +420,48 @@ impl Corpus {
         issues
     }
 
-    fn verify_entry(&self, entry: &TraceEntry) -> Result<(), String> {
-        let path = self.path_of(entry);
-        let digest = digest_file(&path).map_err(|e| e.to_string())?;
-        if digest != entry.digest {
-            return Err(format!(
-                "digest mismatch: manifest says {}, file is {digest}",
-                entry.digest
-            ));
-        }
-        let file = File::open(&path).map_err(|e| e.to_string())?;
-        let reader = TraceReader::open(BufReader::new(file)).map_err(|e| e.to_string())?;
-        if reader.records() != entry.records {
-            return Err(format!(
-                "record count mismatch: manifest says {}, trace holds {}",
-                entry.records,
-                reader.records()
-            ));
-        }
-        if reader.declared_nodes() != Some(entry.nodes) {
-            return Err(format!(
-                "node count mismatch: manifest says {}, trace declares {:?}",
-                entry.nodes,
-                reader.declared_nodes()
-            ));
-        }
-        Ok(())
+    /// Checks one entry against its stored trace — the per-entry body of
+    /// [`Corpus::verify`], public so a shard worker can verify exactly
+    /// the traces its jobs reference before replaying them.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch (digest,
+    /// structure, record or node count).
+    pub fn verify_entry(&self, entry: &TraceEntry) -> Result<(), String> {
+        verify_entry_at(&self.dir, entry)
     }
+}
+
+/// Checks an entry against the trace file it names under `dir`: file
+/// readable, digest matching, TSB1 structurally valid, record/node
+/// counts agreeing with the manifest.
+fn verify_entry_at(dir: &Path, entry: &TraceEntry) -> Result<(), String> {
+    let path = dir.join(&entry.path);
+    let digest = digest_file(&path).map_err(|e| e.to_string())?;
+    if digest != entry.digest {
+        return Err(format!(
+            "digest mismatch: manifest says {}, file is {digest}",
+            entry.digest
+        ));
+    }
+    let file = File::open(&path).map_err(|e| e.to_string())?;
+    let reader = TraceReader::open(BufReader::new(file)).map_err(|e| e.to_string())?;
+    if reader.records() != entry.records {
+        return Err(format!(
+            "record count mismatch: manifest says {}, trace holds {}",
+            entry.records,
+            reader.records()
+        ));
+    }
+    if reader.declared_nodes() != Some(entry.nodes) {
+        return Err(format!(
+            "node count mismatch: manifest says {}, trace declares {:?}",
+            entry.nodes,
+            reader.declared_nodes()
+        ));
+    }
+    Ok(())
 }
 
 /// Streaming FNV-1a 64 digest of a file's contents, formatted as
