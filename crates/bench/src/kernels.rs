@@ -20,6 +20,7 @@ pub fn all(c: &mut Criterion) {
     bench_torus(c);
     bench_prefetchers(c);
     bench_dsm_access(c);
+    bench_result_cache(c);
 }
 
 /// CMOB append and windowed reads.
@@ -195,6 +196,74 @@ pub fn bench_prefetchers(c: &mut Criterion) {
             let l = Line::new(rng.gen_range(0..256));
             black_box(p.on_miss(l));
         });
+    });
+    g.finish();
+}
+
+/// The sweepd result cache's per-cell costs: key derivation (paid on
+/// every lookup and insert, warm or cold) and a disk-served hit (what a
+/// fully warm sweep pays instead of simulating).
+pub fn bench_result_cache(c: &mut Criterion) {
+    use tse_sim::shard::{CellOutput, ShardJob, ShardMode, TraceRef};
+    use tse_sim::{RunConfig, RunResult};
+    use tse_sweepd::cache::cache_key;
+    use tse_sweepd::ResultCache;
+
+    let job = |cell: u64| ShardJob {
+        figure: "bench".into(),
+        cell,
+        mode: ShardMode::Trace,
+        trace: TraceRef {
+            workload: "em3d".into(),
+            scale: 0.1,
+            seed: 42,
+            digest: Some("fnv1a64:00c0ffee00c0ffee".into()),
+        },
+        config: RunConfig {
+            seed: 1000 + cell,
+            ..RunConfig::default()
+        },
+    };
+    let output = CellOutput::Trace(RunResult {
+        workload: "em3d".into(),
+        engine_name: "BENCH".into(),
+        mem: Default::default(),
+        engine: Default::default(),
+        traffic: tse_interconnect::TrafficReport {
+            total_bytes: 0,
+            demand_bytes: 0,
+            overhead_bytes: 0,
+            stream_address_bytes: 0,
+            discarded_data_bytes: 0,
+            cmob_bytes: 0,
+            bisection_demand_bytes: 0,
+            bisection_overhead_bytes: 0,
+            messages: 0,
+        },
+        consumptions: Vec::new(),
+        records: 1,
+        spin_misses: 0,
+    });
+
+    let mut g = c.benchmark_group("result_cache");
+    g.bench_function("key_derivation", |b| {
+        let j = job(0);
+        b.iter(|| black_box(cache_key(&j)));
+    });
+    g.bench_function("lookup_hit", |b| {
+        let dir = std::env::temp_dir().join(format!("tse-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        for cell in 0..64 {
+            cache.insert(&job(cell), &output).unwrap();
+        }
+        cache.save().unwrap();
+        let mut cell = 0u64;
+        b.iter(|| {
+            cell = (cell + 1) % 64;
+            black_box(cache.lookup(&job(cell)).is_some())
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     });
     g.finish();
 }

@@ -25,6 +25,8 @@ use std::process::ExitCode;
 use tse_experiments::cli::{self, CliError};
 use tse_experiments::{grid, ExperimentCtx};
 use tse_sim::shard::{self, MergedGrid, ShardPlan, ShardResult};
+use tse_sweepd::net::{self, Endpoint};
+use tse_sweepd::proto::Request;
 use tse_trace::corpus::Corpus;
 
 const USAGE: &str = "sweepctl — plan, execute and merge sharded figure sweeps
@@ -37,15 +39,22 @@ USAGE:
   sweepctl run --plan <plan.json> --shard <i> --corpus <dir> --out <bundle.json>
       execute one shard against a local corpus (digest-verified before
       replay, traces streamed) and write the result bundle
-  sweepctl merge --plan <plan.json> --out <merged.json> <bundle.json>...
+  sweepctl merge --plan <plan.json> --out <merged.json> [--partial] <bundle.json>...
       merge result bundles into the plan's full grid, in cell order;
-      rejects duplicate/missing cells and version or split mismatches
-  sweepctl local --figure <fig> --out <merged.json> [--scale <f>]
+      rejects duplicate/missing cells and version or split mismatches.
+      --partial tolerates missing cells: writes a partial-merge document
+      ({grid, outstanding}) and lists the outstanding cells instead of
+      failing
+  sweepctl local --figure <fig> --out <merged.json> [--scale <f>] [--via <endpoint>]
       run the whole grid in-process (the SweepPool reference path) and
-      write the same merged-grid shape, for diffing against a merge
+      write the same merged-grid shape, for diffing against a merge.
+      --via submits the grid to a running sweepd daemon instead (cached
+      cells are served without simulating) — the written grid is
+      byte-identical either way
 
 Figures honour TSE_SCALE / TSE_SEEDS / TSE_CORPUS like the fig*
-binaries; --scale and --corpus override the environment.
+binaries; --scale and --corpus override the environment. An <endpoint>
+containing a `/` is a Unix socket path; anything else host:port.
 ";
 
 fn main() -> ExitCode {
@@ -185,8 +194,9 @@ fn cmd_merge(args: &[String]) -> Result<(), CliError> {
     let plan_path = cli::opt(args, "--plan")?
         .ok_or_else(|| CliError::usage(format!("merge needs --plan\n\n{USAGE}")))?;
     let out = out_path(args)?;
+    let partial = cli::flag(args, "--partial");
     let plan = read_plan(plan_path)?;
-    let bundle_paths = cli::positionals(args);
+    let bundle_paths = cli::positionals_excluding(args, &["--partial"]);
     if bundle_paths.is_empty() {
         return Err(CliError::usage(format!(
             "merge needs at least one bundle\n\n{USAGE}"
@@ -195,6 +205,32 @@ fn cmd_merge(args: &[String]) -> Result<(), CliError> {
     let mut bundles: Vec<ShardResult> = Vec::with_capacity(bundle_paths.len());
     for path in bundle_paths {
         bundles.push(read_json(path)?);
+    }
+    if partial {
+        let merged = shard::merge_partial(&plan, &bundles).map_err(shard_err)?;
+        write_json(out, &merged)?;
+        if merged.is_complete() {
+            println!(
+                "{}: merged {} bundles into {} cells (complete) -> {out}",
+                merged.grid.figure,
+                bundles.len(),
+                merged.grid.cells.len(),
+            );
+        } else {
+            println!(
+                "{}: partial merge, {} of {} cells outstanding ({}) -> {out}",
+                merged.grid.figure,
+                merged.outstanding.len(),
+                merged.grid.cells.len() + merged.outstanding.len(),
+                merged
+                    .outstanding
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        return Ok(());
     }
     let merged = shard::merge(&plan, &bundles).map_err(shard_err)?;
     write_json(out, &merged)?;
@@ -212,12 +248,54 @@ fn cmd_local(args: &[String]) -> Result<(), CliError> {
     let out = out_path(args)?;
     let jobs = figure_grid(&ctx, args)?;
     let figure = jobs[0].figure.clone();
+    if let Some(spec) = cli::opt(args, "--via")? {
+        return run_via(spec, figure, jobs, out);
+    }
     let outputs = grid::run_cells(&ctx, &jobs);
     let merged = MergedGrid::from_outputs(figure, outputs);
     write_json(out, &merged)?;
     println!(
         "{}: ran {} cells in-process -> {out}",
         merged.figure,
+        merged.cells.len(),
+    );
+    Ok(())
+}
+
+/// Ships the grid to a sweepd daemon as a 1-shard plan (the daemon
+/// re-splits across its own workers) and writes the merged grid it
+/// returns — byte-identical to the in-process path, except that cells
+/// the daemon has cached are served without simulating.
+fn run_via(
+    spec: &str,
+    figure: String,
+    jobs: Vec<tse_sim::shard::ShardJob>,
+    out: &str,
+) -> Result<(), CliError> {
+    let endpoint = Endpoint::parse(spec);
+    let plan = ShardPlan::split(jobs, 1).map_err(shard_err)?;
+    let mut request = Request::new("submit");
+    request.plan = Some(plan);
+    request.wait = true;
+    let response =
+        net::request(&endpoint, &request).map_err(|e| CliError::io(format!("{endpoint}: {e}")))?;
+    if !response.ok {
+        return Err(CliError::io(
+            response
+                .error
+                .unwrap_or_else(|| "daemon reported failure".to_string()),
+        ));
+    }
+    let merged = response
+        .merged
+        .ok_or_else(|| CliError::io("daemon returned no merged grid"))?;
+    write_json(out, &merged)?;
+    let (cached, simulated) = response
+        .status
+        .map(|s| (s.cached, s.simulated))
+        .unwrap_or((0, 0));
+    println!(
+        "{figure}: ran {} cells via {endpoint} ({cached} cached, {simulated} simulated) -> {out}",
         merged.cells.len(),
     );
     Ok(())

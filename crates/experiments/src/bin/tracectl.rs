@@ -18,16 +18,19 @@
 //! errors, `3` I/O/format/replay failures, `4` corpus verification
 //! failures — CI asserts a corrupted corpus fails with `4`.
 
+use std::collections::HashSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tse_experiments::cli::{self, opt, parse, positional, CliError};
+use tse_experiments::grid;
+use tse_experiments::ExperimentCtx;
 use tse_sim::{
     run_parallel, run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind,
     RunConfig, StoredTrace,
 };
-use tse_trace::corpus::{Corpus, CorpusWriter, TraceEntry};
+use tse_trace::corpus::{digest_file, sweep_retained, Corpus, CorpusWriter, TraceEntry};
 use tse_trace::store::{is_tsb1, TraceReader, TraceWriter};
 use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
 use tse_types::{SystemConfig, TseConfig};
@@ -58,6 +61,12 @@ USAGE:
   tracectl corpus verify <dir>
       recompute every trace's digest and structural metadata against
       the manifest; exits 4 on any mismatch
+  tracectl corpus add --dir <d> --workload <name> --scale <f> --seed <n> <trace.tsb1>
+      register an externally produced TSB1 trace: copy it under the
+      corpus' canonical name, digest it, record it in the manifest
+  tracectl corpus gc --dir <d>
+      drop every trace no figure grid references (at the manifest's
+      scales, under the current TSE_SEEDS) and rewrite the manifest
 
 EXIT CODES: 0 ok, 2 usage error, 3 I/O or replay failure, 4 corpus
 verification failure
@@ -74,8 +83,10 @@ fn main() -> ExitCode {
             Some("gen") => cmd_corpus_gen(&args[2..]),
             Some("list") => cmd_corpus_list(&args[2..]),
             Some("verify") => cmd_corpus_verify(&args[2..]),
+            Some("add") => cmd_corpus_add(&args[2..]),
+            Some("gc") => cmd_corpus_gc(&args[2..]),
             other => Err(CliError::usage(format!(
-                "corpus needs a subcommand (gen, list, verify), got {other:?}\n\n{USAGE}"
+                "corpus needs a subcommand (gen, list, verify, add, gc), got {other:?}\n\n{USAGE}"
             ))),
         },
         Some("--help" | "-h") | None => {
@@ -487,6 +498,126 @@ fn cmd_corpus_list(args: &[String]) -> Result<(), CliError> {
             e.workload, e.scale, e.seed, e.nodes, e.records, e.path
         );
     }
+    Ok(())
+}
+
+fn cmd_corpus_add(args: &[String]) -> Result<(), CliError> {
+    let dir = opt(args, "--dir")?
+        .ok_or_else(|| CliError::usage(format!("corpus add needs --dir\n\n{USAGE}")))?;
+    let name = opt(args, "--workload")?
+        .ok_or_else(|| CliError::usage(format!("corpus add needs --workload\n\n{USAGE}")))?;
+    let scale: f64 = match opt(args, "--scale")? {
+        Some(v) => parse(v, "--scale")?,
+        None => {
+            return Err(CliError::usage(format!(
+                "corpus add needs --scale\n\n{USAGE}"
+            )))
+        }
+    };
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(CliError::usage("--scale must be a positive number"));
+    }
+    let seed: u64 = match opt(args, "--seed")? {
+        Some(v) => parse(v, "--seed")?,
+        None => {
+            return Err(CliError::usage(format!(
+                "corpus add needs --seed\n\n{USAGE}"
+            )))
+        }
+    };
+    let input = positional(args, 0, "trace path", USAGE)?;
+    if !sniff_tsb1(input)? {
+        return Err(CliError::io(format!(
+            "{input} is not a TSB1 trace (convert it first: tracectl convert {input} out.tsb1)"
+        )));
+    }
+    // The manifest records what verification later re-checks: the trace
+    // must declare its node count (`tracectl convert --nodes` adds one).
+    let file = File::open(input).map_err(CliError::io)?;
+    let reader = TraceReader::open(BufReader::new(file)).map_err(CliError::io)?;
+    let records = reader.records();
+    let nodes = reader.declared_nodes().ok_or_else(|| {
+        CliError::io(format!(
+            "{input} declares no node count; re-encode with tracectl convert {input} out.tsb1 --nodes <n>"
+        ))
+    })?;
+
+    let mut writer = CorpusWriter::open(dir).map_err(CliError::io)?;
+    writer.remove(name, scale, seed);
+    let file_name = CorpusWriter::file_name(name, scale, seed);
+    let dest = Path::new(dir).join(&file_name);
+    let already_in_place = dest
+        .canonicalize()
+        .ok()
+        .zip(Path::new(input).canonicalize().ok())
+        .is_some_and(|(a, b)| a == b);
+    if !already_in_place {
+        std::fs::copy(input, &dest)
+            .map_err(|e| CliError::io(format!("cannot copy {input} into {dir}: {e}")))?;
+    }
+    let digest = digest_file(&dest).map_err(CliError::io)?;
+    let entry = TraceEntry {
+        workload: name.to_string(),
+        scale,
+        seed,
+        nodes,
+        records,
+        path: file_name.clone(),
+        digest: digest.clone(),
+    };
+    writer.insert(entry).map_err(CliError::io)?;
+    let n = writer.entries().len();
+    writer.finish().map_err(CliError::io)?;
+    println!(
+        "{name}: registered {input} as {file_name} ({records} records, {nodes} nodes, {digest}); \
+         {n} traces in manifest"
+    );
+    Ok(())
+}
+
+fn cmd_corpus_gc(args: &[String]) -> Result<(), CliError> {
+    let dir = opt(args, "--dir")?
+        .ok_or_else(|| CliError::usage(format!("corpus gc needs --dir\n\n{USAGE}")))?;
+    let mut writer = CorpusWriter::open(dir).map_err(CliError::io)?;
+
+    // The retention set: every (workload, scale, seed) any figure grid
+    // replays, evaluated at each scale the manifest holds (under the
+    // current TSE_SEEDS, exactly as the sweeps would run today).
+    let mut scales: Vec<f64> = writer.entries().iter().map(|e| e.scale).collect();
+    scales.sort_by(f64::total_cmp);
+    scales.dedup();
+    let mut ctx = ExperimentCtx::from_env();
+    ctx.corpus_dir = None;
+    let mut referenced: HashSet<(String, u64, u64)> = HashSet::new();
+    for &scale in &scales {
+        ctx.scale = scale;
+        for figure in grid::SHARDABLE_FIGURES {
+            for job in grid::figure_jobs(&ctx, figure).expect("shardable figure") {
+                let (workload, bits, seed) = job.trace.key();
+                referenced.insert((workload.to_lowercase(), bits, seed));
+            }
+        }
+    }
+
+    let entries = writer.entries().to_vec();
+    let (retained, report) = sweep_retained(
+        Path::new(dir),
+        entries,
+        |e| &e.path,
+        |e| referenced.contains(&(e.workload.to_lowercase(), e.scale.to_bits(), e.seed)),
+    )
+    .map_err(CliError::io)?;
+    let retained_keys: HashSet<(String, u64, u64)> = retained
+        .iter()
+        .map(|e| (e.workload.clone(), e.scale.to_bits(), e.seed))
+        .collect();
+    for entry in writer.entries().to_vec() {
+        if !retained_keys.contains(&(entry.workload.clone(), entry.scale.to_bits(), entry.seed)) {
+            writer.remove(&entry.workload, entry.scale, entry.seed);
+        }
+    }
+    writer.finish().map_err(CliError::io)?;
+    println!("corpus {dir}: {report}");
     Ok(())
 }
 

@@ -18,9 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cli;
 pub mod figs;
 pub mod grid;
+
+// The CLI plumbing moved down into `tse-sweepd` (the daemon's client
+// needs it too); re-exported here so `tse_experiments::cli` keeps
+// working for every binary.
+pub use tse_sweepd::cli;
 
 use serde_json::Value;
 use std::collections::HashMap;

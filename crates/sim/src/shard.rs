@@ -182,6 +182,64 @@ impl ShardPlan {
         Ok(())
     }
 
+    /// Re-splits the *unfinished* part of an in-flight plan: builds a
+    /// fresh sub-plan holding only `cells` (renumbered `0..n` so it is
+    /// a valid plan in its own right), divided into `shards` shards.
+    /// Also returns the cell mapping — `mapping[i]` is the original
+    /// cell id of the sub-plan's cell `i` — so a scheduler can translate
+    /// the sub-plan's outputs back into the parent grid. This is the
+    /// dynamic work-stealing primitive: when a worker drops or times
+    /// out on a shard, the outstanding cells are re-split across the
+    /// workers still alive.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Plan`] if the plan is invalid, `shards` is zero,
+    /// `cells` is empty or not strictly ascending, or a cell id falls
+    /// outside the plan.
+    pub fn resplit(&self, cells: &[u64], shards: u32) -> Result<(ShardPlan, Vec<u64>), ShardError> {
+        self.validate()?;
+        if shards == 0 {
+            return Err(ShardError::Plan("shard count must be >= 1".into()));
+        }
+        if cells.is_empty() {
+            return Err(ShardError::Plan("no cells to resplit".into()));
+        }
+        let mut jobs = Vec::with_capacity(cells.len());
+        let mut mapping = Vec::with_capacity(cells.len());
+        let mut prev: Option<u64> = None;
+        for &cell in cells {
+            if prev.is_some_and(|p| cell <= p) {
+                return Err(ShardError::Plan(format!(
+                    "resplit cells must be strictly ascending (saw {cell} after {})",
+                    prev.expect("checked")
+                )));
+            }
+            prev = Some(cell);
+            let idx = usize::try_from(cell)
+                .ok()
+                .filter(|i| *i < self.jobs.len())
+                .ok_or_else(|| {
+                    ShardError::Plan(format!(
+                        "cell {cell} outside the plan's {} cells",
+                        self.jobs.len()
+                    ))
+                })?;
+            let mut job = self.jobs[idx].clone();
+            job.cell = jobs.len() as u64;
+            mapping.push(cell);
+            jobs.push(job);
+        }
+        let plan = ShardPlan {
+            version: SHARD_FORMAT_VERSION,
+            figure: self.figure.clone(),
+            shards,
+            jobs,
+        };
+        plan.validate()?;
+        Ok((plan, mapping))
+    }
+
     /// Structural validation: version, shard count, figure consistency,
     /// and the stable cell ordering contract (`jobs[i].cell == i`).
     /// Called by [`ShardPlan::split`] and again on every deserialized
@@ -479,6 +537,28 @@ fn run_job(job: &ShardJob, path: &Path) -> Result<CellOutput, ShardError> {
 // Deterministic merge
 // ---------------------------------------------------------------------
 
+/// A partially merged grid: the cells the bundles did cover (in
+/// ascending cell order, carrying their *original* cell ids) plus the
+/// cells still outstanding. What [`merge_partial`] returns — and the
+/// shape `sweepctl merge --partial` persists, deliberately distinct
+/// from [`MergedGrid`] so a partial result can never be mistaken for a
+/// complete one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialMerge {
+    /// The covered cells, wrapped in the merged-grid shape (cell ids are
+    /// the plan's, so the list may have gaps).
+    pub grid: MergedGrid,
+    /// Plan cell ids no bundle covered, ascending.
+    pub outstanding: Vec<u64>,
+}
+
+impl PartialMerge {
+    /// True when every cell of the plan is covered.
+    pub fn is_complete(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
 /// Merges shard result bundles back into the plan's full grid.
 ///
 /// Deterministic regardless of bundle order: cells are placed by id and
@@ -492,6 +572,34 @@ fn run_job(job: &ShardJob, path: &Path) -> Result<CellOutput, ShardError> {
 /// [`ShardError::Version`] / [`ShardError::Merge`] as described above;
 /// [`ShardError::Plan`] if the plan itself is invalid.
 pub fn merge(plan: &ShardPlan, bundles: &[ShardResult]) -> Result<MergedGrid, ShardError> {
+    let partial = merge_partial(plan, bundles)?;
+    if !partial.outstanding.is_empty() {
+        let missing = partial.outstanding.len();
+        let first = partial.outstanding[0];
+        let total = missing + partial.grid.cells.len();
+        return Err(ShardError::Merge(format!(
+            "{missing} of {total} cells missing (first: cell {first}) — not all shards ran?"
+        )));
+    }
+    Ok(partial.grid)
+}
+
+/// Like [`merge`], but missing cells are *reported*, not refused: the
+/// covered cells come back as a gappy grid alongside the outstanding
+/// cell ids. Every structural check [`merge`] performs (versions,
+/// figure, split, shard ownership, duplicates, output modes) still
+/// applies — only completeness is relaxed. This is what lets a
+/// scheduler merge whatever bundles have arrived and re-dispatch the
+/// rest ([`ShardPlan::resplit`]).
+///
+/// # Errors
+///
+/// [`ShardError::Version`] / [`ShardError::Merge`] on any structural
+/// inconsistency; [`ShardError::Plan`] if the plan itself is invalid.
+pub fn merge_partial(
+    plan: &ShardPlan,
+    bundles: &[ShardResult],
+) -> Result<PartialMerge, ShardError> {
     plan.validate()?;
     let mut outputs: Vec<Option<CellOutput>> = plan.jobs.iter().map(|_| None).collect();
     let mut seen_shards: Vec<u32> = Vec::new();
@@ -555,28 +663,28 @@ pub fn merge(plan: &ShardPlan, bundles: &[ShardResult]) -> Result<MergedGrid, Sh
             outputs[idx] = Some(cell.output.clone());
         }
     }
-    let missing = outputs.iter().filter(|o| o.is_none()).count();
-    if missing > 0 {
-        let first = outputs
-            .iter()
-            .position(|o| o.is_none())
-            .expect("missing > 0");
-        return Err(ShardError::Merge(format!(
-            "{missing} of {} cells missing (first: cell {first}) — not all shards ran?",
-            outputs.len()
-        )));
-    }
-    Ok(MergedGrid {
-        version: SHARD_FORMAT_VERSION,
-        figure: plan.figure.clone(),
-        cells: outputs
-            .into_iter()
-            .enumerate()
-            .map(|(i, o)| ShardCell {
-                cell: i as u64,
-                output: o.expect("missing == 0"),
-            })
-            .collect(),
+    let outstanding: Vec<u64> = outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_none())
+        .map(|(i, _)| i as u64)
+        .collect();
+    Ok(PartialMerge {
+        grid: MergedGrid {
+            version: SHARD_FORMAT_VERSION,
+            figure: plan.figure.clone(),
+            cells: outputs
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, o)| {
+                    o.map(|output| ShardCell {
+                        cell: i as u64,
+                        output,
+                    })
+                })
+                .collect(),
+        },
+        outstanding,
     })
 }
 
@@ -750,6 +858,68 @@ mod tests {
         let mut mixed = grid(4);
         mixed[1].figure = "other".into();
         assert!(ShardPlan::split(mixed, 2).is_err(), "mixed figures");
+    }
+
+    #[test]
+    fn resplit_renumbers_and_maps_back() {
+        let plan = ShardPlan::split(grid(7), 3).unwrap();
+        let (sub, mapping) = plan.resplit(&[1, 4, 6], 2).unwrap();
+        assert_eq!(sub.figure, plan.figure);
+        assert_eq!(sub.shards, 2);
+        assert_eq!(mapping, vec![1, 4, 6]);
+        assert_eq!(
+            sub.jobs.iter().map(|j| j.cell).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "sub-plan cells are renumbered 0..n"
+        );
+        sub.validate().unwrap();
+
+        assert!(plan.resplit(&[], 2).is_err(), "empty cell set");
+        assert!(plan.resplit(&[1, 2], 0).is_err(), "zero shards");
+        assert!(plan.resplit(&[2, 1], 2).is_err(), "descending cells");
+        assert!(plan.resplit(&[1, 1], 2).is_err(), "duplicate cells");
+        assert!(plan.resplit(&[7], 2).is_err(), "cell outside the plan");
+    }
+
+    #[test]
+    fn merge_partial_reports_outstanding_cells() {
+        let plan = ShardPlan::split(grid(5), 2).unwrap();
+        let bundle0 = ShardResult {
+            version: SHARD_FORMAT_VERSION,
+            figure: "figX".into(),
+            shards: 2,
+            shard: 0,
+            cells: plan
+                .jobs_for(0)
+                .iter()
+                .map(|j| ShardCell {
+                    cell: j.cell,
+                    output: trace_output(j.cell),
+                })
+                .collect(),
+        };
+        // Shard 1 (cells 1, 3) missing entirely.
+        let partial = merge_partial(&plan, std::slice::from_ref(&bundle0)).unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(partial.outstanding, vec![1, 3]);
+        assert_eq!(
+            partial
+                .grid
+                .cells
+                .iter()
+                .map(|c| c.cell)
+                .collect::<Vec<_>>(),
+            vec![0, 2, 4],
+            "covered cells keep their original ids"
+        );
+        // Round-trips through JSON (the `merge --partial` output shape).
+        let text = serde::json::to_string_pretty(&partial.to_json());
+        let back = PartialMerge::from_json(&serde::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, partial);
+        // Structural checks still apply.
+        let mut dup = bundle0.clone();
+        dup.shard = 0;
+        assert!(merge_partial(&plan, &[bundle0, dup]).is_err());
     }
 
     #[test]

@@ -229,8 +229,8 @@ impl TimingResult {
 }
 
 /// Runs the interval timing model over a workload: generates the trace
-/// at `seed`, interleaves it, and replays it through
-/// [`run_timing_interleaved`]. A thin generate-then-replay wrapper —
+/// at `seed`, interleaves it, and replays it through the shared
+/// interval-model core. A thin generate-then-replay wrapper —
 /// replaying the same records from a [`StoredTrace`]
 /// ([`run_timing_stored`]) or a TSB1 stream ([`run_timing_streamed`])
 /// produces bit-identical results.

@@ -1,5 +1,6 @@
-//! Shared CLI plumbing for `tracectl` and `sweepctl`: typed errors with
-//! distinct, scriptable exit codes.
+//! Shared CLI plumbing for the workspace binaries (`tracectl`,
+//! `sweepctl`, `sweepd`): typed errors with distinct, scriptable exit
+//! codes.
 //!
 //! Earlier revisions exited `1` for everything, so CI could not tell a
 //! typo'd flag from a corrupted corpus. Every error now carries a
@@ -8,11 +9,15 @@
 //! | class                  | exit code | examples |
 //! |------------------------|-----------|----------|
 //! | [`CliError::Usage`]    | 2         | unknown command, missing flag, unparsable value |
-//! | [`CliError::Io`]       | 3         | unreadable file, TSB1 decode failure, replay error |
+//! | [`CliError::Io`]       | 3         | unreadable file, TSB1 decode failure, replay error, daemon refusal |
 //! | [`CliError::Verify`]   | 4         | corpus digest/metadata mismatch, pinned-digest drift |
 //!
 //! The corpus-smoke CI job asserts that a corrupted corpus fails with
 //! exactly [`EXIT_VERIFY`].
+//!
+//! (This module lives in `tse-sweepd` — the lowest crate with a binary
+//! — and is re-exported as `tse_experiments::cli`, so every binary
+//! shares one implementation without a dependency cycle.)
 
 use std::process::ExitCode;
 
@@ -105,6 +110,13 @@ pub fn opt<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliErr
     }
 }
 
+/// True when the bare boolean flag `--flag` is present. Pair with
+/// [`positionals_excluding`] so the flag is not mistaken for the start
+/// of a `--flag value` pair.
+pub fn flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 /// Parses a flag value, classifying failures as usage errors.
 ///
 /// # Errors
@@ -135,11 +147,24 @@ pub fn positional<'a>(
 
 /// Every positional argument, skipping `--flag value` pairs.
 pub fn positionals(args: &[String]) -> Vec<&String> {
+    positionals_excluding(args, &[])
+}
+
+/// Every positional argument, skipping `--flag value` pairs — except
+/// that any flag named in `bool_flags` is treated as bare (consuming
+/// only itself). Commands that accept boolean flags (`merge
+/// --partial`) must route through this so the flag does not swallow
+/// the positional after it.
+pub fn positionals_excluding<'a>(args: &'a [String], bool_flags: &[&str]) -> Vec<&'a String> {
     let mut found = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
         if args[i].starts_with("--") {
-            i += 2;
+            i += if bool_flags.contains(&args[i].as_str()) {
+                1
+            } else {
+                2
+            };
             continue;
         }
         found.push(&args[i]);
@@ -166,6 +191,19 @@ mod tests {
             positional(&args, 2, "bundle", "U"),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn boolean_flags_consume_only_themselves() {
+        let args = strs(&["--plan", "p.json", "--partial", "a.json", "b.json"]);
+        // Without the exclusion, --partial would swallow a.json.
+        assert_eq!(positionals(&args), ["b.json"]);
+        assert_eq!(
+            positionals_excluding(&args, &["--partial"]),
+            ["a.json", "b.json"]
+        );
+        assert!(flag(&args, "--partial"));
+        assert!(!flag(&args, "--wait"));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Persistent sweep service (`sweepd`): a job queue over the shard
+//! subsystem with a content-addressed result cache.
+//!
+//! The shard layer (`tse_sim::shard`) makes every sweep cell a pure
+//! function of `(RunConfig, digest-pinned corpus trace)`. This crate
+//! turns that batch machinery into a *serving* layer:
+//!
+//! * [`cache`] — a versioned on-disk store of [`CellOutput`]s keyed by
+//!   `(RunConfig digest, trace digest)`. Any cell ever computed against
+//!   the same config and the same trace bytes is served from disk
+//!   instead of re-simulated; hit/miss/eviction counters make the
+//!   cache's behaviour observable.
+//! * [`service`] — the scheduler: accepts `ShardPlan`s, probes the
+//!   cache per cell, re-splits the unfinished cell set across workers
+//!   each dispatch round (`ShardPlan::resplit`), retries dropped or
+//!   timed-out shards, and assembles the final `MergedGrid`.
+//! * [`proto`] / [`net`] — a one-JSON-document-per-connection protocol
+//!   served over TCP or a Unix socket, plus the matching client call.
+//! * [`cli`] — the shared CLI plumbing (typed errors with scriptable
+//!   exit codes) used by `sweepd`, `sweepctl` and `tracectl`.
+//!
+//! Determinism guarantee: a cache-served merge is *byte-identical* to
+//! the in-process `SweepPool` reference path. The cache key pins the
+//! full canonical `RunConfig` JSON and the trace content digest, and
+//! stored outputs round-trip JSON bit-exactly (shortest-representation
+//! float printing), so serving from cache can never perturb a result —
+//! the warm path is asserted `cmp`-equal to the cold path in tests and
+//! in the CI `sweepd-smoke` job.
+//!
+//! [`CellOutput`]: tse_sim::shard::CellOutput
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod net;
+pub mod proto;
+pub mod service;
+
+pub use cache::{ResultCache, CACHE_FORMAT_VERSION};
+pub use net::Endpoint;
+pub use service::{CorpusRunner, ServiceConfig, ShardRunner, SweepService};

@@ -1,0 +1,127 @@
+//! The daemon's wire protocol: one JSON request per connection, one
+//! JSON response back.
+//!
+//! The client writes a [`Request`] document and shuts down its write
+//! half; the server reads to EOF, dispatches, and answers with a
+//! [`Response`]. No framing, no pipelining — connections are cheap and
+//! every payload the protocol carries (plans, merged grids) is already
+//! canonical JSON in the shard wire format, so the protocol inherits
+//! its determinism: a `merged` grid in a response serializes exactly as
+//! `sweepctl local` writes it.
+//!
+//! Both sides stamp [`PROTO_VERSION`]; a version mismatch is answered
+//! with an error, never guessed around.
+
+use crate::cache::CacheStats;
+use crate::service::JobStatus;
+use serde::{Deserialize, Serialize};
+use tse_sim::shard::{MergedGrid, ShardPlan};
+use tse_trace::corpus::GcReport;
+
+/// Protocol version stamped into every request and response.
+pub const PROTO_VERSION: u32 = 1;
+
+/// A client request. `cmd` selects the operation; the optional fields
+/// carry its arguments:
+///
+/// | cmd           | uses                | effect |
+/// |---------------|---------------------|--------|
+/// | `ping`        | —                   | liveness check |
+/// | `submit`      | `plan`, `wait`      | queue a plan; with `wait`, run it and return the merged grid |
+/// | `status`      | `job` (optional)    | one job's status, or all jobs |
+/// | `result`      | `job`               | block until the job is terminal, return status + grid |
+/// | `cache-stats` | —                   | cache counters and entry count |
+/// | `cache-gc`    | —                   | drop entries whose trace left the corpus |
+/// | `shutdown`    | —                   | stop the accept loop |
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The operation name (see the table above).
+    pub cmd: String,
+    /// The plan to submit (`submit` only).
+    #[serde(default)]
+    pub plan: Option<ShardPlan>,
+    /// The job id to query (`status`, `result`).
+    #[serde(default)]
+    pub job: Option<u64>,
+    /// For `submit`: run the job on this connection and return its
+    /// result, instead of answering with the id immediately.
+    #[serde(default)]
+    pub wait: bool,
+}
+
+impl Request {
+    /// A request for `cmd` with no arguments.
+    pub fn new(cmd: impl Into<String>) -> Request {
+        Request {
+            v: PROTO_VERSION,
+            cmd: cmd.into(),
+            plan: None,
+            job: None,
+            wait: false,
+        }
+    }
+}
+
+/// The server's answer. `ok` tells success; on failure only `error` is
+/// populated; on success the fields the command produces are.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Failure description, when `ok` is false.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// The submitted job's id (`submit`).
+    #[serde(default)]
+    pub job: Option<u64>,
+    /// One job's status (`submit --wait`, `status --job`, `result`).
+    #[serde(default)]
+    pub status: Option<JobStatus>,
+    /// All jobs' statuses (`status` without a job).
+    #[serde(default)]
+    pub jobs: Option<Vec<JobStatus>>,
+    /// The merged grid (`submit --wait`, `result`) — byte-identical to
+    /// the in-process reference once serialized.
+    #[serde(default)]
+    pub merged: Option<MergedGrid>,
+    /// Cache counters (`cache-stats`).
+    #[serde(default)]
+    pub cache: Option<CacheStats>,
+    /// Cache entry count (`cache-stats`).
+    #[serde(default)]
+    pub cache_entries: Option<u64>,
+    /// Retention sweep outcome (`cache-gc`).
+    #[serde(default)]
+    pub gc: Option<GcReport>,
+}
+
+impl Response {
+    /// An empty success.
+    pub fn success() -> Response {
+        Response {
+            v: PROTO_VERSION,
+            ok: true,
+            error: None,
+            job: None,
+            status: None,
+            jobs: None,
+            merged: None,
+            cache: None,
+            cache_entries: None,
+            gc: None,
+        }
+    }
+
+    /// A failure carrying `message`.
+    pub fn failure(message: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            error: Some(message.into()),
+            ..Response::success()
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Result-cache contract: keys are stable across serde round-trips and
+//! sensitive to every input; a version bump invalidates the whole
+//! store; corrupt entries are served as misses and healed by the
+//! re-simulated insert; unpinned jobs are uncacheable.
+
+mod common;
+
+use common::{job, synthetic_output, ScratchDir};
+use std::fs;
+use tse_sim::shard::ShardJob;
+use tse_sim::EngineKind;
+use tse_sweepd::cache::{cache_key, CachedCell, CACHE_MANIFEST_NAME};
+use tse_sweepd::{ResultCache, CACHE_FORMAT_VERSION};
+
+const DIGEST: &str = "fnv1a64:00c0ffee00c0ffee";
+
+fn round_trip(job: &ShardJob) -> ShardJob {
+    let text = serde_json::to_string_pretty(job).unwrap();
+    serde_json::from_str(&text).unwrap()
+}
+
+#[test]
+fn keys_are_stable_across_serde_round_trips() {
+    let original = job(3, Some(DIGEST));
+    let key = cache_key(&original).expect("pinned job has a key");
+    assert_eq!(
+        cache_key(&round_trip(&original)).unwrap(),
+        key,
+        "deserializing a job must re-derive the identical key"
+    );
+    // And through a second generation, in case defaults normalize.
+    assert_eq!(cache_key(&round_trip(&round_trip(&original))).unwrap(), key);
+    // The digest's own hex is the trace half of the key.
+    assert!(key.ends_with("-00c0ffee00c0ffee"));
+}
+
+#[test]
+fn keys_separate_config_trace_and_mode() {
+    let base = job(3, Some(DIGEST));
+    let key = cache_key(&base).unwrap();
+
+    let mut other_engine = base.clone();
+    other_engine.config.engine = EngineKind::paper_stride();
+    assert_ne!(cache_key(&other_engine).unwrap(), key, "config must matter");
+
+    let mut other_seed = base.clone();
+    other_seed.config.seed += 1;
+    assert_ne!(cache_key(&other_seed).unwrap(), key, "seed must matter");
+
+    let other_trace = job(3, Some("fnv1a64:1111111111111111"));
+    assert_ne!(cache_key(&other_trace).unwrap(), key, "trace must matter");
+
+    let mut other_mode = base.clone();
+    other_mode.mode = tse_sim::shard::ShardMode::Timing;
+    assert_ne!(cache_key(&other_mode).unwrap(), key, "mode must matter");
+
+    // The figure is provenance, not identity: a different figure with
+    // the same (config, trace) cell shares the entry.
+    let mut other_figure = base.clone();
+    other_figure.figure = "figOther".into();
+    assert_eq!(cache_key(&other_figure).unwrap(), key);
+}
+
+#[test]
+fn unpinned_jobs_are_uncacheable() {
+    let scratch = ScratchDir::new("unpinned");
+    let unpinned = job(0, None);
+    assert_eq!(cache_key(&unpinned), None);
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    assert!(!cache
+        .insert(&unpinned, &synthetic_output(&unpinned))
+        .unwrap());
+    assert!(cache.lookup(&unpinned).is_none());
+    assert_eq!(cache.len(), 0);
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(cache.stats().inserts, 0);
+}
+
+#[test]
+fn insert_then_lookup_persists_across_reopen() {
+    let scratch = ScratchDir::new("persist");
+    let j = job(2, Some(DIGEST));
+    let output = synthetic_output(&j);
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        assert!(cache.insert(&j, &output).unwrap());
+        assert_eq!(cache.lookup(&j).unwrap(), output);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().inserts, 1);
+        cache.save().unwrap();
+    }
+    let mut reopened = ResultCache::open(&scratch.0).unwrap();
+    assert_eq!(reopened.len(), 1);
+    assert_eq!(
+        reopened.lookup(&j).unwrap(),
+        output,
+        "a cached output survives process death"
+    );
+    // Re-inserting under the same key overwrites, never duplicates.
+    let mut again = ResultCache::open(&scratch.0).unwrap();
+    again.insert(&j, &output).unwrap();
+    assert_eq!(again.len(), 1);
+}
+
+#[test]
+fn version_bump_invalidates_the_whole_store() {
+    let scratch = ScratchDir::new("version");
+    let j = job(1, Some(DIGEST));
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        cache.insert(&j, &synthetic_output(&j)).unwrap();
+        cache.save().unwrap();
+    }
+    // Simulate a cache written by a build with a newer format.
+    let manifest_path = scratch.0.join(CACHE_MANIFEST_NAME);
+    let doctored = fs::read_to_string(&manifest_path).unwrap().replace(
+        &format!("\"version\": {CACHE_FORMAT_VERSION}"),
+        &format!("\"version\": {}", CACHE_FORMAT_VERSION + 1),
+    );
+    assert_ne!(doctored, fs::read_to_string(&manifest_path).unwrap());
+    fs::write(&manifest_path, doctored).unwrap();
+
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    assert!(cache.is_empty(), "foreign version discards every entry");
+    assert_eq!(cache.stats().evictions, 1);
+    assert!(cache.lookup(&j).is_none());
+    let entry_files: Vec<_> = fs::read_dir(&scratch.0)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name() != CACHE_MANIFEST_NAME)
+        .collect();
+    assert!(entry_files.is_empty(), "stale entry files are deleted");
+}
+
+#[test]
+fn corrupt_entries_are_misses_and_resimulation_heals_them() {
+    let scratch = ScratchDir::new("corrupt");
+    let j = job(4, Some(DIGEST));
+    let output = synthetic_output(&j);
+    let entry_path;
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        cache.insert(&j, &output).unwrap();
+        entry_path = scratch.0.join(&cache.entries()[0].path);
+        cache.save().unwrap();
+    }
+    fs::write(&entry_path, "{ not json").unwrap();
+
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    assert!(cache.lookup(&j).is_none(), "corrupt entry served as a miss");
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(cache.stats().evictions, 1);
+    assert!(cache.is_empty(), "the corrupt entry was evicted");
+    assert!(!entry_path.exists(), "its file was removed");
+
+    // Re-simulate and re-insert: the cache heals.
+    cache.insert(&j, &output).unwrap();
+    assert_eq!(cache.lookup(&j).unwrap(), output);
+    cache.save().unwrap();
+    let mut reopened = ResultCache::open(&scratch.0).unwrap();
+    assert_eq!(reopened.lookup(&j).unwrap(), output);
+}
+
+#[test]
+fn miskeyed_and_version_drifted_entry_files_are_rejected() {
+    let scratch = ScratchDir::new("miskey");
+    let j = job(5, Some(DIGEST));
+    let output = synthetic_output(&j);
+    let entry_path;
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        cache.insert(&j, &output).unwrap();
+        entry_path = scratch.0.join(&cache.entries()[0].path);
+        cache.save().unwrap();
+    }
+    // A parsable entry that self-identifies under a different key (file
+    // swap / index corruption) must not be served.
+    let swapped = CachedCell {
+        version: CACHE_FORMAT_VERSION,
+        key: "0000000000000000-0000000000000000".into(),
+        output: output.clone(),
+    };
+    fs::write(&entry_path, serde_json::to_string_pretty(&swapped).unwrap()).unwrap();
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    assert!(cache.lookup(&j).is_none(), "mis-keyed entry rejected");
+
+    // Same for an entry carrying a foreign format version.
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        cache.insert(&j, &output).unwrap();
+        cache.save().unwrap();
+    }
+    let drifted = CachedCell {
+        version: CACHE_FORMAT_VERSION + 1,
+        key: cache_key(&j).unwrap(),
+        output: output.clone(),
+    };
+    fs::write(&entry_path, serde_json::to_string_pretty(&drifted).unwrap()).unwrap();
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    assert!(cache.lookup(&j).is_none(), "version-drifted entry rejected");
+}
+
+#[test]
+fn gc_drops_entries_by_retention_predicate() {
+    let scratch = ScratchDir::new("gc");
+    let keep_job = job(0, Some(DIGEST));
+    let drop_job = job(1, Some("fnv1a64:dead0000dead0000"));
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    cache
+        .insert(&keep_job, &synthetic_output(&keep_job))
+        .unwrap();
+    cache
+        .insert(&drop_job, &synthetic_output(&drop_job))
+        .unwrap();
+    cache.save().unwrap();
+
+    let report = cache.gc(|e| e.trace_digest == DIGEST).unwrap();
+    assert_eq!((report.kept, report.dropped), (1, 1));
+    assert!(report.bytes_freed > 0);
+    assert_eq!(cache.len(), 1);
+    assert_eq!(cache.stats().evictions, 1);
+    assert!(cache.lookup(&keep_job).is_some());
+    assert!(cache.lookup(&drop_job).is_none());
+
+    // The gc result is already saved: a fresh handle agrees.
+    let mut reopened = ResultCache::open(&scratch.0).unwrap();
+    assert_eq!(reopened.len(), 1);
+    assert!(reopened.lookup(&drop_job).is_none());
+}

@@ -1,0 +1,89 @@
+//! Shared fixtures for the sweepd integration suites: scratch
+//! directories and synthetic shard jobs/outputs that are deterministic
+//! functions of their identity (so re-split sub-plans reproduce them).
+
+// Each test binary uses its own subset of these fixtures.
+#![allow(dead_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tse_interconnect::TrafficReport;
+use tse_sim::shard::{CellOutput, ShardJob, ShardMode, ShardPlan, TraceRef};
+use tse_sim::{EngineKind, RunConfig, RunResult};
+
+/// A unique scratch directory per test invocation, removed on drop.
+pub struct ScratchDir(pub PathBuf);
+
+impl ScratchDir {
+    pub fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tse-sweepd-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A synthetic job for cell `cell`. The per-cell `config.seed` makes
+/// each job's configuration unique, so fake runners can derive outputs
+/// from it regardless of how a re-split renumbered the cell.
+pub fn job(cell: u64, digest: Option<&str>) -> ShardJob {
+    ShardJob {
+        figure: "figT".into(),
+        cell,
+        mode: ShardMode::Trace,
+        trace: TraceRef {
+            workload: "em3d".into(),
+            scale: 0.02,
+            seed: 7,
+            digest: digest.map(str::to_string),
+        },
+        config: RunConfig {
+            engine: EngineKind::Baseline,
+            seed: 1000 + cell,
+            ..RunConfig::default()
+        },
+    }
+}
+
+/// A plan of `n` synthetic cells across `shards` shards.
+pub fn plan(n: u64, shards: u32, digest: Option<&str>) -> ShardPlan {
+    ShardPlan::split((0..n).map(|c| job(c, digest)).collect(), shards).unwrap()
+}
+
+/// The synthetic output a fake runner produces for a job: derived only
+/// from the job's unique `config.seed`, never from its (renumberable)
+/// cell id.
+pub fn synthetic_output(job: &ShardJob) -> CellOutput {
+    let tag = job.config.seed;
+    CellOutput::Trace(RunResult {
+        workload: job.trace.workload.clone(),
+        engine_name: "FAKE".into(),
+        mem: Default::default(),
+        engine: Default::default(),
+        traffic: TrafficReport {
+            total_bytes: tag,
+            demand_bytes: tag / 2,
+            overhead_bytes: 0,
+            stream_address_bytes: 0,
+            discarded_data_bytes: 0,
+            cmob_bytes: 0,
+            bisection_demand_bytes: 0,
+            bisection_overhead_bytes: 0,
+            messages: tag,
+        },
+        consumptions: Vec::new(),
+        records: tag,
+        spin_misses: 0,
+    })
+}

@@ -1,0 +1,321 @@
+//! Scheduler contract: a worker that errors, or drops a shard mid-run
+//! past the round timeout, loses only that round — its cells are
+//! re-split across the remaining rounds and the final grid still
+//! matches the reference. A warm cache serves a whole plan without a
+//! single simulation. Retry exhaustion fails loudly with the
+//! outstanding cells.
+
+mod common;
+
+use common::{job, plan, synthetic_output, ScratchDir};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tse_sim::shard::{
+    MergedGrid, ShardCell, ShardError, ShardPlan, ShardResult, SHARD_FORMAT_VERSION,
+};
+use tse_sweepd::service::{JobState, ServiceConfig, ShardRunner, SweepService};
+use tse_sweepd::ResultCache;
+
+const DIGEST: &str = "fnv1a64:00c0ffee00c0ffee";
+
+/// What a fake runner does when asked for a given (invocation, shard).
+enum Fault {
+    /// Error the first `n` calls for shard 1.
+    ErrorFirst(u32),
+    /// Sleep past the round deadline on the first call for shard 1.
+    SleepFirst(Duration),
+    /// Error every call for every shard.
+    AlwaysError,
+    /// No faults.
+    None,
+}
+
+/// A corpus-less runner producing [`synthetic_output`]s, with optional
+/// fault injection and an invocation counter. `pin_digests` pins the
+/// fixed test digest so outputs are cacheable; the retention set is
+/// mutable so gc can be driven both ways.
+struct FakeRunner {
+    fault: Fault,
+    faulted: AtomicU32,
+    calls: AtomicU32,
+    digests: Mutex<Vec<String>>,
+}
+
+impl FakeRunner {
+    fn new(fault: Fault) -> Self {
+        FakeRunner {
+            fault,
+            faulted: AtomicU32::new(0),
+            calls: AtomicU32::new(0),
+            digests: Mutex::new(vec![DIGEST.to_string()]),
+        }
+    }
+
+    fn calls(&self) -> u32 {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl ShardRunner for FakeRunner {
+    fn run_shard(&self, plan: &ShardPlan, shard: u32) -> Result<ShardResult, ShardError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        match self.fault {
+            Fault::AlwaysError => {
+                return Err(ShardError::Run("injected: worker crashed".into()));
+            }
+            Fault::ErrorFirst(n)
+                if shard == 1 && self.faulted.fetch_add(1, Ordering::SeqCst) < n =>
+            {
+                return Err(ShardError::Run("injected: worker dropped".into()));
+            }
+            Fault::SleepFirst(how_long)
+                if shard == 1 && self.faulted.fetch_add(1, Ordering::SeqCst) == 0 =>
+            {
+                std::thread::sleep(how_long);
+            }
+            _ => {}
+        }
+        Ok(ShardResult {
+            version: SHARD_FORMAT_VERSION,
+            figure: plan.figure.clone(),
+            shards: plan.shards,
+            shard,
+            cells: plan
+                .jobs_for(shard)
+                .iter()
+                .map(|j| ShardCell {
+                    cell: j.cell,
+                    output: synthetic_output(j),
+                })
+                .collect(),
+        })
+    }
+
+    fn pin_digests(&self, plan: &mut ShardPlan) -> Result<(), ShardError> {
+        for job in &mut plan.jobs {
+            job.trace.digest = Some(DIGEST.to_string());
+        }
+        Ok(())
+    }
+
+    fn corpus_digests(&self) -> Option<Vec<String>> {
+        Some(self.digests.lock().unwrap().clone())
+    }
+}
+
+/// The grid every successful run must produce for `plan(n, ..)`.
+fn reference(n: u64) -> MergedGrid {
+    MergedGrid {
+        version: SHARD_FORMAT_VERSION,
+        figure: "figT".into(),
+        cells: (0..n)
+            .map(|c| ShardCell {
+                cell: c,
+                output: synthetic_output(&job(c, Some(DIGEST))),
+            })
+            .collect(),
+    }
+}
+
+fn service(scratch: &ScratchDir, runner: Arc<FakeRunner>, cfg: ServiceConfig) -> SweepService {
+    let cache = ResultCache::open(scratch.0.join("cache")).unwrap();
+    SweepService::new(runner, cache, cfg)
+}
+
+fn cfg(workers: u32, retries: u32, timeout: Duration) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        retries,
+        timeout,
+    }
+}
+
+#[test]
+fn clean_run_simulates_every_cell_once() {
+    let scratch = ScratchDir::new("clean");
+    let runner = Arc::new(FakeRunner::new(Fault::None));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 2, Duration::from_secs(30)),
+    );
+    let id = svc.submit(plan(5, 1, None)).unwrap();
+    let status = svc.run(id).unwrap();
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(status.rounds, 1);
+    assert_eq!(
+        (
+            status.cells,
+            status.cached,
+            status.simulated,
+            status.outstanding
+        ),
+        (5, 0, 5, 0)
+    );
+    assert_eq!(svc.result(id).unwrap(), reference(5));
+}
+
+#[test]
+fn erroring_shard_is_resplit_and_merge_matches_reference() {
+    let scratch = ScratchDir::new("flaky");
+    let runner = Arc::new(FakeRunner::new(Fault::ErrorFirst(1)));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 2, Duration::from_secs(30)),
+    );
+    let id = svc.submit(plan(6, 1, None)).unwrap();
+    let status = svc.run(id).unwrap();
+    assert_eq!(status.state, JobState::Done, "error: {:?}", status.error);
+    assert_eq!(
+        status.rounds, 2,
+        "one retry round recovers the dropped shard"
+    );
+    assert_eq!(status.simulated, 6);
+    assert_eq!(status.outstanding, 0);
+    assert_eq!(
+        svc.result(id).unwrap(),
+        reference(6),
+        "the re-split merge must match the reference grid exactly"
+    );
+}
+
+#[test]
+fn shard_dropped_past_the_timeout_is_resplit() {
+    let scratch = ScratchDir::new("sleepy");
+    // Round budget 200ms; the injected worker holds its shard for 2s —
+    // it must be abandoned and its cells redistributed, not waited for.
+    let runner = Arc::new(FakeRunner::new(Fault::SleepFirst(Duration::from_secs(2))));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 2, Duration::from_millis(200)),
+    );
+    let id = svc.submit(plan(6, 1, None)).unwrap();
+    let status = svc.run(id).unwrap();
+    assert_eq!(status.state, JobState::Done, "error: {:?}", status.error);
+    assert!(
+        status.rounds >= 2,
+        "the timed-out round must not count as done"
+    );
+    assert_eq!(status.outstanding, 0);
+    assert_eq!(svc.result(id).unwrap(), reference(6));
+}
+
+#[test]
+fn retry_exhaustion_fails_with_outstanding_cells() {
+    let scratch = ScratchDir::new("exhausted");
+    let runner = Arc::new(FakeRunner::new(Fault::AlwaysError));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 1, Duration::from_secs(30)),
+    );
+    let id = svc.submit(plan(4, 1, None)).unwrap();
+    let status = svc.run(id).unwrap();
+    assert_eq!(status.state, JobState::Failed);
+    assert_eq!(status.outstanding, 4);
+    assert_eq!(status.rounds, 2, "first round plus one retry");
+    let error = status.error.expect("failure carries a description");
+    assert!(error.contains("4 of 4 cells outstanding"), "{error}");
+    assert!(error.contains("worker crashed"), "{error}");
+    assert!(svc.result(id).is_none(), "no grid for a failed job");
+}
+
+#[test]
+fn warm_cache_serves_a_whole_plan_without_simulating() {
+    let scratch = ScratchDir::new("warm");
+    let runner = Arc::new(FakeRunner::new(Fault::None));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 2, Duration::from_secs(30)),
+    );
+
+    let cold = svc.submit(plan(5, 1, None)).unwrap();
+    let cold_status = svc.run(cold).unwrap();
+    assert_eq!((cold_status.cached, cold_status.simulated), (0, 5));
+    let calls_after_cold = runner.calls();
+    assert!(calls_after_cold > 0);
+
+    // Same plan again: every cell must come from the cache.
+    let warm = svc.submit(plan(5, 1, None)).unwrap();
+    let warm_status = svc.run(warm).unwrap();
+    assert_eq!(warm_status.state, JobState::Done);
+    assert_eq!(
+        (warm_status.cached, warm_status.simulated),
+        (5, 0),
+        "a warm run simulates zero cells"
+    );
+    assert_eq!(warm_status.rounds, 0, "no dispatch round ran at all");
+    assert_eq!(
+        runner.calls(),
+        calls_after_cold,
+        "the runner was never invoked"
+    );
+    assert_eq!(svc.result(warm).unwrap(), svc.result(cold).unwrap());
+    assert_eq!(
+        serde_json::to_string_pretty(&svc.result(warm).unwrap()).unwrap(),
+        serde_json::to_string_pretty(&reference(5)).unwrap(),
+        "cache-served grids serialize byte-identically to the reference"
+    );
+
+    let (stats, entries) = svc.cache_stats();
+    assert_eq!(entries, 5);
+    assert_eq!(stats.hits, 5);
+    assert_eq!(stats.inserts, 5);
+}
+
+#[test]
+fn a_fresh_service_reuses_the_persisted_cache() {
+    let scratch = ScratchDir::new("restart");
+    {
+        let runner = Arc::new(FakeRunner::new(Fault::None));
+        let svc = service(&scratch, runner, cfg(2, 2, Duration::from_secs(30)));
+        let id = svc.submit(plan(4, 1, None)).unwrap();
+        assert_eq!(svc.run(id).unwrap().simulated, 4);
+        svc.save_cache().unwrap();
+    }
+    // New service, new runner, same cache directory: still warm.
+    let runner = Arc::new(FakeRunner::new(Fault::None));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 2, Duration::from_secs(30)),
+    );
+    let id = svc.submit(plan(4, 1, None)).unwrap();
+    let status = svc.run(id).unwrap();
+    assert_eq!((status.cached, status.simulated), (4, 0));
+    assert_eq!(runner.calls(), 0);
+    assert_eq!(svc.result(id).unwrap(), reference(4));
+}
+
+#[test]
+fn cache_gc_retains_by_corpus_membership() {
+    let scratch = ScratchDir::new("svc-gc");
+    let runner = Arc::new(FakeRunner::new(Fault::None));
+    let svc = service(
+        &scratch,
+        Arc::clone(&runner),
+        cfg(2, 2, Duration::from_secs(30)),
+    );
+    let id = svc.submit(plan(3, 1, None)).unwrap();
+    svc.run(id).unwrap();
+
+    // While the digest is in the corpus, gc keeps everything.
+    let report = svc.cache_gc().unwrap();
+    assert_eq!((report.kept, report.dropped), (3, 0));
+
+    // The trace leaves the corpus: its cached results go with it.
+    runner.digests.lock().unwrap().clear();
+    let report = svc.cache_gc().unwrap();
+    assert_eq!((report.kept, report.dropped), (0, 3));
+    assert_eq!(svc.cache_stats().1, 0);
+
+    // And the next identical submit re-simulates.
+    let id = svc.submit(plan(3, 1, None)).unwrap();
+    let status = svc.run(id).unwrap();
+    assert_eq!((status.cached, status.simulated), (0, 3));
+    assert_eq!(svc.result(id).unwrap(), reference(3));
+}

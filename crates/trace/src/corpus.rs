@@ -464,6 +464,71 @@ fn verify_entry_at(dir: &Path, entry: &TraceEntry) -> Result<(), String> {
     Ok(())
 }
 
+/// Outcome of a retention sweep ([`sweep_retained`]): how many entries
+/// survived, how many were dropped, and how many bytes their deleted
+/// files freed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Entries the keep predicate retained.
+    pub kept: usize,
+    /// Entries dropped (their files deleted where present).
+    pub dropped: usize,
+    /// Total size of the deleted files.
+    pub bytes_freed: u64,
+}
+
+impl std::fmt::Display for GcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {}, dropped {} ({} bytes freed)",
+            self.kept, self.dropped, self.bytes_freed
+        )
+    }
+}
+
+/// Generic retention sweep over a directory of manifest-tracked files —
+/// the one helper behind both `tracectl corpus gc` (drop traces no
+/// figure grid references) and `sweepd cache gc` (drop cached results
+/// whose trace left the corpus). Partitions `entries` by `keep`,
+/// deletes each dropped entry's file under `dir` (`path_of` names it,
+/// relative; already-missing files are fine), and returns the retained
+/// entries in their original order plus a [`GcReport`]. The caller
+/// persists the surviving manifest.
+///
+/// # Errors
+///
+/// The first filesystem error deleting a file (the sweep stops there;
+/// entries already processed stay deleted, so the caller should treat
+/// an error as "re-run gc").
+pub fn sweep_retained<T>(
+    dir: &Path,
+    entries: Vec<T>,
+    path_of: impl Fn(&T) -> &str,
+    keep: impl Fn(&T) -> bool,
+) -> std::io::Result<(Vec<T>, GcReport)> {
+    let mut retained = Vec::new();
+    let mut report = GcReport::default();
+    for entry in entries {
+        if keep(&entry) {
+            retained.push(entry);
+            continue;
+        }
+        let path = dir.join(path_of(&entry));
+        match fs::metadata(&path) {
+            Ok(meta) => {
+                fs::remove_file(&path)?;
+                report.bytes_freed += meta.len();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        report.dropped += 1;
+    }
+    report.kept = retained.len();
+    Ok((retained, report))
+}
+
 /// Streaming FNV-1a 64 digest of a file's contents, formatted as
 /// `"fnv1a64:<16 hex digits>"`.
 ///
@@ -515,6 +580,30 @@ mod tests {
         assert!(!e.matches("db2", 0.1, 42));
         assert!(!e.matches("db2", 0.05, 43));
         assert!(!e.matches("zeus", 0.05, 42));
+    }
+
+    #[test]
+    fn sweep_retained_deletes_dropped_files_and_reports() {
+        let dir = std::env::temp_dir().join(format!("tse-gc-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("keep.bin"), b"kept").unwrap();
+        fs::write(dir.join("drop.bin"), b"dropped!").unwrap();
+        // "ghost.bin" is tracked but already missing on disk.
+        let entries = vec![
+            ("keep.bin", true),
+            ("drop.bin", false),
+            ("ghost.bin", false),
+        ];
+        let (retained, report) =
+            sweep_retained(&dir, entries, |e| e.0, |e| e.1).expect("sweep succeeds");
+        assert_eq!(retained, vec![("keep.bin", true)]);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.bytes_freed, 8, "only the on-disk file counts");
+        assert!(dir.join("keep.bin").exists());
+        assert!(!dir.join("drop.bin").exists());
+        assert!(report.to_string().contains("dropped 2"));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -20,8 +20,8 @@
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Records are delta-coded against per-node running state (see
-//! [`codec`]) with LEB128 varints, so the common "same node, clock +1,
+//! Records are delta-coded against per-node running state (the
+//! private `codec` module) with LEB128 varints, so the common "same node, clock +1,
 //! neighbouring line" record costs 4 bytes against ~120 for its JSON
 //! form. State resets at block boundaries, making every block
 //! independently decodable: a seekable reader jumps straight to block

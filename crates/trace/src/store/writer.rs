@@ -83,7 +83,7 @@ impl<W: Write + Seek> TraceWriter<W> {
     ///
     /// Returns [`TraceIoError::Io`] on write failure, or
     /// [`TraceIoError::Corrupt`] if `block_len` is zero or larger than
-    /// [`super::MAX_BLOCK_LEN`] (a full block must stay inside the
+    /// the crate's maximum block length (a full block must stay inside the
     /// payload limit readers enforce).
     pub fn with_block_len(mut sink: W, block_len: u32) -> Result<Self, TraceIoError> {
         if block_len == 0 {

@@ -25,6 +25,7 @@ pub use tse_interconnect as interconnect;
 pub use tse_memsim as memsim;
 pub use tse_prefetch as prefetch;
 pub use tse_sim as sim;
+pub use tse_sweepd as sweepd;
 pub use tse_trace as trace;
 pub use tse_types as types;
 pub use tse_workloads as workloads;
