@@ -1,0 +1,50 @@
+//! Trace-plane benches: mmap-backed block decode, the batched SoA
+//! decoder, and the corpus manifest digest-diff (`tse_bench::trace_plane`),
+//! plus an acceptance check that the mapped read path agrees record-for-
+//! record with the buffered `TraceReader` on the same bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Cursor;
+use std::time::Instant;
+use tse_sim::StoredTrace;
+use tse_trace::store::{MappedTrace, TraceReader};
+use tse_workloads::{OltpFlavor, Tpcc};
+
+/// Mapped decode must agree record-for-record with the buffered
+/// reader on identical bytes — the invariant that lets the replay and
+/// shard paths switch to mmap without perturbing any figure.
+fn acceptance(_c: &mut Criterion) {
+    let stored = StoredTrace::from_workload(&Tpcc::scaled(OltpFlavor::Db2, 0.1), 42);
+    let mut cur = Cursor::new(Vec::new());
+    stored.save_tsb1(&mut cur).expect("in-memory save");
+    let bytes = cur.into_inner();
+    let path = std::env::temp_dir().join(format!(
+        "tse-bench-trace-plane-acceptance-{}.tsb1",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).expect("write bench trace");
+
+    let t0 = Instant::now();
+    let mapped = MappedTrace::open(&path).expect("map trace");
+    let via_mmap = mapped.decode_all().expect("mapped decode");
+    let mmap_time = t0.elapsed();
+    let t0 = Instant::now();
+    let reader = TraceReader::open(Cursor::new(&bytes[..])).expect("open reader");
+    let via_reader: Vec<_> = reader.map(|r| r.expect("read record")).collect();
+    let reader_time = t0.elapsed();
+    assert_eq!(via_mmap, via_reader, "mapped decode must match the reader");
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "trace_plane/acceptance: {} records; mmap decode {:.1} ms vs reader {:.1} ms (identical)",
+        via_mmap.len(),
+        mmap_time.as_secs_f64() * 1e3,
+        reader_time.as_secs_f64() * 1e3,
+    );
+}
+
+criterion_group! {
+    name = trace_plane_group;
+    config = Criterion::default().sample_size(10);
+    targets = acceptance, tse_bench::trace_plane::all
+}
+criterion_main!(trace_plane_group);

@@ -35,6 +35,7 @@ pub const REQUIRED_GROUPS: &[&str] = &[
     "prefetchers",
     "dsm",
     "sweep",
+    "trace_plane",
 ];
 
 /// Kernels whose benchmark bodies *and* measured code paths have been
@@ -66,6 +67,7 @@ pub fn measure(quick: bool) -> Value {
     };
     crate::kernels::all(&mut c);
     crate::sweep::all(&mut c);
+    crate::trace_plane::all(&mut c);
 
     let mut groups: Vec<(String, Vec<(String, Value)>)> = Vec::new();
     for r in c.results() {
@@ -418,7 +420,8 @@ mod tests {
                 "torus" => ("torus/hops_and_bisection", 1.0),
                 "prefetchers" => ("prefetchers/stride_on_miss", 1.0),
                 "dsm" => ("dsm/x", 1.0),
-                _ => ("sweep/x", 1.0),
+                "sweep" => ("sweep/x", 1.0),
+                _ => ("trace_plane/x", 1.0),
             }
         }));
         let mut doc = doc_of(&entries);

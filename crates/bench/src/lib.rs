@@ -2,8 +2,8 @@
 //! Temporal Streaming reproduction.
 //!
 //! The criterion bench targets in `benches/` are thin registrars over
-//! [`kernels`] and [`sweep`]; the same bodies also run under the
-//! `bench-baseline` binary, which persists their medians to
+//! [`kernels`], [`sweep`] and [`trace_plane`]; the same bodies also run
+//! under the `bench-baseline` binary, which persists their medians to
 //! `BENCH_baseline.json` so every future PR has a perf trajectory to
 //! regress against (see [`baseline`]).
 
@@ -13,3 +13,4 @@
 pub mod baseline;
 pub mod kernels;
 pub mod sweep;
+pub mod trace_plane;

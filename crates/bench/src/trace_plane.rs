@@ -1,0 +1,123 @@
+//! Trace-plane benchmarks: the zero-copy mmap read path and the corpus
+//! digest-diff that drives sync.
+//!
+//! * `mmap_block_decode` — steady-state decode of one TSB1 block
+//!   straight off a mapped file (CRC already verified lazily on the
+//!   first touch), cycling through the trace's blocks.
+//! * `batched_varint_decode` — the same block decoded into a reused
+//!   SoA [`RecordBatch`], the allocation-free variant the streamed
+//!   consumers batch through.
+//! * `manifest_diff` — deciding what a corpus sync must transfer:
+//!   matching every remote entry against the local manifest by
+//!   `(workload, scale, seed)` and comparing content digests.
+
+use criterion::{black_box, Criterion};
+use std::sync::OnceLock;
+use tse_sim::StoredTrace;
+use tse_trace::corpus::TraceEntry;
+use tse_trace::store::{MappedTrace, RecordBatch};
+use tse_workloads::{OltpFlavor, Tpcc};
+
+/// Registers every trace-plane benchmark on `c`.
+pub fn all(c: &mut Criterion) {
+    bench_mmap_decode(c);
+    bench_manifest_diff(c);
+}
+
+/// One shared multi-block Tpcc trace, saved as TSB1 and mapped. The
+/// file must outlive the mapping, so both are kept in the static.
+fn mapped_db2() -> &'static MappedTrace {
+    static MAPPED: OnceLock<(std::path::PathBuf, MappedTrace)> = OnceLock::new();
+    &MAPPED
+        .get_or_init(|| {
+            let t = StoredTrace::from_workload(&Tpcc::scaled(OltpFlavor::Db2, 0.1), 42);
+            let path = std::env::temp_dir()
+                .join(format!("tse-bench-trace-plane-{}.tsb1", std::process::id()));
+            let file = std::fs::File::create(&path).expect("create bench trace");
+            t.save_tsb1(&mut std::io::BufWriter::new(file))
+                .expect("save bench trace");
+            let mapped = MappedTrace::open(&path).expect("map bench trace");
+            (path, mapped)
+        })
+        .1
+}
+
+/// The mapped block-decode paths (owned records and reused batch).
+pub fn bench_mmap_decode(c: &mut Criterion) {
+    let trace = mapped_db2();
+    let blocks = trace.blocks() as usize;
+    assert!(blocks >= 2, "bench trace must span multiple blocks");
+    // Touch every block once so the lazy CRC pass is out of the way
+    // and the benchmark measures steady-state decode.
+    for i in 0..blocks {
+        trace.block(i).unwrap().decode().unwrap();
+    }
+    let mut g = c.benchmark_group("trace_plane");
+    g.bench_function("mmap_block_decode", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % blocks;
+            let recs = trace.block(i).unwrap().decode().unwrap();
+            black_box(recs.len())
+        });
+    });
+    g.bench_function("batched_varint_decode", |b| {
+        let mut batch = RecordBatch::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % blocks;
+            trace.block(i).unwrap().decode_into(&mut batch).unwrap();
+            black_box(batch.len())
+        });
+    });
+    g.finish();
+}
+
+/// A synthetic manifest of `n` entries over the suite's spec space.
+fn entries(n: usize, digest_salt: u64) -> Vec<TraceEntry> {
+    (0..n)
+        .map(|i| TraceEntry {
+            workload: format!("wl{}", i % 7),
+            scale: 0.05 * ((i / 7) + 1) as f64,
+            seed: (i % 5) as u64,
+            nodes: 16,
+            records: 1_000,
+            path: format!("wl{i}.tsb1"),
+            digest: format!("fnv1a64:{:016x}", (i as u64) ^ digest_salt),
+        })
+        .collect()
+}
+
+/// The digest-diff a sync performs before transferring anything.
+pub fn bench_manifest_diff(c: &mut Criterion) {
+    let local = entries(128, 0);
+    // Half the remote entries drifted to a different digest, half match.
+    let remote: Vec<TraceEntry> = entries(128, 0)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut e)| {
+            if i % 2 == 0 {
+                e.digest = format!("fnv1a64:{:016x}", i as u64 + 0xdead_beef);
+            }
+            e
+        })
+        .collect();
+    let mut g = c.benchmark_group("trace_plane");
+    g.bench_function("manifest_diff", |b| {
+        b.iter(|| {
+            let mut missing = 0usize;
+            let mut matching = 0usize;
+            for want in &remote {
+                match local
+                    .iter()
+                    .find(|e| e.matches(&want.workload, want.scale, want.seed))
+                {
+                    Some(have) if have.digest == want.digest => matching += 1,
+                    _ => missing += 1,
+                }
+            }
+            black_box((missing, matching))
+        });
+    });
+    g.finish();
+}

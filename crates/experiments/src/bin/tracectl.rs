@@ -30,6 +30,7 @@ use tse_sim::{
     run_parallel, run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind,
     RunConfig, StoredTrace,
 };
+use tse_sweepd::sync::{self, SyncError};
 use tse_trace::corpus::{digest_file, sweep_retained, Corpus, CorpusWriter, TraceEntry};
 use tse_trace::store::{is_tsb1, TraceReader, TraceWriter};
 use tse_trace::{interleave, read_jsonl, write_jsonl, AccessRecord};
@@ -58,9 +59,19 @@ USAGE:
       skipped; the rest generate in parallel on the sweep pool
   tracectl corpus list <dir>
       print the corpus manifest
-  tracectl corpus verify <dir>
+  tracectl corpus verify <dir> [--quick]
       recompute every trace's digest and structural metadata against
-      the manifest; exits 4 on any mismatch
+      the manifest; exits 4 on any mismatch. --quick checks content
+      digests only (skips the TSB1 structure walk) — the cheap
+      re-check after a sync, whose transfers were verified on receipt
+  tracectl corpus sync <endpoint> --dir <d> [--push]
+      diff the local corpus at <d> against a daemon started with
+      `sweepd serve --corpus-serve` and transfer only the entries
+      whose digest is missing: pull by default, --push to upload.
+      Transfers resume from partial files; every received trace is
+      digest- and structure-verified before its manifest entry lands.
+      A peer holding the same (workload, scale, seed) under a
+      different digest is drift — refused, exit 4
   tracectl corpus add --dir <d> --workload <name> --scale <f> --seed <n> <trace.tsb1>
       register an externally produced TSB1 trace: copy it under the
       corpus' canonical name, digest it, record it in the manifest
@@ -85,8 +96,9 @@ fn main() -> ExitCode {
             Some("verify") => cmd_corpus_verify(&args[2..]),
             Some("add") => cmd_corpus_add(&args[2..]),
             Some("gc") => cmd_corpus_gc(&args[2..]),
+            Some("sync") => cmd_corpus_sync(&args[2..]),
             other => Err(CliError::usage(format!(
-                "corpus needs a subcommand (gen, list, verify, add, gc), got {other:?}\n\n{USAGE}"
+                "corpus needs a subcommand (gen, list, verify, add, gc, sync), got {other:?}\n\n{USAGE}"
             ))),
         },
         Some("--help" | "-h") | None => {
@@ -622,13 +634,26 @@ fn cmd_corpus_gc(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_corpus_verify(args: &[String]) -> Result<(), CliError> {
-    let dir = positional(args, 0, "corpus directory", USAGE)?;
+    let quick = cli::flag(args, "--quick");
+    let dir = cli::positionals_excluding(args, &["--quick"])
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::usage(format!("missing corpus directory\n\n{USAGE}")))?;
     let corpus = Corpus::open(dir).map_err(CliError::io)?;
-    let issues = corpus.verify();
+    let issues = if quick {
+        corpus.verify_quick()
+    } else {
+        corpus.verify()
+    };
     if issues.is_empty() {
         let records: u64 = corpus.entries().iter().map(|e| e.records).sum();
+        let checked = if quick {
+            "all digests verified (quick)"
+        } else {
+            "all digests and metadata verified"
+        };
         println!(
-            "{dir}: OK — {} traces, {records} records, all digests and metadata verified",
+            "{dir}: OK — {} traces, {records} records, {checked}",
             corpus.entries().len()
         );
         return Ok(());
@@ -641,4 +666,30 @@ fn cmd_corpus_verify(args: &[String]) -> Result<(), CliError> {
         issues.len(),
         corpus.entries().len()
     )))
+}
+
+fn cmd_corpus_sync(args: &[String]) -> Result<(), CliError> {
+    let endpoint_spec = cli::positionals_excluding(args, &["--push"])
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::usage(format!("corpus sync needs an <endpoint>\n\n{USAGE}")))?
+        .to_string();
+    let dir = opt(args, "--dir")?
+        .ok_or_else(|| CliError::usage(format!("corpus sync needs --dir\n\n{USAGE}")))?;
+    let endpoint = tse_sweepd::Endpoint::parse(&endpoint_spec);
+    let push = cli::flag(args, "--push");
+    let report = if push {
+        sync::push(&endpoint, Path::new(dir))
+    } else {
+        sync::pull(&endpoint, Path::new(dir))
+    };
+    // Drift (same spec, different content digest on the two sides) is a
+    // verification failure, same exit-code contract as `corpus verify`.
+    let report = report.map_err(|e| match e {
+        SyncError::Drift(_) => CliError::verify(e),
+        _ => CliError::io(e),
+    })?;
+    let direction = if push { "push to" } else { "pull from" };
+    println!("{dir}: {direction} {endpoint} — {report}");
+    Ok(())
 }

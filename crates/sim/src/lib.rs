@@ -51,14 +51,15 @@ mod timing;
 pub use analysis::{correlation_curve, CorrelationAnalysis, CorrelationCurve, MAX_DISTANCE};
 pub use harness::{run_baseline_collecting, run_trace, RunConfig, RunResult};
 pub use replay::{
-    run_trace_stored, run_trace_streamed, run_trace_streamed_path, run_trace_streamed_reader,
-    tsb1_node_count, StoredTrace, StreamedReplayError,
+    mapped_node_count, run_trace_mapped, run_trace_mapped_path, run_trace_stored,
+    run_trace_streamed, run_trace_streamed_path, run_trace_streamed_reader, tsb1_node_count,
+    StoredTrace, StreamedReplayError,
 };
 pub use runner::{run_parallel, SweepPool};
 pub use stats::Samples;
 pub use timing::{
-    run_timing, run_timing_stored, run_timing_streamed, run_timing_streamed_path,
-    run_timing_streamed_reader, TimingResult,
+    run_timing, run_timing_mapped, run_timing_mapped_path, run_timing_stored, run_timing_streamed,
+    run_timing_streamed_path, run_timing_streamed_reader, TimingResult,
 };
 
 use serde::{Deserialize, Serialize};

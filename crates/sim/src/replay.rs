@@ -12,12 +12,12 @@ use crate::harness::run_interleaved;
 use crate::runner::SweepPool;
 use crate::{RunConfig, RunResult};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Seek, Write};
 use std::path::Path;
 use std::rc::Rc;
 use std::sync::{mpsc, Arc};
-use tse_trace::store::{decode_block, RawBlock, TraceMeta, TraceReader, TraceWriter};
+use tse_trace::store::{decode_block, MappedTrace, RawBlock, TraceMeta, TraceReader, TraceWriter};
 use tse_trace::{interleave, AccessRecord, TraceIoError};
 use tse_types::ConfigError;
 use tse_workloads::Workload;
@@ -332,6 +332,72 @@ pub fn run_trace_streamed_path(
     run_trace_streamed(name, std::io::BufReader::new(file), cfg)
 }
 
+/// The node count a mapped trace implies — same derivation as
+/// [`tsb1_node_count`]: the writer's declared count when the header
+/// carries one, else highest-emitting-node + 1, else 1.
+pub fn mapped_node_count(trace: &MappedTrace) -> usize {
+    match trace.declared_nodes() {
+        Some(n) => usize::from(n),
+        None => trace
+            .meta()
+            .nodes
+            .last()
+            .map(|n| n.node.index() + 1)
+            .unwrap_or(1),
+    }
+}
+
+/// Replays a memory-mapped TSB1 trace through the harness — the
+/// zero-copy analogue of [`run_trace_streamed`].
+///
+/// Blocks decode on the [`SweepPool`] directly out of the shared
+/// mapping (no read syscalls, no payload copies; the mapped trace is
+/// `Sync`, so workers borrow block slices concurrently), re-entering in
+/// trace order through the same bounded reorder window streamed replay
+/// uses, with the same decode-inline fallback when the pool is
+/// saturated. Results are bit-identical to [`run_trace_streamed`] over
+/// the same file.
+///
+/// # Errors
+///
+/// As [`run_trace_streamed`].
+pub fn run_trace_mapped(
+    name: impl Into<String>,
+    trace: Arc<MappedTrace>,
+    cfg: &RunConfig,
+) -> Result<RunResult, StreamedReplayError> {
+    let nodes = mapped_node_count(&trace);
+    let total = usize::try_from(trace.records()).unwrap_or(usize::MAX);
+    let error = Rc::new(RefCell::new(None));
+    let stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
+    let result = run_interleaved(&name.into(), nodes, total, stream, cfg)?;
+    // A trace error mid-stream ends the record iterator early; surface
+    // it instead of the truncated result.
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
+/// Mapped replay of a TSB1 file, named after the file stem.
+///
+/// # Errors
+///
+/// As [`run_trace_mapped`], plus open/map failures as
+/// [`StreamedReplayError::Trace`].
+pub fn run_trace_mapped_path(
+    path: impl AsRef<Path>,
+    cfg: &RunConfig,
+) -> Result<RunResult, StreamedReplayError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let trace = Arc::new(MappedTrace::open(path)?);
+    run_trace_mapped(name, trace, cfg)
+}
+
 /// The record iterator behind [`run_trace_streamed`] (and the timing
 /// model's `run_timing_streamed`): pulls raw blocks off the reader,
 /// fans their decode out to the sweep pool, and yields records in trace
@@ -450,6 +516,164 @@ impl<R: Read> StreamedRecords<R> {
 }
 
 impl<R: Read> Iterator for StreamedRecords<R> {
+    type Item = AccessRecord;
+
+    fn next(&mut self) -> Option<AccessRecord> {
+        loop {
+            if let Some(rec) = self.current.next() {
+                // Same invariant StoredTrace::load_tsb1 enforces: a
+                // record outside 0..nodes would index the harness out
+                // of bounds.
+                if rec.node.index() >= self.nodes {
+                    let e = TraceIoError::Corrupt {
+                        offset: 0,
+                        reason: format!(
+                            "record on node {} but the trace declares {} nodes",
+                            rec.node, self.nodes
+                        ),
+                    };
+                    self.current = Vec::new().into_iter();
+                    self.fail(e);
+                    return None;
+                }
+                return Some(rec);
+            }
+            self.current = self.next_block()?.into_iter();
+        }
+    }
+}
+
+/// The record iterator behind [`run_trace_mapped`] (and the timing
+/// model's `run_timing_mapped`): the zero-copy sibling of
+/// [`StreamedRecords`]. Where the streamed path reads each raw block
+/// into an owned buffer before handing it to the pool, this one shares
+/// the `Arc<MappedTrace>` with the workers, which decode straight out
+/// of the mapping — block offsets come from the trailer index, so
+/// dispatch is O(1) per block with no I/O on the consumer thread.
+pub(crate) struct MappedRecords {
+    trace: Arc<MappedTrace>,
+    pool: &'static SweepPool,
+    /// Bound on blocks resident at once (in flight + decoded pending),
+    /// i.e. the decode-ahead distance.
+    window: usize,
+    rtx: mpsc::Sender<(u32, Result<Vec<AccessRecord>, TraceIoError>)>,
+    rrx: mpsc::Receiver<(u32, Result<Vec<AccessRecord>, TraceIoError>)>,
+    /// Blocks dispatched to the pool whose decode has not been observed.
+    in_flight: BTreeSet<u32>,
+    /// Decoded blocks waiting for their turn.
+    decoded: BTreeMap<u32, Vec<AccessRecord>>,
+    /// Index of the next block to dispatch; `blocks` once all are out.
+    next_dispatch: u32,
+    /// Index of the next block to hand to the consumer.
+    next_emit: u32,
+    /// Total blocks in the trace, from the trailer index.
+    blocks: u32,
+    current: std::vec::IntoIter<AccessRecord>,
+    nodes: usize,
+    error: Rc<RefCell<Option<TraceIoError>>>,
+}
+
+impl MappedRecords {
+    pub(crate) fn new(
+        trace: Arc<MappedTrace>,
+        nodes: usize,
+        error: Rc<RefCell<Option<TraceIoError>>>,
+    ) -> Self {
+        let pool = SweepPool::global();
+        let (rtx, rrx) = mpsc::channel();
+        let blocks = u32::try_from(trace.meta().blocks.len()).unwrap_or(u32::MAX);
+        MappedRecords {
+            trace,
+            pool,
+            window: pool.threads().clamp(2, 8) * 2,
+            rtx,
+            rrx,
+            in_flight: BTreeSet::new(),
+            decoded: BTreeMap::new(),
+            next_dispatch: 0,
+            next_emit: 0,
+            blocks,
+            current: Vec::new().into_iter(),
+            nodes,
+            error,
+        }
+    }
+
+    fn fail(&mut self, e: TraceIoError) {
+        self.error.borrow_mut().get_or_insert(e);
+        // Stop dispatching; in-flight decodes finish but their results
+        // are dropped (their indices are gone from `in_flight`).
+        self.next_dispatch = self.blocks;
+        self.in_flight.clear();
+        self.decoded.clear();
+    }
+
+    /// Tops up the decode-ahead window with block indices for the pool.
+    fn dispatch(&mut self) {
+        while self.error.borrow().is_none()
+            && self.next_dispatch < self.blocks
+            && self.in_flight.len() + self.decoded.len() < self.window
+        {
+            let idx = self.next_dispatch;
+            self.next_dispatch += 1;
+            self.in_flight.insert(idx);
+            let rtx = self.rtx.clone();
+            let trace = Arc::clone(&self.trace);
+            self.pool.execute(move || {
+                let _ = rtx.send((idx, trace.block(idx as usize).and_then(|s| s.decode())));
+            });
+        }
+    }
+
+    /// Produces the next block's records, in trace order.
+    fn next_block(&mut self) -> Option<Vec<AccessRecord>> {
+        self.dispatch();
+        // Observe every decode that has completed.
+        while let Ok((idx, result)) = self.rrx.try_recv() {
+            if self.in_flight.remove(&idx) {
+                match result {
+                    Ok(records) => {
+                        self.decoded.insert(idx, records);
+                    }
+                    Err(e) => {
+                        self.fail(e);
+                        return None;
+                    }
+                }
+            }
+            // else: the consumer already decoded it inline; drop the
+            // duplicate.
+        }
+        if self.error.borrow().is_some() {
+            return None;
+        }
+        if let Some(records) = self.decoded.remove(&self.next_emit) {
+            self.next_emit += 1;
+            return Some(records);
+        }
+        if self.in_flight.remove(&self.next_emit) {
+            // The pool has not gotten to this block yet (or is saturated
+            // by enclosing sweep jobs): decode it here rather than wait,
+            // so mapped replay can never deadlock on pool capacity.
+            let idx = self.next_emit;
+            self.next_emit += 1;
+            return match self.trace.block(idx as usize).and_then(|s| s.decode()) {
+                Ok(records) => Some(records),
+                Err(e) => {
+                    self.fail(e);
+                    None
+                }
+            };
+        }
+        debug_assert!(
+            self.next_emit >= self.blocks || self.error.borrow().is_some(),
+            "blocks are dispatched in trace order"
+        );
+        None
+    }
+}
+
+impl Iterator for MappedRecords {
     type Item = AccessRecord;
 
     fn next(&mut self) -> Option<AccessRecord> {

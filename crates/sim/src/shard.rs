@@ -29,16 +29,14 @@
 //!   so any execution order of the shards reassembles one canonical
 //!   grid.
 
-use crate::{
-    run_timing_streamed, run_trace_streamed, EngineKind, RunConfig, RunResult, TimingResult,
-};
+use crate::{run_timing_mapped, run_trace_mapped, EngineKind, RunConfig, RunResult, TimingResult};
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tse_trace::corpus::Corpus;
+use tse_trace::store::MappedTrace;
 
 /// Version stamped into (and required of) every plan, result bundle and
 /// merged grid this build reads or writes.
@@ -432,9 +430,10 @@ impl std::error::Error for ShardError {}
 /// manifest and verified (digest + TSB1 structure) exactly once before
 /// any replay; a digest pinned in the plan must additionally match the
 /// manifest. Jobs then run in parallel on the global
-/// [`crate::SweepPool`], each streaming its trace through
-/// [`run_trace_streamed`] / [`run_timing_streamed`] so even giant
-/// traces replay in bounded memory. Results come back in cell order.
+/// [`crate::SweepPool`], each replaying its trace zero-copy through
+/// [`run_trace_mapped`] / [`run_timing_mapped`] (blocks decode straight
+/// out of a shared memory mapping, so even giant traces replay in
+/// bounded heap). Results come back in cell order.
 ///
 /// # Errors
 ///
@@ -509,21 +508,22 @@ pub fn execute_shard(
     })
 }
 
-/// Streams one job's trace off disk through the harness its mode names.
+/// Replays one job's trace through the harness its mode names, via the
+/// zero-copy mapped path (blocks decode straight out of the mapping;
+/// bit-identical to the streamed reader over the same file).
 fn run_job(job: &ShardJob, path: &Path) -> Result<CellOutput, ShardError> {
     let fail = |e: &dyn std::fmt::Display| {
         ShardError::Run(format!("cell {} ({}): {e}", job.cell, job.trace.workload))
     };
-    let file = File::open(path).map_err(|e| fail(&e))?;
-    let src = BufReader::new(file);
+    let trace = Arc::new(MappedTrace::open(path).map_err(|e| fail(&e))?);
     let name = job.trace.workload.clone();
     match job.mode {
-        ShardMode::Trace => run_trace_streamed(name, src, &job.config)
+        ShardMode::Trace => run_trace_mapped(name, trace, &job.config)
             .map(CellOutput::Trace)
             .map_err(|e| fail(&e)),
-        ShardMode::Timing => run_timing_streamed(
+        ShardMode::Timing => run_timing_mapped(
             name,
-            src,
+            trace,
             &job.config.sys,
             &job.config.engine,
             job.config.warm_fraction,

@@ -17,7 +17,7 @@
 //! a decoupled approximation that keeps the simulator fast and
 //! deterministic.
 
-use crate::replay::{tsb1_node_count, StreamedRecords};
+use crate::replay::{mapped_node_count, tsb1_node_count, MappedRecords, StreamedRecords};
 use crate::{EngineKind, StoredTrace, StreamedReplayError};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -28,7 +28,7 @@ use std::rc::Rc;
 use tse_core::{TemporalStreamingEngine, TseStats};
 use tse_interconnect::TrafficReport;
 use tse_memsim::{DsmSystem, HitLevel, MemStats, MissClass};
-use tse_trace::store::TraceReader;
+use tse_trace::store::{MappedTrace, TraceReader};
 use tse_trace::{interleave, AccessKind, AccessRecord, SpinFilter, TraceIoError};
 use tse_types::{ConfigError, Cycle, SystemConfig};
 use tse_workloads::Workload;
@@ -369,6 +369,64 @@ pub fn run_timing_streamed_path(
     let file = std::fs::File::open(path).map_err(TraceIoError::Io)?;
     let reader = TraceReader::open(std::io::BufReader::new(file))?;
     run_timing_streamed_reader(name, reader, sys, engine, warm_fraction)
+}
+
+/// Replays a memory-mapped TSB1 trace through the timing model — the
+/// zero-copy analogue of [`run_timing_streamed`], decoding blocks on
+/// the pool straight out of the shared mapping. Bit-identical to
+/// [`run_timing_streamed`] (and [`run_timing_stored`]) over the same
+/// file.
+///
+/// # Errors
+///
+/// As [`run_timing_streamed`].
+pub fn run_timing_mapped(
+    name: impl Into<String>,
+    trace: std::sync::Arc<MappedTrace>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, StreamedReplayError> {
+    let nodes = mapped_node_count(&trace);
+    let total = usize::try_from(trace.records()).unwrap_or(usize::MAX);
+    let error: Rc<RefCell<Option<TraceIoError>>> = Rc::new(RefCell::new(None));
+    let stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
+    let result = run_timing_interleaved(
+        &name.into(),
+        nodes,
+        total,
+        stream,
+        sys,
+        engine,
+        warm_fraction,
+    )?;
+    // A trace error mid-stream ends the record iterator early; surface
+    // it instead of the truncated result.
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
+/// Mapped timing replay of a TSB1 file, named after the file stem.
+///
+/// # Errors
+///
+/// As [`run_timing_mapped`], plus open/map failures as
+/// [`StreamedReplayError::Trace`].
+pub fn run_timing_mapped_path(
+    path: impl AsRef<Path>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, StreamedReplayError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let trace = std::sync::Arc::new(MappedTrace::open(path)?);
+    run_timing_mapped(name, trace, sys, engine, warm_fraction)
 }
 
 /// The timing event loop shared by [`run_timing`] (generate),

@@ -24,6 +24,7 @@ use tse_sweepd::cli::{self, CliError};
 use tse_sweepd::net::{self, Endpoint};
 use tse_sweepd::proto::{Request, Response};
 use tse_sweepd::service::{CorpusRunner, ServiceConfig, SweepService};
+use tse_sweepd::sync::SyncingRunner;
 use tse_sweepd::ResultCache;
 use tse_trace::corpus::Corpus;
 
@@ -32,8 +33,14 @@ const USAGE: &str = "sweepd — persistent sweep service with a content-addresse
 USAGE:
   sweepd serve --corpus <dir> --cache <dir> --listen <endpoint>
                [--workers <n>] [--retries <n>] [--timeout-secs <s>]
+               [--corpus-serve] [--sync-from <endpoint>]
       run the daemon: accept plans, serve cached cells, simulate the
-      rest with per-shard retry/timeout, cache fresh results
+      rest with per-shard retry/timeout, cache fresh results.
+      --corpus-serve additionally answers corpus-sync requests
+      (manifest/fetch/push) from the corpus directory; --sync-from
+      makes this daemon a self-provisioning worker that pulls any
+      trace a submitted plan needs from the upstream daemon before
+      executing (the corpus directory may start empty)
   sweepd ping --via <endpoint>
       liveness check
   sweepd submit --plan <plan.json> --via <endpoint> [--wait --out <merged.json>]
@@ -44,8 +51,10 @@ USAGE:
       block until a job finishes and write its merged grid
   sweepd cache stats --via <endpoint>
       hit/miss/insert/eviction counters and entry count
-  sweepd cache gc --via <endpoint>
-      drop cached results whose trace left the daemon's corpus
+  sweepd cache gc --via <endpoint> [--max-bytes <n>] [--max-age-days <d>]
+      drop cached results whose trace left the daemon's corpus; with a
+      budget, additionally evict least-recently-used entries until the
+      cache fits in <n> bytes and nothing is idler than <d> days
   sweepd shutdown --via <endpoint>
       stop the daemon (drains in-flight work first)
 
@@ -140,16 +149,23 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if let Some(v) = cli::opt(args, "--timeout-secs")? {
         cfg.timeout = Duration::from_secs(cli::parse(v, "--timeout-secs")?);
     }
-    let corpus = Corpus::open(corpus_dir).map_err(CliError::io)?;
+    let runner: Arc<dyn tse_sweepd::ShardRunner> = match cli::opt(args, "--sync-from")? {
+        Some(upstream) => Arc::new(
+            SyncingRunner::new(corpus_dir, Endpoint::parse(upstream)).map_err(CliError::io)?,
+        ),
+        None => Arc::new(CorpusRunner::new(
+            Corpus::open(corpus_dir).map_err(CliError::io)?,
+        )),
+    };
     std::fs::create_dir_all(cache_dir)
         .map_err(|e| CliError::io(format!("cannot create {cache_dir}: {e}")))?;
     let cache = ResultCache::open(cache_dir).map_err(CliError::io)?;
     let ep = Endpoint::parse(listen);
-    let service = Arc::new(SweepService::new(
-        Arc::new(CorpusRunner::new(corpus)),
-        cache,
-        cfg,
-    ));
+    let mut service = SweepService::new(runner, cache, cfg);
+    if cli::flag(args, "--corpus-serve") {
+        service = service.with_corpus_sync(corpus_dir);
+    }
+    let service = Arc::new(service);
     println!(
         "sweepd: serving corpus {corpus_dir} with cache {cache_dir} ({} entries) on {ep}",
         service.cache_stats().1
@@ -256,7 +272,14 @@ fn cmd_cache_stats(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_cache_gc(args: &[String]) -> Result<(), CliError> {
     let ep = endpoint(args)?;
-    let response = exchange(&ep, &Request::new("cache-gc"))?;
+    let mut request = Request::new("cache-gc");
+    if let Some(v) = cli::opt(args, "--max-bytes")? {
+        request.max_bytes = Some(cli::parse(v, "--max-bytes")?);
+    }
+    if let Some(v) = cli::opt(args, "--max-age-days")? {
+        request.max_age_days = Some(cli::parse(v, "--max-age-days")?);
+    }
+    let response = exchange(&ep, &request)?;
     let report = response
         .gc
         .ok_or_else(|| CliError::io("daemon returned no gc report"))?;

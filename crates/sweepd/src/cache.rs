@@ -74,6 +74,12 @@ pub struct CacheEntry {
     pub trace_digest: String,
     /// Entry file name, relative to the cache directory.
     pub path: String,
+    /// Unix timestamp (seconds) of the entry's last insert or hit — the
+    /// recency [`ResultCache::gc_budget`] orders LRU eviction by.
+    /// Defaults to 0 for manifests written before this field existed,
+    /// which makes legacy entries the oldest (evicted first).
+    #[serde(default)]
+    pub mtime: u64,
 }
 
 /// The on-disk shape of one entry file: the output wrapped with the
@@ -127,6 +133,14 @@ impl From<std::io::Error> for CacheError {
     fn from(e: std::io::Error) -> Self {
         CacheError::Io(e)
     }
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn fnv1a64(parts: &[&[u8]]) -> u64 {
@@ -291,6 +305,9 @@ impl ResultCache {
         match output {
             Some(out) => {
                 self.stats.hits += 1;
+                // LRU touch: a served entry is recent again.
+                self.entries[idx].mtime = unix_now();
+                self.dirty = true;
                 Some(out)
             }
             None => {
@@ -325,15 +342,17 @@ impl ResultCache {
         let text = serde_json::to_string_pretty(&cell)
             .map_err(|e| CacheError::Format(format!("cannot serialize entry {key}: {e}")))?;
         fs::write(self.dir.join(&file_name), text + "\n")?;
-        if !self.entries.iter().any(|e| e.key == key) {
-            self.entries.push(CacheEntry {
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(existing) => existing.mtime = unix_now(),
+            None => self.entries.push(CacheEntry {
                 key,
                 figure: job.figure.clone(),
                 workload: job.trace.workload.clone(),
                 mode: job.mode,
                 trace_digest: job.trace.digest.clone().expect("key exists"),
                 path: file_name,
-            });
+                mtime: unix_now(),
+            }),
         }
         self.stats.inserts += 1;
         self.dirty = true;
@@ -356,6 +375,61 @@ impl ResultCache {
         self.dirty = true;
         self.save()?;
         Ok(report)
+    }
+
+    /// Evicts by age and size budget, LRU-ordered on each entry's
+    /// recorded `mtime` (last insert or hit):
+    ///
+    /// * `max_age_secs` — drop every entry idle for longer than this;
+    /// * `max_bytes` — then drop least-recently-used entries until the
+    ///   surviving entry files fit in the budget.
+    ///
+    /// Either budget may be `None` (no limit on that axis). Entries
+    /// from manifests predating the `mtime` field read as age 0 —
+    /// maximally idle, first out. Dropped entries count as evictions
+    /// and the index is saved, exactly as [`ResultCache::gc`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] on file deletion or manifest write failure.
+    pub fn gc_budget(
+        &mut self,
+        max_bytes: Option<u64>,
+        max_age_secs: Option<u64>,
+    ) -> Result<GcReport, CacheError> {
+        let now = unix_now();
+        let mut drop_keys: std::collections::HashSet<String> = std::collections::HashSet::new();
+        if let Some(max_age) = max_age_secs {
+            for e in &self.entries {
+                if now.saturating_sub(e.mtime) > max_age {
+                    drop_keys.insert(e.key.clone());
+                }
+            }
+        }
+        if let Some(budget) = max_bytes {
+            let mut sized: Vec<(u64, u64, String)> = self
+                .entries
+                .iter()
+                .filter(|e| !drop_keys.contains(&e.key))
+                .map(|e| {
+                    let size = fs::metadata(self.dir.join(&e.path))
+                        .map(|m| m.len())
+                        .unwrap_or(0);
+                    (e.mtime, size, e.key.clone())
+                })
+                .collect();
+            let mut total: u64 = sized.iter().map(|(_, size, _)| size).sum();
+            // Stable sort: equal mtimes evict in insertion order.
+            sized.sort_by_key(|(mtime, _, _)| *mtime);
+            for (_, size, key) in sized {
+                if total <= budget {
+                    break;
+                }
+                drop_keys.insert(key);
+                total -= size;
+            }
+        }
+        self.gc(|e| !drop_keys.contains(&e.key))
     }
 
     /// Persists the index manifest if any mutation is pending.

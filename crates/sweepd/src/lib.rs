@@ -16,6 +16,11 @@
 //!   timed-out shards, and assembles the final `MergedGrid`.
 //! * [`proto`] / [`net`] — a one-JSON-document-per-connection protocol
 //!   served over TCP or a Unix socket, plus the matching client call.
+//! * [`sync`] — digest-driven corpus synchronization over the same
+//!   transport: manifests diff by content digest, only missing entries
+//!   transfer (resumably), and every received trace is verified before
+//!   its manifest entry lands. [`sync::SyncingRunner`] lets a cold
+//!   worker fetch the traces a plan needs on demand.
 //! * [`cli`] — the shared CLI plumbing (typed errors with scriptable
 //!   exit codes) used by `sweepd`, `sweepctl` and `tracectl`.
 //!
@@ -37,7 +42,9 @@ pub mod cli;
 pub mod net;
 pub mod proto;
 pub mod service;
+pub mod sync;
 
 pub use cache::{ResultCache, CACHE_FORMAT_VERSION};
 pub use net::Endpoint;
 pub use service::{CorpusRunner, ServiceConfig, ShardRunner, SweepService};
+pub use sync::{SyncError, SyncReport, SyncingRunner, SYNC_PROTO_VERSION};

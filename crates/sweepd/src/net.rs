@@ -53,7 +53,7 @@ enum Listener {
     Unix(UnixListener),
 }
 
-enum Conn {
+pub(crate) enum Conn {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
@@ -68,7 +68,7 @@ impl Conn {
         }
     }
 
-    fn shutdown_write(&self) -> std::io::Result<()> {
+    pub(crate) fn shutdown_write(&self) -> std::io::Result<()> {
         match self {
             Conn::Tcp(s) => s.shutdown(Shutdown::Write),
             #[cfg(unix)]
@@ -175,6 +175,48 @@ pub fn serve(service: &Arc<SweepService>, endpoint: &Endpoint) -> std::io::Resul
     result
 }
 
+/// Connects to an endpoint (client side).
+pub(crate) fn connect(endpoint: &Endpoint) -> std::io::Result<Conn> {
+    match endpoint {
+        Endpoint::Tcp(addr) => Ok(Conn::Tcp(TcpStream::connect(addr.as_str())?)),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        )),
+    }
+}
+
+/// Reads up to (and including) the first newline. The job protocol's
+/// pretty-printed requests put only `{` on their first line; the sync
+/// protocol's requests are complete single-line JSON documents — so
+/// the first line alone decides the dispatch path, and a sync body's
+/// binary bytes are never consumed by accident.
+pub(crate) fn read_line(conn: &mut impl Read, line: &mut String) -> std::io::Result<()> {
+    let mut bytes = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match conn.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                bytes.push(byte[0]);
+                if byte[0] == b'\n' {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    line.push_str(
+        std::str::from_utf8(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?,
+    );
+    Ok(())
+}
+
 /// Reads one request, answers it, then performs any deferred work (an
 /// un-waited `submit` runs its job *after* the response is on the
 /// wire, so the client is never blocked on simulation it didn't ask to
@@ -182,6 +224,16 @@ pub fn serve(service: &Arc<SweepService>, endpoint: &Endpoint) -> std::io::Resul
 fn handle(service: &Arc<SweepService>, mut conn: Conn) {
     let _ = conn.set_blocking();
     let mut text = String::new();
+    if read_line(&mut conn, &mut text).is_err() {
+        return;
+    }
+    // A complete single-line JSON document with a `sync-*` cmd is a
+    // corpus-sync exchange: it keeps the connection (the request or
+    // response carries a binary trace body after the JSON line).
+    if let Some(request) = crate::sync::parse_request(&text) {
+        crate::sync::serve_sync(service, &mut conn, &request);
+        return;
+    }
     if conn.read_to_string(&mut text).is_err() {
         return;
     }
@@ -260,7 +312,7 @@ fn dispatch(service: &Arc<SweepService>, text: &str) -> (Response, Option<u64>) 
             r.cache_entries = Some(entries as u64);
             (r, None)
         }
-        "cache-gc" => match service.cache_gc() {
+        "cache-gc" => match service.cache_gc(request.max_bytes, request.max_age_days) {
             Ok(report) => {
                 let mut r = Response::success();
                 r.gc = Some(report);
@@ -310,18 +362,7 @@ fn finished(service: &Arc<SweepService>, id: u64) -> (Response, Option<u64>) {
 /// Connection/IO failures, or `InvalidData` when the reply is not a
 /// parsable [`Response`].
 pub fn request(endpoint: &Endpoint, request: &Request) -> std::io::Result<Response> {
-    let mut conn = match endpoint {
-        Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
-        #[cfg(unix)]
-        Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
-        #[cfg(not(unix))]
-        Endpoint::Unix(_) => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::Unsupported,
-                "unix sockets are not available on this platform",
-            ))
-        }
-    };
+    let mut conn = connect(endpoint)?;
     let body = serde_json::to_string_pretty(request)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     conn.write_all(body.as_bytes())?;

@@ -31,7 +31,7 @@ pub const PROTO_VERSION: u32 = 1;
 /// | `status`      | `job` (optional)    | one job's status, or all jobs |
 /// | `result`      | `job`               | block until the job is terminal, return status + grid |
 /// | `cache-stats` | —                   | cache counters and entry count |
-/// | `cache-gc`    | —                   | drop entries whose trace left the corpus |
+/// | `cache-gc`    | `max_bytes`, `max_age_days` (both optional) | drop entries whose trace left the corpus, then LRU-evict to the given budgets |
 /// | `shutdown`    | —                   | stop the accept loop |
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
@@ -49,6 +49,14 @@ pub struct Request {
     /// result, instead of answering with the id immediately.
     #[serde(default)]
     pub wait: bool,
+    /// For `cache-gc`: LRU-evict until the surviving entry files fit in
+    /// this many bytes.
+    #[serde(default)]
+    pub max_bytes: Option<u64>,
+    /// For `cache-gc`: evict entries not inserted or hit for more than
+    /// this many days.
+    #[serde(default)]
+    pub max_age_days: Option<u64>,
 }
 
 impl Request {
@@ -60,6 +68,8 @@ impl Request {
             plan: None,
             job: None,
             wait: false,
+            max_bytes: None,
+            max_age_days: None,
         }
     }
 }

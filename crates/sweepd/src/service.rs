@@ -177,6 +177,10 @@ pub struct SweepService {
     jobs: Mutex<Vec<JobRecord>>,
     done: Condvar,
     shutdown: AtomicBool,
+    /// Corpus directory served over the sync protocol (`sweepd serve
+    /// --corpus-serve`), `None` when sync is not enabled. The mutex
+    /// serializes manifest mutation across connection handlers.
+    sync_dir: Option<Mutex<std::path::PathBuf>>,
 }
 
 impl SweepService {
@@ -189,7 +193,22 @@ impl SweepService {
             jobs: Mutex::new(Vec::new()),
             done: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            sync_dir: None,
         }
+    }
+
+    /// Enables the corpus sync protocol over `dir`: `sync-manifest`,
+    /// `sync-fetch` and `sync-push` requests against this daemon are
+    /// answered from (and insert into) that corpus.
+    #[must_use]
+    pub fn with_corpus_sync(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.sync_dir = Some(Mutex::new(dir.into()));
+        self
+    }
+
+    /// The sync-served corpus directory, when enabled.
+    pub(crate) fn sync_corpus(&self) -> Option<&Mutex<std::path::PathBuf>> {
+        self.sync_dir.as_ref()
     }
 
     /// Accepts a plan into the queue: validates it, pins its digests
@@ -461,18 +480,34 @@ impl SweepService {
     }
 
     /// Drops cached results whose trace digest the runner's corpus no
-    /// longer contains — the cache side of the shared retention story.
+    /// longer contains — the cache side of the shared retention story —
+    /// then, if either budget is set, LRU-evicts the survivors down to
+    /// it (`max_bytes` of entry files / `max_age_days` of idleness; see
+    /// [`ResultCache::gc_budget`]). The returned report sums both
+    /// passes.
     ///
     /// # Errors
     ///
     /// [`CacheError::Format`] when the runner has no corpus to retain
     /// against; [`CacheError::Io`] from the sweep itself.
-    pub fn cache_gc(&self) -> Result<GcReport, CacheError> {
+    pub fn cache_gc(
+        &self,
+        max_bytes: Option<u64>,
+        max_age_days: Option<u64>,
+    ) -> Result<GcReport, CacheError> {
         let digests = self.runner.corpus_digests().ok_or_else(|| {
             CacheError::Format("runner has no corpus to retain against".to_string())
         })?;
         let mut cache = self.cache.lock().expect("cache lock");
-        cache.gc(|entry| digests.contains(&entry.trace_digest))
+        let mut report = cache.gc(|entry| digests.contains(&entry.trace_digest))?;
+        if max_bytes.is_some() || max_age_days.is_some() {
+            let budget =
+                cache.gc_budget(max_bytes, max_age_days.map(|d| d.saturating_mul(86_400)))?;
+            report.kept = budget.kept;
+            report.dropped += budget.dropped;
+            report.bytes_freed += budget.bytes_freed;
+        }
+        Ok(report)
     }
 
     /// Persists the cache index if dirty.

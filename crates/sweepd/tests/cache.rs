@@ -9,7 +9,7 @@ use common::{job, synthetic_output, ScratchDir};
 use std::fs;
 use tse_sim::shard::ShardJob;
 use tse_sim::EngineKind;
-use tse_sweepd::cache::{cache_key, CachedCell, CACHE_MANIFEST_NAME};
+use tse_sweepd::cache::{cache_key, CacheManifest, CachedCell, CACHE_MANIFEST_NAME};
 use tse_sweepd::{ResultCache, CACHE_FORMAT_VERSION};
 
 const DIGEST: &str = "fnv1a64:00c0ffee00c0ffee";
@@ -226,4 +226,118 @@ fn gc_drops_entries_by_retention_predicate() {
     let mut reopened = ResultCache::open(&scratch.0).unwrap();
     assert_eq!(reopened.len(), 1);
     assert!(reopened.lookup(&drop_job).is_none());
+}
+
+/// Rewrites the saved manifest, giving each entry (in insertion order)
+/// the corresponding mtime — the test's way of aging entries without
+/// waiting.
+fn doctor_mtimes(dir: &std::path::Path, mtimes: &[u64]) {
+    let manifest_path = dir.join(CACHE_MANIFEST_NAME);
+    let mut manifest: CacheManifest =
+        serde_json::from_str(&fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    assert_eq!(manifest.entries.len(), mtimes.len());
+    for (entry, &mtime) in manifest.entries.iter_mut().zip(mtimes) {
+        entry.mtime = mtime;
+    }
+    fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).unwrap(),
+    )
+    .unwrap();
+}
+
+#[test]
+fn gc_budget_evicts_lru_by_bytes_and_age() {
+    let scratch = ScratchDir::new("budget");
+    let old_job = job(0, Some(DIGEST));
+    let new_job = job(1, Some("fnv1a64:1111111111111111"));
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        cache.insert(&old_job, &synthetic_output(&old_job)).unwrap();
+        cache.insert(&new_job, &synthetic_output(&new_job)).unwrap();
+        cache.save().unwrap();
+    }
+    // Age the first entry far into the past, keep the second recent.
+    doctor_mtimes(&scratch.0, &[1_000, 2_000_000_000]);
+
+    // A byte budget that fits exactly one entry file: the older entry
+    // goes, the recent one survives.
+    let one_entry = fs::metadata(
+        scratch
+            .0
+            .join(format!("{}.json", cache_key(&new_job).unwrap())),
+    )
+    .unwrap()
+    .len();
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    let report = cache.gc_budget(Some(one_entry), None).unwrap();
+    assert_eq!((report.kept, report.dropped), (1, 1));
+    assert!(report.bytes_freed > 0);
+    assert!(cache.lookup(&old_job).is_none(), "LRU entry evicted");
+    assert!(cache.lookup(&new_job).is_some(), "recent entry survives");
+
+    // Age budget: everything idler than a day goes. The surviving
+    // entry was just touched by the lookup above, so it stays.
+    cache.save().unwrap();
+    let report = cache.gc_budget(None, Some(86_400)).unwrap();
+    assert_eq!((report.kept, report.dropped), (1, 0));
+
+    // Re-age it and the age budget drops it too.
+    doctor_mtimes(&scratch.0, &[1_000]);
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    let report = cache.gc_budget(None, Some(86_400)).unwrap();
+    assert_eq!((report.kept, report.dropped), (0, 1));
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn legacy_manifests_without_mtime_still_parse_and_age_out_first() {
+    let scratch = ScratchDir::new("legacy-mtime");
+    let j = job(2, Some(DIGEST));
+    {
+        let mut cache = ResultCache::open(&scratch.0).unwrap();
+        cache.insert(&j, &synthetic_output(&j)).unwrap();
+        cache.save().unwrap();
+    }
+    // Strip the mtime field, as a manifest from an older build would
+    // have written it (drop the line, fixing up the trailing comma when
+    // mtime was the object's last field).
+    let manifest_path = scratch.0.join(CACHE_MANIFEST_NAME);
+    let text = fs::read_to_string(&manifest_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut kept: Vec<String> = Vec::new();
+    let mut stripped = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("\"mtime\"") {
+            stripped += 1;
+            let closes_object = lines
+                .get(i + 1)
+                .is_some_and(|l| l.trim_start().starts_with('}'));
+            if closes_object {
+                if let Some(prev) = kept.last_mut() {
+                    if let Some(s) = prev.strip_suffix(',') {
+                        *prev = s.to_string();
+                    }
+                }
+            }
+            continue;
+        }
+        kept.push((*line).to_string());
+    }
+    assert_eq!(stripped, 1, "the saved manifest carries one mtime");
+    fs::write(&manifest_path, kept.join("\n")).unwrap();
+
+    let mut cache = ResultCache::open(&scratch.0).unwrap();
+    assert_eq!(cache.entries()[0].mtime, 0, "missing mtime reads as 0");
+    // Age 0 = maximally idle: any age budget evicts it.
+    let report = cache.gc_budget(None, Some(86_400)).unwrap();
+    assert_eq!(report.dropped, 1);
+    assert!(cache.is_empty());
+
+    // A hit stamps a real mtime, rescuing the entry from future sweeps.
+    cache.insert(&j, &synthetic_output(&j)).unwrap();
+    assert!(cache.lookup(&j).is_some());
+    assert!(cache.entries()[0].mtime > 0);
+    let report = cache.gc_budget(None, Some(86_400)).unwrap();
+    assert_eq!((report.kept, report.dropped), (1, 0));
 }

@@ -304,12 +304,12 @@ fn cache_gc_retains_by_corpus_membership() {
     svc.run(id).unwrap();
 
     // While the digest is in the corpus, gc keeps everything.
-    let report = svc.cache_gc().unwrap();
+    let report = svc.cache_gc(None, None).unwrap();
     assert_eq!((report.kept, report.dropped), (3, 0));
 
     // The trace leaves the corpus: its cached results go with it.
     runner.digests.lock().unwrap().clear();
-    let report = svc.cache_gc().unwrap();
+    let report = svc.cache_gc(None, None).unwrap();
     assert_eq!((report.kept, report.dropped), (0, 3));
     assert_eq!(svc.cache_stats().1, 0);
 

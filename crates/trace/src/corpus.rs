@@ -431,6 +431,58 @@ impl Corpus {
     pub fn verify_entry(&self, entry: &TraceEntry) -> Result<(), String> {
         verify_entry_at(&self.dir, entry)
     }
+
+    /// Digest-only verification: streams each file once to recompute
+    /// its content digest, skipping the full TSB1 structure walk. The
+    /// digest covers every byte, so silent corruption still trips it;
+    /// what it cannot catch is a manifest whose *recorded* metadata
+    /// (records/nodes) disagrees with a structurally valid file — use
+    /// [`Corpus::verify`] for that. This is the cheap re-check used
+    /// after a corpus sync, where the newly transferred entries were
+    /// already fully verified on receipt.
+    pub fn verify_quick(&self) -> Vec<CorpusIssue> {
+        let mut issues = Vec::new();
+        for entry in &self.manifest.entries {
+            if let Err(reason) = self.verify_entry_quick(entry) {
+                issues.push(CorpusIssue {
+                    path: entry.path.clone(),
+                    reason,
+                });
+            }
+        }
+        issues
+    }
+
+    /// Digest-only check of one entry — the per-entry body of
+    /// [`Corpus::verify_quick`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the mismatch or read failure.
+    pub fn verify_entry_quick(&self, entry: &TraceEntry) -> Result<(), String> {
+        let digest = digest_file(self.dir.join(&entry.path)).map_err(|e| e.to_string())?;
+        if digest != entry.digest {
+            return Err(format!(
+                "digest mismatch: manifest says {}, file is {digest}",
+                entry.digest
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Checks an entry against the trace file it names under `dir` —
+/// [`Corpus::verify_entry`] without an opened corpus, so a receiver can
+/// verify a freshly transferred trace *before* inserting its entry
+/// into any manifest (the corpus-sync acceptance gate): file readable,
+/// digest matching, TSB1 structurally valid, record/node counts
+/// agreeing with the entry.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatch.
+pub fn verify_entry_file(dir: &Path, entry: &TraceEntry) -> Result<(), String> {
+    verify_entry_at(dir, entry)
 }
 
 /// Checks an entry against the trace file it names under `dir`: file
@@ -603,6 +655,38 @@ mod tests {
         assert!(dir.join("keep.bin").exists());
         assert!(!dir.join("drop.bin").exists());
         assert!(report.to_string().contains("dropped 2"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_quick_catches_byte_damage_but_skips_structure_walk() {
+        use crate::AccessRecord;
+        use tse_types::{Line, NodeId};
+        let dir = std::env::temp_dir().join(format!("tse-quick-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let mut w = CorpusWriter::create(&dir).unwrap();
+        w.add_trace(
+            "em3d",
+            0.05,
+            7,
+            2,
+            (0..500u64).map(|i| AccessRecord::read(NodeId::new((i % 2) as u16), i, Line::new(i))),
+        )
+        .unwrap();
+        w.finish().unwrap();
+        let corpus = Corpus::open(&dir).unwrap();
+        assert!(corpus.verify_quick().is_empty());
+
+        // Flip one byte: the digest-only pass must flag it.
+        let path = corpus.path_of(&corpus.entries()[0]);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let issues = corpus.verify_quick();
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].reason.contains("digest mismatch"), "{issues:?}");
+        assert_eq!(corpus.verify().len(), 1, "full verify agrees");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,402 @@
+//! Batched block decoding into reusable structure-of-arrays buffers.
+//!
+//! [`super::decode_block`] steps a cursor record-at-a-time and pushes
+//! into a fresh `Vec<AccessRecord>` per block. The batched path here
+//! decodes a whole payload in one pass into a [`RecordBatch`] whose
+//! column buffers (and per-node delta state scratch table) are reused
+//! across blocks, so steady-state decoding allocates nothing. It
+//! applies exactly the same validation as the record-at-a-time codec:
+//! reserved flag bits, node range, pc-delta range, zero/oversized
+//! stalls, declared record count and trailing bytes all reject the
+//! block.
+
+use super::codec::{F_DEPENDENT, F_PC, F_RESERVED, F_SPIN, F_STALL, F_WRITE};
+use super::varint::{get_u64, unzigzag};
+use crate::{AccessKind, AccessRecord, TraceIoError};
+use tse_types::{Line, NodeId};
+
+/// Per-node running decode state, validity-tagged by batch epoch so
+/// reuse across blocks is O(1) (no table clear). Mirrors the codec's
+/// private `NodeState`, owned here so a batch is self-contained.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeState {
+    epoch: u64,
+    clock: u64,
+    line: u64,
+    pc: u32,
+}
+
+/// A decoded block in structure-of-arrays form.
+///
+/// Columns are parallel: entry `i` of every column describes record
+/// `i` of the block. The raw flag byte is kept as-is; [`RecordBatch::get`]
+/// rehydrates an [`AccessRecord`] from the columns.
+///
+/// # Example
+///
+/// ```
+/// use std::io::Cursor;
+/// use tse_trace::store::{RecordBatch, TraceReader, TraceWriter};
+/// use tse_trace::AccessRecord;
+/// use tse_types::{Line, NodeId};
+///
+/// let mut w = TraceWriter::new(Cursor::new(Vec::new()))?;
+/// for i in 0..100u64 {
+///     w.push(AccessRecord::read(NodeId::new(0), i, Line::new(i)))?;
+/// }
+/// let (_, file) = w.finish()?;
+/// let mut r = TraceReader::new(&file.get_ref()[..])?;
+/// let raw = r.next_raw_block()?.unwrap();
+///
+/// let mut batch = RecordBatch::new();
+/// batch.decode(&raw.payload, raw.records, raw.offset, raw.index)?;
+/// assert_eq!(batch.len(), 100);
+/// assert_eq!(batch.get(7).clock, 7);
+/// # Ok::<(), tse_trace::TraceIoError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordBatch {
+    flags: Vec<u8>,
+    nodes: Vec<u16>,
+    clocks: Vec<u64>,
+    lines: Vec<u64>,
+    pcs: Vec<u32>,
+    stalls: Vec<u32>,
+    /// Per-node delta state scratch, reused across `decode` calls.
+    state: Vec<NodeState>,
+    epoch: u64,
+}
+
+impl RecordBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True if the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Drops the records (buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.flags.clear();
+        self.nodes.clear();
+        self.clocks.clear();
+        self.lines.clear();
+        self.pcs.clear();
+        self.stalls.clear();
+    }
+
+    /// Rehydrates record `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> AccessRecord {
+        let flags = self.flags[i];
+        AccessRecord {
+            node: NodeId::new(self.nodes[i]),
+            clock: self.clocks[i],
+            kind: if flags & F_WRITE != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            line: Line::new(self.lines[i]),
+            pc: self.pcs[i],
+            dependent: flags & F_DEPENDENT != 0,
+            spin: flags & F_SPIN != 0,
+            private_stall: self.stalls[i],
+        }
+    }
+
+    /// Iterates the batch as [`AccessRecord`]s.
+    pub fn iter(&self) -> impl Iterator<Item = AccessRecord> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Highest node index referenced, or `None` for an empty batch.
+    pub fn max_node(&self) -> Option<u16> {
+        self.nodes.iter().copied().max()
+    }
+
+    fn node_state(&mut self, index: usize) -> &mut NodeState {
+        if index >= self.state.len() {
+            self.state.resize_with(index + 1, NodeState::default);
+        }
+        let s = &mut self.state[index];
+        if s.epoch != self.epoch {
+            *s = NodeState {
+                epoch: self.epoch,
+                ..NodeState::default()
+            };
+        }
+        s
+    }
+
+    /// Decodes a whole block payload into this batch in one pass,
+    /// replacing its previous contents. `records` is the count the
+    /// block header declared; `offset` and `index` are the block's file
+    /// position, used in error messages. Decoding is bit-equivalent to
+    /// [`super::decode_block`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::Corrupt`] if the payload does not decode into
+    /// exactly `records` records (same contract as
+    /// [`super::decode_block`]).
+    pub fn decode(
+        &mut self,
+        payload: &[u8],
+        records: u64,
+        offset: u64,
+        index: u32,
+    ) -> Result<(), TraceIoError> {
+        self.clear();
+        self.epoch += 1;
+        let count = usize::try_from(records).unwrap_or(usize::MAX);
+        // Capacity hints clamped like the owned decoder's: `records`
+        // comes from the file and must not size an allocation alone.
+        let hint = count.min(1 << 22);
+        self.flags.reserve(hint);
+        self.nodes.reserve(hint);
+        self.clocks.reserve(hint);
+        self.lines.reserve(hint);
+        self.pcs.reserve(hint);
+        self.stalls.reserve(hint);
+
+        let undecodable =
+            || TraceIoError::corrupt(offset, format!("undecodable record in block {index}"));
+        let mut pos = 0usize;
+        for _ in 0..count {
+            let &flags = payload.get(pos).ok_or_else(undecodable)?;
+            pos += 1;
+            if flags & F_RESERVED != 0 {
+                return Err(undecodable());
+            }
+            let node = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+            if node > u64::from(u16::MAX) {
+                return Err(undecodable());
+            }
+            let clock_delta = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+            let line_delta = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+            let pc_delta = if flags & F_PC != 0 {
+                let delta = unzigzag(get_u64(payload, &mut pos).ok_or_else(undecodable)?);
+                if i32::try_from(delta).is_err() {
+                    return Err(undecodable());
+                }
+                Some(delta as u32)
+            } else {
+                None
+            };
+            let private_stall = if flags & F_STALL != 0 {
+                let v = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+                u32::try_from(v)
+                    .ok()
+                    .filter(|&v| v != 0)
+                    .ok_or_else(undecodable)?
+            } else {
+                0
+            };
+            let s = self.node_state(node as usize);
+            s.clock = s.clock.wrapping_add(unzigzag(clock_delta) as u64);
+            s.line = s.line.wrapping_add(unzigzag(line_delta) as u64);
+            if let Some(delta) = pc_delta {
+                s.pc = s.pc.wrapping_add(delta);
+            }
+            let (clock, line, pc) = (s.clock, s.line, s.pc);
+            self.flags.push(flags);
+            self.nodes.push(node as u16);
+            self.clocks.push(clock);
+            self.lines.push(line);
+            self.pcs.push(pc);
+            self.stalls.push(private_stall);
+        }
+        if pos != payload.len() {
+            return Err(TraceIoError::corrupt(
+                offset,
+                "trailing bytes after last record of block",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{decode_block, RawBlock, TraceReader, TraceWriter};
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    fn trace_bytes(records: impl IntoIterator<Item = AccessRecord>) -> Vec<u8> {
+        let mut w = TraceWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.extend(records).unwrap();
+        let (_, file) = w.finish().unwrap();
+        file.into_inner()
+    }
+
+    fn varied_records(n: u64) -> Vec<AccessRecord> {
+        (0..n)
+            .map(|i| {
+                let base = if i % 3 == 0 {
+                    AccessRecord::write(NodeId::new((i % 5) as u16), i * 2, Line::new(i * 7 % 513))
+                } else {
+                    AccessRecord::read(NodeId::new((i % 5) as u16), i * 2, Line::new(i * 7 % 513))
+                };
+                base.with_pc((i % 11) as u32)
+                    .with_dependent(i % 4 == 0)
+                    .with_spin(i % 9 == 0)
+                    .with_private_stall((i % 6) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_decode_matches_owned_decode() {
+        let bytes = trace_bytes(varied_records(10_000));
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let mut batch = RecordBatch::new();
+        while let Some(raw) = r.next_raw_block().unwrap() {
+            let owned = decode_block(&raw).unwrap();
+            batch
+                .decode(&raw.payload, raw.records, raw.offset, raw.index)
+                .unwrap();
+            assert_eq!(batch.len(), owned.len());
+            let rehydrated: Vec<AccessRecord> = batch.iter().collect();
+            assert_eq!(rehydrated, owned);
+        }
+    }
+
+    #[test]
+    fn batch_reuse_is_clean_across_blocks() {
+        let bytes = trace_bytes(varied_records(9000));
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let mut batch = RecordBatch::new();
+        let mut total = 0usize;
+        while let Some(raw) = r.next_raw_block().unwrap() {
+            batch
+                .decode(&raw.payload, raw.records, raw.offset, raw.index)
+                .unwrap();
+            total += batch.len();
+        }
+        assert_eq!(total, 9000);
+        // The last block is the short one; reuse must not leak earlier
+        // records into it.
+        assert_eq!(batch.len(), 9000 % 4096);
+    }
+
+    #[test]
+    fn batch_rejects_wrong_count_and_trailing_bytes() {
+        let bytes = trace_bytes(varied_records(10));
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let raw = r.next_raw_block().unwrap().unwrap();
+        let mut batch = RecordBatch::new();
+        // Fewer records than the payload holds: trailing bytes.
+        let err = batch
+            .decode(&raw.payload, raw.records - 1, raw.offset, raw.index)
+            .unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+        // More records than the payload holds: undecodable.
+        let err = batch
+            .decode(&raw.payload, raw.records + 1, raw.offset, raw.index)
+            .unwrap_err();
+        assert!(err.to_string().contains("undecodable record"), "{err}");
+    }
+
+    #[test]
+    fn batch_rejects_reserved_flags() {
+        let mut batch = RecordBatch::new();
+        let payload = [0xe0u8, 0, 0, 0];
+        assert!(batch.decode(&payload, 1, 40, 0).is_err());
+    }
+
+    #[test]
+    fn batch_agrees_with_decode_block_on_corrupt_payloads() {
+        // Flip each byte of a small block in turn; the batched decoder
+        // must accept/reject exactly when the owned decoder does.
+        let bytes = trace_bytes(varied_records(64));
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let raw = r.next_raw_block().unwrap().unwrap();
+        let mut batch = RecordBatch::new();
+        for i in 0..raw.payload.len() {
+            let mut mutated = raw.clone();
+            mutated.payload[i] ^= 0x91;
+            let owned = decode_block(&mutated);
+            let batched = batch.decode(&mutated.payload, mutated.records, 40, 0);
+            assert_eq!(owned.is_ok(), batched.is_ok(), "byte {i}");
+            if let Ok(owned) = owned {
+                assert_eq!(owned, batch.iter().collect::<Vec<_>>(), "byte {i}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn batch_decode_equals_owned_decode_on_random_traces(
+            seed in any::<u64>(),
+            n in 1u64..3000,
+        ) {
+            // Deterministic pseudo-random records from the seed (the
+            // proptest shim has no nested collection strategies).
+            let mut x = seed | 1;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let records: Vec<AccessRecord> = (0..n)
+                .map(|_| {
+                    let r = step();
+                    let base = if r & 1 == 0 {
+                        AccessRecord::read(
+                            NodeId::new((r >> 1) as u16 % 33),
+                            step() >> (r % 32),
+                            Line::new(step()),
+                        )
+                    } else {
+                        AccessRecord::write(
+                            NodeId::new((r >> 1) as u16 % 33),
+                            step() >> (r % 32),
+                            Line::new(step()),
+                        )
+                    };
+                    base.with_pc(step() as u32)
+                        .with_dependent(r & 2 != 0)
+                        .with_spin(r & 4 != 0)
+                        .with_private_stall((step() % 100) as u32)
+                })
+                .collect();
+            let bytes = trace_bytes(records.clone());
+            let mut r = TraceReader::new(&bytes[..]).unwrap();
+            let mut batch = RecordBatch::new();
+            let mut rehydrated = Vec::new();
+            while let Some(raw) = r.next_raw_block().unwrap() {
+                let owned = decode_block(&raw).unwrap();
+                batch.decode(&raw.payload, raw.records, raw.offset, raw.index).unwrap();
+                prop_assert_eq!(&batch.iter().collect::<Vec<_>>(), &owned);
+                rehydrated.extend(batch.iter());
+            }
+            prop_assert_eq!(rehydrated, records);
+        }
+    }
+
+    #[test]
+    fn raw_block_smoke() {
+        // Keep RawBlock's field set covered from this module too (the
+        // mmap path builds slices with the same shape).
+        let bytes = trace_bytes(varied_records(5));
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let raw: RawBlock = r.next_raw_block().unwrap().unwrap();
+        assert_eq!(raw.index, 0);
+        assert_eq!(raw.records, 5);
+        assert_eq!(raw.offset, 40);
+    }
+}

@@ -11,14 +11,16 @@ use super::varint::{get_u64, put_u64, unzigzag, zigzag};
 use crate::{AccessKind, AccessRecord};
 use tse_types::{Line, NodeId};
 
-/// Record flag bits (first byte of every encoded record).
-const F_WRITE: u8 = 1 << 0;
-const F_DEPENDENT: u8 = 1 << 1;
-const F_SPIN: u8 = 1 << 2;
-const F_PC: u8 = 1 << 3;
-const F_STALL: u8 = 1 << 4;
+/// Record flag bits (first byte of every encoded record). Shared with
+/// the batched decoder in [`super::batch`], which stores the raw flag
+/// byte in its SoA buffers.
+pub(super) const F_WRITE: u8 = 1 << 0;
+pub(super) const F_DEPENDENT: u8 = 1 << 1;
+pub(super) const F_SPIN: u8 = 1 << 2;
+pub(super) const F_PC: u8 = 1 << 3;
+pub(super) const F_STALL: u8 = 1 << 4;
 /// Bits that must be zero in version-1 traces.
-const F_RESERVED: u8 = !(F_WRITE | F_DEPENDENT | F_SPIN | F_PC | F_STALL);
+pub(super) const F_RESERVED: u8 = !(F_WRITE | F_DEPENDENT | F_SPIN | F_PC | F_STALL);
 
 /// Per-node running state, validity-tagged by block epoch so a block
 /// switch is O(1) instead of clearing the table.

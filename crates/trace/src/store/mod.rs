@@ -51,11 +51,15 @@
 //! # Ok::<(), tse_trace::TraceIoError>(())
 //! ```
 
+mod batch;
 mod codec;
+mod mmap;
 mod reader;
 mod varint;
 mod writer;
 
+pub use batch::RecordBatch;
+pub use mmap::{BlockSlice, MappedTrace};
 pub use reader::{decode_block, read_tsb1, RawBlock, TraceReader};
 pub use writer::{write_tsb1, TraceWriter};
 

@@ -12,15 +12,56 @@ use tse_types::NodeId;
 
 use super::MAX_PAYLOAD;
 
-/// The parsed fixed header.
+/// The parsed fixed header. Shared with the mmap-backed reader
+/// ([`super::MappedTrace`]), which parses the same 40 bytes in place.
 #[derive(Debug, Clone, Copy)]
-struct Header {
-    version: u16,
-    records: u64,
-    block_count: u32,
-    block_len: u32,
-    trailer_offset: u64,
-    declared_nodes: u16,
+pub(super) struct Header {
+    pub(super) version: u16,
+    pub(super) records: u64,
+    pub(super) block_count: u32,
+    pub(super) block_len: u32,
+    pub(super) trailer_offset: u64,
+    pub(super) declared_nodes: u16,
+}
+
+impl Header {
+    /// Parses and validates the fixed header from its 40 bytes. The
+    /// caller is responsible for the magic-before-truncation error
+    /// ordering (read the first 4 bytes, check [`MAGIC`], then read the
+    /// rest); this re-checks the magic for callers that already hold
+    /// the whole buffer.
+    pub(super) fn parse(h: &[u8; HEADER_LEN as usize]) -> Result<Header, TraceIoError> {
+        if h[0..4] != MAGIC {
+            return Err(TraceIoError::BadMagic {
+                found: [h[0], h[1], h[2], h[3]],
+            });
+        }
+        let version = u16::from_le_bytes([h[4], h[5]]);
+        if version != FORMAT_VERSION {
+            return Err(TraceIoError::UnsupportedVersion { version });
+        }
+        let header = Header {
+            version,
+            records: u64::from_le_bytes(h[8..16].try_into().expect("8 bytes")),
+            block_count: u32::from_le_bytes(h[16..20].try_into().expect("4 bytes")),
+            block_len: u32::from_le_bytes(h[20..24].try_into().expect("4 bytes")),
+            trailer_offset: u64::from_le_bytes(h[24..32].try_into().expect("8 bytes")),
+            declared_nodes: u16::from_le_bytes([h[32], h[33]]),
+        };
+        if header.block_len == 0 {
+            return Err(TraceIoError::corrupt(20, "block length is zero"));
+        }
+        if header.trailer_offset == 0 {
+            return Err(TraceIoError::corrupt(
+                24,
+                "trailer offset is zero (writer never finished)",
+            ));
+        }
+        if header.trailer_offset < HEADER_LEN {
+            return Err(TraceIoError::corrupt(24, "trailer offset inside header"));
+        }
+        Ok(header)
+    }
 }
 
 /// Buffered block iterator over a TSB1 trace.
@@ -98,30 +139,7 @@ impl<R: Read> TraceReader<R> {
             });
         }
         read_exact(&mut src, &mut h[4..], "header")?;
-        let version = u16::from_le_bytes([h[4], h[5]]);
-        if version != FORMAT_VERSION {
-            return Err(TraceIoError::UnsupportedVersion { version });
-        }
-        let header = Header {
-            version,
-            records: u64::from_le_bytes(h[8..16].try_into().expect("8 bytes")),
-            block_count: u32::from_le_bytes(h[16..20].try_into().expect("4 bytes")),
-            block_len: u32::from_le_bytes(h[20..24].try_into().expect("4 bytes")),
-            trailer_offset: u64::from_le_bytes(h[24..32].try_into().expect("8 bytes")),
-            declared_nodes: u16::from_le_bytes([h[32], h[33]]),
-        };
-        if header.block_len == 0 {
-            return Err(TraceIoError::corrupt(20, "block length is zero"));
-        }
-        if header.trailer_offset == 0 {
-            return Err(TraceIoError::corrupt(
-                24,
-                "trailer offset is zero (writer never finished)",
-            ));
-        }
-        if header.trailer_offset < HEADER_LEN {
-            return Err(TraceIoError::corrupt(24, "trailer offset inside header"));
-        }
+        let header = Header::parse(&h)?;
         Ok(TraceReader {
             src,
             header,
@@ -462,8 +480,12 @@ impl<R: Read> Iterator for TraceReader<R> {
 }
 
 /// Parses the trailer body into [`TraceMeta`], validating internal
-/// consistency against the header.
-fn parse_trailer(body: &[u8], header: &Header, at: u64) -> Result<TraceMeta, TraceIoError> {
+/// consistency against the header. Shared with the mmap-backed reader.
+pub(super) fn parse_trailer(
+    body: &[u8],
+    header: &Header,
+    at: u64,
+) -> Result<TraceMeta, TraceIoError> {
     let bad = || TraceIoError::corrupt(at, "malformed trailer");
     let mut pos = 0usize;
     let block_count = get_u64(body, &mut pos).ok_or_else(bad)?;
@@ -566,22 +588,31 @@ pub struct RawBlock {
 /// [`TraceIoError::Corrupt`] if the payload does not decode into
 /// exactly the declared record count.
 pub fn decode_block(block: &RawBlock) -> Result<Vec<AccessRecord>, TraceIoError> {
+    decode_payload(&block.payload, block.records, block.offset, block.index)
+}
+
+/// Decodes one block payload (borrowed from anywhere — a [`RawBlock`]
+/// or an mmap slice) into owned records. Shared by [`decode_block`] and
+/// [`super::BlockSlice::decode`].
+pub(super) fn decode_payload(
+    payload: &[u8],
+    records: u64,
+    offset: u64,
+    index: u32,
+) -> Result<Vec<AccessRecord>, TraceIoError> {
     let mut dec = CodecState::default();
     dec.next_block();
     let mut pos = 0usize;
-    let mut out = Vec::with_capacity(usize::try_from(block.records).unwrap_or(0).min(1 << 22));
-    for _ in 0..block.records {
-        let rec = decode_record(&mut dec, &block.payload, &mut pos).ok_or_else(|| {
-            TraceIoError::corrupt(
-                block.offset,
-                format!("undecodable record in block {}", block.index),
-            )
+    let mut out = Vec::with_capacity(usize::try_from(records).unwrap_or(0).min(1 << 22));
+    for _ in 0..records {
+        let rec = decode_record(&mut dec, payload, &mut pos).ok_or_else(|| {
+            TraceIoError::corrupt(offset, format!("undecodable record in block {index}"))
         })?;
         out.push(rec);
     }
-    if pos != block.payload.len() {
+    if pos != payload.len() {
         return Err(TraceIoError::corrupt(
-            block.offset,
+            offset,
             "trailing bytes after last record of block",
         ));
     }

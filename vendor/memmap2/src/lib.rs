@@ -1,0 +1,250 @@
+//! Offline API-subset shim for `memmap2` (see `vendor/README.md`).
+//!
+//! Read-only, private file mappings only — exactly what a zero-copy
+//! trace reader needs. On Unix this calls `mmap(2)`/`munmap(2)`
+//! directly (the workspace builds offline, so no `libc` crate); on
+//! other platforms it degrades to reading the file into an owned
+//! buffer, which keeps the API portable at the cost of the copy.
+//!
+//! This is the single workspace crate that contains `unsafe`: the FFI
+//! and the `&[u8]` view over the mapping live here, behind an API that
+//! cannot outlive or mutate the mapping. Callers must keep the mapped
+//! file unmodified for the mapping's lifetime (the same contract the
+//! real `memmap2` crate documents): truncating a mapped file can turn
+//! reads into `SIGBUS`. The trace plane upholds this by treating
+//! corpus files as immutable once their digest is recorded.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// An immutable, read-only memory map of an entire file.
+///
+/// Dereferences to `&[u8]` spanning the file's bytes at map time.
+///
+/// # Example
+///
+/// ```
+/// use memmap2::Mmap;
+///
+/// let dir = std::env::temp_dir().join("memmap2-shim-doctest");
+/// std::fs::write(&dir, b"hello mmap")?;
+/// let file = std::fs::File::open(&dir)?;
+/// let map = Mmap::map(&file)?;
+/// assert_eq!(&map[..], b"hello mmap");
+/// # std::fs::remove_file(&dir)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Mmap {
+    inner: imp::Map,
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// The caller must not truncate or rewrite the file while the
+    /// mapping is alive; the mapping reflects (and on Unix, aliases)
+    /// the file's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying OS error if the mapping (or, on the
+    /// fallback path, the read) fails.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        Ok(Mmap {
+            inner: imp::Map::new(file)?,
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    use core::ffi::{c_int, c_void};
+
+    // Stable values on every Unix this workspace targets (Linux and the
+    // BSD family agree on all four).
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A live `mmap(2)` region, unmapped on drop.
+    #[derive(Debug)]
+    pub(super) struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only (PROT_READ) and private
+    // (MAP_PRIVATE); no &mut access to the bytes ever exists, so
+    // sharing or moving the handle across threads is sound.
+    unsafe impl Send for Map {}
+    // SAFETY: as above — all access is through &[u8].
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub(super) fn new(file: &File) -> io::Result<Map> {
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "file too large to map"))?;
+            if len == 0 {
+                // mmap(2) rejects zero-length mappings; an empty file
+                // is an empty slice with nothing to unmap.
+                return Ok(Map {
+                    ptr: core::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is a valid open descriptor for the lifetime of
+            // the call; addr = null lets the kernel choose placement;
+            // len is the file's current size.
+            let ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping (or a
+            // dangling-but-unread pointer when len == 0, which is the
+            // documented way to form an empty slice).
+            unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: ptr/len came from a successful mmap call and
+                // are unmapped exactly once.
+                unsafe {
+                    munmap(self.ptr.cast_mut().cast::<c_void>(), self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::fs::File;
+    use std::io::{self, Read, Seek, SeekFrom};
+
+    /// Owned-buffer fallback: the whole file, read once.
+    #[derive(Debug)]
+    pub(super) struct Map {
+        bytes: Vec<u8>,
+    }
+
+    impl Map {
+        pub(super) fn new(file: &File) -> io::Result<Map> {
+            let mut f = file;
+            f.seek(SeekFrom::Start(0))?;
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            Ok(Map { bytes })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            &self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.as_ref().len(), payload.len());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&[7u8; 1 << 16]).unwrap();
+        drop(f);
+        let map = std::sync::Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.iter().map(|&b| u64::from(b)).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * (1 << 16));
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
