@@ -121,9 +121,13 @@ fn shard_err(e: shard::ShardError) -> CliError {
     }
 }
 
-fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+/// Writes a JSON document atomically (write-temp + fsync + rename
+/// under the named `tse_trace::fsio` crash-point label), so an
+/// interrupted command never leaves a torn plan/bundle/grid behind.
+fn write_json<T: serde::Serialize>(label: &str, path: &str, value: &T) -> Result<(), CliError> {
     let text = serde_json::to_string_pretty(value).map_err(CliError::io)?;
-    std::fs::write(path, text + "\n").map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
+    tse_trace::fsio::atomic_write(label, std::path::Path::new(path), (text + "\n").as_bytes())
+        .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
 }
 
 fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
@@ -155,7 +159,7 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         }
         None => false,
     };
-    write_json(out, &plan)?;
+    write_json("plan", out, &plan)?;
     println!(
         "{}: {} cells across {} shards, digests {} -> {out}",
         plan.figure,
@@ -179,7 +183,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let plan = read_plan(plan_path)?;
     let corpus = open_corpus(corpus_dir)?;
     let bundle = shard::execute_shard(&plan, shard, &corpus).map_err(shard_err)?;
-    write_json(out, &bundle)?;
+    write_json("shard-bundle", out, &bundle)?;
     println!(
         "{} shard {}/{}: {} cells -> {out}",
         bundle.figure,
@@ -208,7 +212,7 @@ fn cmd_merge(args: &[String]) -> Result<(), CliError> {
     }
     if partial {
         let merged = shard::merge_partial(&plan, &bundles).map_err(shard_err)?;
-        write_json(out, &merged)?;
+        write_json("merged-grid", out, &merged)?;
         if merged.is_complete() {
             println!(
                 "{}: merged {} bundles into {} cells (complete) -> {out}",
@@ -233,7 +237,7 @@ fn cmd_merge(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     let merged = shard::merge(&plan, &bundles).map_err(shard_err)?;
-    write_json(out, &merged)?;
+    write_json("merged-grid", out, &merged)?;
     println!(
         "{}: merged {} bundles into {} cells -> {out}",
         merged.figure,
@@ -253,7 +257,7 @@ fn cmd_local(args: &[String]) -> Result<(), CliError> {
     }
     let outputs = grid::run_cells(&ctx, &jobs);
     let merged = MergedGrid::from_outputs(figure, outputs);
-    write_json(out, &merged)?;
+    write_json("merged-grid", out, &merged)?;
     println!(
         "{}: ran {} cells in-process -> {out}",
         merged.figure,
@@ -289,7 +293,7 @@ fn run_via(
     let merged = response
         .merged
         .ok_or_else(|| CliError::io("daemon returned no merged grid"))?;
-    write_json(out, &merged)?;
+    write_json("merged-grid", out, &merged)?;
     let (cached, simulated) = response
         .status
         .map(|s| (s.cached, s.simulated))

@@ -629,6 +629,14 @@ fn cmd_corpus_gc(args: &[String]) -> Result<(), CliError> {
         }
     }
     writer.finish().map_err(CliError::io)?;
+    // Reclaim crash leftovers too: orphaned atomic-write temps and
+    // abandoned `.partial` sync downloads (gc is the explicit moment
+    // to give up on resuming them).
+    let mut report = report;
+    report.add_stale(
+        tse_trace::fsio::sweep_stale(Path::new(dir), true)
+            .map_err(|e| CliError::io(format!("cannot sweep stale files in {dir}: {e}")))?,
+    );
     println!("corpus {dir}: {report}");
     Ok(())
 }

@@ -25,22 +25,29 @@ use tse_sweepd::net::{self, Endpoint};
 use tse_sweepd::proto::{Request, Response};
 use tse_sweepd::service::{CorpusRunner, ServiceConfig, SweepService};
 use tse_sweepd::sync::SyncingRunner;
-use tse_sweepd::ResultCache;
+use tse_sweepd::{Journal, ResultCache};
 use tse_trace::corpus::Corpus;
+use tse_trace::fsio;
 
 const USAGE: &str = "sweepd — persistent sweep service with a content-addressed result cache
 
 USAGE:
   sweepd serve --corpus <dir> --cache <dir> --listen <endpoint>
                [--workers <n>] [--retries <n>] [--timeout-secs <s>]
-               [--corpus-serve] [--sync-from <endpoint>]
+               [--corpus-serve] [--sync-from <endpoint>] [--resume]
       run the daemon: accept plans, serve cached cells, simulate the
-      rest with per-shard retry/timeout, cache fresh results.
-      --corpus-serve additionally answers corpus-sync requests
-      (manifest/fetch/push) from the corpus directory; --sync-from
-      makes this daemon a self-provisioning worker that pulls any
-      trace a submitted plan needs from the upstream daemon before
-      executing (the corpus directory may start empty)
+      rest with per-shard retry/timeout, cache fresh results. Every
+      submitted plan is journaled (fsync'd WAL in the cache dir);
+      --resume replays the journal after a crash and re-runs the
+      interrupted jobs — already-cached cells are served, only the
+      unfinished cell set is re-dispatched, and the resumed merge is
+      byte-identical to an uninterrupted run. Without --resume the
+      journal starts fresh. --corpus-serve additionally answers
+      corpus-sync requests (manifest/fetch/push) from the corpus
+      directory; --sync-from makes this daemon a self-provisioning
+      worker that pulls any trace a submitted plan needs from the
+      upstream daemon before executing (the corpus directory may
+      start empty)
   sweepd ping --via <endpoint>
       liveness check
   sweepd submit --plan <plan.json> --via <endpoint> [--wait --out <merged.json>]
@@ -57,6 +64,9 @@ USAGE:
       cache fits in <n> bytes and nothing is idler than <d> days
   sweepd shutdown --via <endpoint>
       stop the daemon (drains in-flight work first)
+  sweepd crash-points
+      list every registered fault-injection crash point (one per
+      line), for the crash-loop harness
 
 An <endpoint> containing a `/` is a Unix socket path; anything else is
 a TCP address such as 127.0.0.1:7070.
@@ -78,6 +88,12 @@ fn main() -> ExitCode {
             ))),
         },
         Some("shutdown") => cmd_simple(&args[1..], "shutdown"),
+        Some("crash-points") => {
+            for point in fsio::registered_crash_points() {
+                println!("{point}");
+            }
+            return ExitCode::SUCCESS;
+        }
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -110,9 +126,16 @@ fn exchange(ep: &Endpoint, request: &Request) -> Result<Response, CliError> {
     }
 }
 
+/// Writes a merged grid atomically (write-temp + fsync + rename), so
+/// an interrupted client never leaves a torn output file behind.
 fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
     let text = serde_json::to_string_pretty(value).map_err(CliError::io)?;
-    std::fs::write(path, text + "\n").map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
+    fsio::atomic_write(
+        "merged-grid",
+        std::path::Path::new(path),
+        (text + "\n").as_bytes(),
+    )
+    .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
 }
 
 fn print_status(status: &tse_sweepd::service::JobStatus) {
@@ -165,7 +188,50 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if cli::flag(args, "--corpus-serve") {
         service = service.with_corpus_sync(corpus_dir);
     }
-    let service = Arc::new(service);
+
+    // The journal lives next to the cache index. --resume replays and
+    // compacts it, restoring the job table; otherwise it starts fresh
+    // (old job ids would collide with the new table's).
+    let journal = Journal::open(cache_dir)
+        .map_err(|e| CliError::io(format!("cannot open journal in {cache_dir}: {e}")))?;
+    let resume = cli::flag(args, "--resume");
+    let pending = if resume {
+        let replay = journal
+            .replay()
+            .map_err(|e| CliError::io(format!("cannot replay journal: {e}")))?;
+        journal
+            .compact(&replay.jobs)
+            .map_err(|e| CliError::io(format!("cannot compact journal: {e}")))?;
+        let pending = service.restore(replay.jobs);
+        println!(
+            "sweepd: resumed {} journaled jobs ({} to re-run{})",
+            service.statuses().len(),
+            pending.len(),
+            if replay.skipped > 0 {
+                format!(", {} torn/stale journal lines ignored", replay.skipped)
+            } else {
+                String::new()
+            }
+        );
+        pending
+    } else {
+        journal
+            .reset()
+            .map_err(|e| CliError::io(format!("cannot reset journal: {e}")))?;
+        Vec::new()
+    };
+    let service = Arc::new(service.with_journal(journal));
+    if !pending.is_empty() {
+        // Re-run interrupted jobs in the background while the daemon
+        // accepts connections; clients blocked in `result` wake as
+        // each finishes.
+        let svc = Arc::clone(&service);
+        std::thread::spawn(move || {
+            for id in pending {
+                svc.run(id);
+            }
+        });
+    }
     println!(
         "sweepd: serving corpus {corpus_dir} with cache {cache_dir} ({} entries) on {ep}",
         service.cache_stats().1

@@ -36,8 +36,10 @@
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tse_sim::shard::{CellOutput, ShardJob, ShardMode};
 use tse_trace::corpus::{sweep_retained, GcReport};
+use tse_trace::fsio::{self, RealFs, Vfs};
 
 /// File name of the index manifest inside a cache directory.
 pub const CACHE_MANIFEST_NAME: &str = "cache.json";
@@ -199,6 +201,7 @@ pub struct ResultCache {
     entries: Vec<CacheEntry>,
     stats: CacheStats,
     dirty: bool,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl ResultCache {
@@ -209,23 +212,36 @@ impl ResultCache {
     /// entry file is deleted, the evictions counter accounts for them,
     /// and the cache starts empty. An unparsable manifest also starts
     /// empty (its orphaned files are overwritten by future inserts or
-    /// collected by [`ResultCache::gc`]).
+    /// collected by [`ResultCache::gc`]). Stale temp files left by a
+    /// crashed writer are swept.
     ///
     /// # Errors
     ///
     /// [`CacheError::Io`] if the directory cannot be created or stale
     /// entry files cannot be removed.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CacheError> {
+        Self::open_with(dir, Arc::new(RealFs))
+    }
+
+    /// [`ResultCache::open`] over an injected [`Vfs`], so tests can
+    /// exercise torn writes and injected I/O errors deterministically.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultCache::open`].
+    pub fn open_with(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Result<Self, CacheError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let _ = fsio::sweep_stale(&dir, false);
         let manifest_path = dir.join(CACHE_MANIFEST_NAME);
         let mut cache = ResultCache {
             dir,
             entries: Vec::new(),
             stats: CacheStats::default(),
             dirty: false,
+            vfs,
         };
-        let text = match fs::read_to_string(&manifest_path) {
+        let text = match cache.vfs.read_to_string(&manifest_path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cache),
             Err(e) => return Err(e.into()),
@@ -295,7 +311,9 @@ impl ResultCache {
             return None;
         };
         let path = self.dir.join(&self.entries[idx].path);
-        let cell: Option<CachedCell> = fs::read_to_string(&path)
+        let cell: Option<CachedCell> = self
+            .vfs
+            .read_to_string(&path)
             .ok()
             .and_then(|text| serde_json::from_str(&text).ok());
         let output = cell.and_then(|c| {
@@ -341,7 +359,12 @@ impl ResultCache {
         };
         let text = serde_json::to_string_pretty(&cell)
             .map_err(|e| CacheError::Format(format!("cannot serialize entry {key}: {e}")))?;
-        fs::write(self.dir.join(&file_name), text + "\n")?;
+        fsio::atomic_write_with(
+            self.vfs.as_ref(),
+            "cache-entry",
+            &self.dir.join(&file_name),
+            (text + "\n").as_bytes(),
+        )?;
         match self.entries.iter_mut().find(|e| e.key == key) {
             Some(existing) => existing.mtime = unix_now(),
             None => self.entries.push(CacheEntry {
@@ -434,6 +457,13 @@ impl ResultCache {
 
     /// Persists the index manifest if any mutation is pending.
     ///
+    /// Before writing, entries whose file is gone from disk are pruned
+    /// (and counted as evictions): another handle on the same
+    /// directory may have evicted them since we loaded the index, and
+    /// a healed manifest must not resurrect an evicted entry. The
+    /// write itself is atomic (write-temp + fsync + rename), so a
+    /// crash mid-save leaves the previous manifest intact.
+    ///
     /// # Errors
     ///
     /// [`CacheError::Io`] / [`CacheError::Format`] on write failure.
@@ -441,13 +471,22 @@ impl ResultCache {
         if !self.dirty {
             return Ok(());
         }
+        let dir = self.dir.clone();
+        let before = self.entries.len();
+        self.entries.retain(|e| dir.join(&e.path).exists());
+        self.stats.evictions += (before - self.entries.len()) as u64;
         let manifest = CacheManifest {
             version: CACHE_FORMAT_VERSION,
             entries: self.entries.clone(),
         };
         let text = serde_json::to_string_pretty(&manifest)
             .map_err(|e| CacheError::Format(e.to_string()))?;
-        fs::write(self.dir.join(CACHE_MANIFEST_NAME), text + "\n")?;
+        fsio::atomic_write_with(
+            self.vfs.as_ref(),
+            "cache-manifest",
+            &self.dir.join(CACHE_MANIFEST_NAME),
+            (text + "\n").as_bytes(),
+        )?;
         self.dirty = false;
         Ok(())
     }

@@ -1,0 +1,445 @@
+//! Append-only job journal: the WAL that makes `sweepd serve --resume`
+//! possible.
+//!
+//! The daemon's job table lives in memory; without a journal, kill-9
+//! silently drops every in-flight plan. The journal records, in the
+//! cache/state directory, one JSON line per event:
+//!
+//! * `submit` — a plan was accepted (carries the full digest-pinned
+//!   [`ShardPlan`] and its job id);
+//! * `cells` — one dispatch round's freshly simulated cells were
+//!   inserted into the result cache (written *after* the cache index
+//!   is saved, so a journaled cell is always really cached);
+//! * `done` / `failed` — the job reached a terminal state.
+//!
+//! Every append is fsync'd before [`Journal::append`] returns, and the
+//! torn final line a crash can leave is tolerated on replay (parsing
+//! stops at the first unparsable line — with per-append fsync, only
+//! the tail can be torn). On `--resume` the daemon replays the journal,
+//! restores the job table in id order, compacts the journal, and
+//! re-runs every non-failed job: cells journaled (hence cached) before
+//! the crash are served by the executor's cache probe, so only the
+//! genuinely unfinished cell set is re-dispatched — through the same
+//! re-split machinery as a live retry — and the resumed merge is
+//! byte-identical to an uninterrupted run.
+//!
+//! Records carry a format version ([`JOURNAL_VERSION`]); a journal
+//! written by a build with a different version is ignored on replay
+//! (jobs are simply not restored — the cache, which has its own
+//! versioning, still serves).
+
+use serde::{Deserialize, Serialize};
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use tse_sim::shard::ShardPlan;
+use tse_trace::fsio;
+
+/// File name of the journal inside the daemon's state (cache)
+/// directory.
+pub const JOURNAL_NAME: &str = "journal.jsonl";
+
+/// Journal format version, stamped into every record.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One journal line. A flat record (rather than an enum with payloads)
+/// so the vendored serde derive covers it; `event` discriminates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Journal format version ([`JOURNAL_VERSION`]).
+    pub jv: u32,
+    /// Event tag: `"submit"`, `"cells"`, `"done"` or `"failed"`.
+    pub event: String,
+    /// The job the event belongs to.
+    pub job: u64,
+    /// The submitted plan (on `submit` events).
+    #[serde(default)]
+    pub plan: Option<ShardPlan>,
+    /// Cells inserted into the cache (on `cells` events).
+    #[serde(default)]
+    pub cells: Option<Vec<u64>>,
+}
+
+impl JournalRecord {
+    /// A `submit` record for a freshly accepted plan.
+    pub fn submit(job: u64, plan: &ShardPlan) -> Self {
+        JournalRecord {
+            jv: JOURNAL_VERSION,
+            event: "submit".to_string(),
+            job,
+            plan: Some(plan.clone()),
+            cells: None,
+        }
+    }
+
+    /// A `cells` record for one dispatch round's cached results.
+    pub fn cells(job: u64, cells: Vec<u64>) -> Self {
+        JournalRecord {
+            jv: JOURNAL_VERSION,
+            event: "cells".to_string(),
+            job,
+            plan: None,
+            cells: Some(cells),
+        }
+    }
+
+    /// A terminal record (`done` or `failed`).
+    pub fn terminal(job: u64, failed: bool) -> Self {
+        JournalRecord {
+            jv: JOURNAL_VERSION,
+            event: if failed { "failed" } else { "done" }.to_string(),
+            job,
+            plan: None,
+            cells: None,
+        }
+    }
+}
+
+/// Replayed state of one journaled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayState {
+    /// Submitted, no terminal record — must be re-run on resume.
+    Pending,
+    /// Finished successfully before the crash/restart.
+    Done,
+    /// Failed before the crash/restart.
+    Failed,
+}
+
+/// One job reconstructed by [`Journal::replay`].
+#[derive(Debug, Clone)]
+pub struct JournaledJob {
+    /// The job's id (journal order == id order).
+    pub id: u64,
+    /// The digest-pinned plan as submitted.
+    pub plan: ShardPlan,
+    /// Cells recorded as cached by completed dispatch rounds.
+    pub completed: Vec<u64>,
+    /// Where the job got to.
+    pub state: ReplayState,
+}
+
+/// Outcome of [`Journal::replay`].
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Every reconstructable job, in id order.
+    pub jobs: Vec<JournaledJob>,
+    /// Trailing lines ignored (torn tail, foreign version, or records
+    /// inconsistent with the id sequence).
+    pub skipped: usize,
+}
+
+/// The append-only journal file. Appends reopen the file each time
+/// (submissions and round completions are rare next to simulation
+/// work) and fsync before returning; the `journal.pre-append` /
+/// `journal.post-append` crash points bracket each append for the
+/// crash-loop harness.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// A journal living in `dir` (the daemon's state directory). The
+    /// directory is created if missing; the file itself is created on
+    /// first append.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Journal {
+            path: dir.join(JOURNAL_NAME),
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record durably: serialize to a single JSON line,
+    /// append, fsync. After `Ok(())` the record survives kill-9.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or filesystem failure (including injected
+    /// faults at the append crash points).
+    pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fsio::crash_point("journal.pre-append")?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+        fsio::crash_point("journal.post-append")?;
+        Ok(())
+    }
+
+    /// Reconstructs the job table from the journal. Replay stops at
+    /// the first unparsable or inconsistent line (per-append fsync
+    /// means only the tail can be torn); a missing journal yields no
+    /// jobs. Submit records must arrive in id order (`0, 1, 2, …`) —
+    /// the daemon assigns ids by table position, so anything else
+    /// means the file is not this daemon's journal and the rest is
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] only for a file that exists but cannot be read.
+    pub fn replay(&self) -> io::Result<JournalReplay> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
+            Err(e) => return Err(e),
+        };
+        let mut replay = JournalReplay::default();
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        for line in &mut lines {
+            let record: JournalRecord = match serde_json::from_str(line) {
+                Ok(r) => r,
+                Err(_) => {
+                    replay.skipped += 1;
+                    break;
+                }
+            };
+            if record.jv != JOURNAL_VERSION || !replay.apply(record) {
+                replay.skipped += 1;
+                break;
+            }
+        }
+        replay.skipped += lines.count();
+        Ok(replay)
+    }
+
+    /// Truncates the journal (atomically, via a temp-file swap). A
+    /// `serve` *without* `--resume` starts here: the old journal's job
+    /// ids would collide with the fresh table's.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failure (including injected faults).
+    pub fn reset(&self) -> io::Result<()> {
+        fsio::atomic_write("journal-compact", &self.path, b"")
+    }
+
+    /// Rewrites the journal to the minimal equivalent history for
+    /// `jobs`: one `submit` per job plus a `failed` marker for failed
+    /// ones. `done` and pending jobs get no terminal record — resume
+    /// re-runs them, and their already-cached cells make that a pure
+    /// cache probe, so dropping the per-round `cells` records loses
+    /// nothing. Written atomically; a crash mid-compaction leaves the
+    /// full journal.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or filesystem failure.
+    pub fn compact(&self, jobs: &[JournaledJob]) -> io::Result<()> {
+        let mut text = String::new();
+        for job in jobs {
+            let submit = serde_json::to_string(&JournalRecord::submit(job.id, &job.plan))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            text.push_str(&submit);
+            text.push('\n');
+            if job.state == ReplayState::Failed {
+                let failed = serde_json::to_string(&JournalRecord::terminal(job.id, true))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                text.push_str(&failed);
+                text.push('\n');
+            }
+        }
+        fsio::atomic_write("journal-compact", &self.path, text.as_bytes())
+    }
+}
+
+impl JournalReplay {
+    /// Folds one record into the reconstruction; `false` means the
+    /// record is inconsistent and replay must stop.
+    fn apply(&mut self, record: JournalRecord) -> bool {
+        match record.event.as_str() {
+            "submit" => match record.plan {
+                Some(plan) if record.job == self.jobs.len() as u64 => {
+                    self.jobs.push(JournaledJob {
+                        id: record.job,
+                        plan,
+                        completed: Vec::new(),
+                        state: ReplayState::Pending,
+                    });
+                    true
+                }
+                _ => false,
+            },
+            "cells" => match self.job_mut(record.job) {
+                Some(job) => {
+                    for cell in record.cells.unwrap_or_default() {
+                        if !job.completed.contains(&cell) {
+                            job.completed.push(cell);
+                        }
+                    }
+                    true
+                }
+                None => false,
+            },
+            "done" | "failed" => {
+                let failed = record.event == "failed";
+                match self.job_mut(record.job) {
+                    Some(job) => {
+                        job.state = if failed {
+                            ReplayState::Failed
+                        } else {
+                            ReplayState::Done
+                        };
+                        true
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn job_mut(&mut self, id: u64) -> Option<&mut JournaledJob> {
+        self.jobs.get_mut(usize::try_from(id).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_sim::shard::{ShardJob, ShardMode, TraceRef};
+    use tse_sim::{EngineKind, RunConfig};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tse-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn plan(cells: u64) -> ShardPlan {
+        let jobs = (0..cells)
+            .map(|cell| ShardJob {
+                figure: "figJ".into(),
+                cell,
+                mode: ShardMode::Trace,
+                trace: TraceRef {
+                    workload: "em3d".into(),
+                    scale: 0.02,
+                    seed: 7,
+                    digest: Some("fnv1a64:00c0ffee00c0ffee".into()),
+                },
+                config: RunConfig {
+                    engine: EngineKind::Baseline,
+                    seed: 1000 + cell,
+                    ..RunConfig::default()
+                },
+            })
+            .collect();
+        ShardPlan::split(jobs, 1).unwrap()
+    }
+
+    #[test]
+    fn submit_cells_terminal_round_trip() {
+        let dir = scratch("roundtrip");
+        let journal = Journal::open(&dir).unwrap();
+        journal.append(&JournalRecord::submit(0, &plan(4))).unwrap();
+        journal
+            .append(&JournalRecord::cells(0, vec![0, 2]))
+            .unwrap();
+        journal.append(&JournalRecord::submit(1, &plan(2))).unwrap();
+        journal
+            .append(&JournalRecord::cells(0, vec![2, 3]))
+            .unwrap();
+        journal.append(&JournalRecord::terminal(0, false)).unwrap();
+
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.jobs.len(), 2);
+        assert_eq!(replay.jobs[0].state, ReplayState::Done);
+        assert_eq!(replay.jobs[0].completed, vec![0, 2, 3], "cells deduped");
+        assert_eq!(replay.jobs[1].state, ReplayState::Pending);
+        assert_eq!(replay.jobs[1].plan.jobs.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let dir = scratch("torn");
+        let journal = Journal::open(&dir).unwrap();
+        journal.append(&JournalRecord::submit(0, &plan(2))).unwrap();
+        journal.append(&JournalRecord::terminal(0, true)).unwrap();
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut bytes = std::fs::read(journal.path()).unwrap();
+        bytes.extend_from_slice(b"{\"jv\":1,\"event\":\"sub");
+        std::fs::write(journal.path(), &bytes).unwrap();
+
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.jobs[0].state, ReplayState::Failed);
+        assert_eq!(replay.skipped, 1, "only the torn tail is dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_version_and_missing_file_restore_nothing() {
+        let dir = scratch("foreign");
+        let journal = Journal::open(&dir).unwrap();
+        assert!(journal.replay().unwrap().jobs.is_empty(), "missing file");
+
+        let mut record = JournalRecord::submit(0, &plan(1));
+        record.jv = JOURNAL_VERSION + 1;
+        let line = serde_json::to_string(&record).unwrap();
+        std::fs::write(journal.path(), line + "\n").unwrap();
+        let replay = journal.replay().unwrap();
+        assert!(replay.jobs.is_empty());
+        assert_eq!(replay.skipped, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_keeps_submits_and_failures_only() {
+        let dir = scratch("compact");
+        let journal = Journal::open(&dir).unwrap();
+        journal.append(&JournalRecord::submit(0, &plan(3))).unwrap();
+        journal
+            .append(&JournalRecord::cells(0, vec![0, 1, 2]))
+            .unwrap();
+        journal.append(&JournalRecord::terminal(0, false)).unwrap();
+        journal.append(&JournalRecord::submit(1, &plan(1))).unwrap();
+        journal.append(&JournalRecord::terminal(1, true)).unwrap();
+
+        let replay = journal.replay().unwrap();
+        journal.compact(&replay.jobs).unwrap();
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        assert_eq!(text.lines().count(), 3, "2 submits + 1 failed marker");
+
+        let again = journal.replay().unwrap();
+        assert_eq!(again.jobs.len(), 2);
+        assert_eq!(again.jobs[0].state, ReplayState::Pending, "done re-runs");
+        assert_eq!(again.jobs[1].state, ReplayState::Failed);
+
+        journal.reset().unwrap();
+        assert!(journal.replay().unwrap().jobs.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_submit_stops_replay() {
+        let dir = scratch("order");
+        let journal = Journal::open(&dir).unwrap();
+        journal.append(&JournalRecord::submit(0, &plan(1))).unwrap();
+        journal.append(&JournalRecord::submit(5, &plan(1))).unwrap();
+        journal.append(&JournalRecord::terminal(0, false)).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.skipped, 2, "bad record and everything after");
+        assert_eq!(replay.jobs[0].state, ReplayState::Pending);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

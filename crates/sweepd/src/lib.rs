@@ -14,6 +14,10 @@
 //!   cache per cell, re-splits the unfinished cell set across workers
 //!   each dispatch round (`ShardPlan::resplit`), retries dropped or
 //!   timed-out shards, and assembles the final `MergedGrid`.
+//! * [`journal`] — an append-only, fsync'd job journal (WAL) in the
+//!   state directory; `sweepd serve --resume` replays it after a crash
+//!   and re-dispatches only the unfinished cell set, merging
+//!   byte-identical to an uninterrupted run.
 //! * [`proto`] / [`net`] — a one-JSON-document-per-connection protocol
 //!   served over TCP or a Unix socket, plus the matching client call.
 //! * [`sync`] — digest-driven corpus synchronization over the same
@@ -39,12 +43,14 @@
 
 pub mod cache;
 pub mod cli;
+pub mod journal;
 pub mod net;
 pub mod proto;
 pub mod service;
 pub mod sync;
 
 pub use cache::{ResultCache, CACHE_FORMAT_VERSION};
+pub use journal::{Journal, JournalRecord, JOURNAL_NAME, JOURNAL_VERSION};
 pub use net::Endpoint;
 pub use service::{CorpusRunner, ServiceConfig, ShardRunner, SweepService};
 pub use sync::{SyncError, SyncReport, SyncingRunner, SYNC_PROTO_VERSION};

@@ -23,6 +23,7 @@
 //! `SweepPool` reference path.
 
 use crate::cache::{CacheError, CacheStats, ResultCache};
+use crate::journal::{Journal, JournalRecord, JournaledJob, ReplayState};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -181,6 +182,9 @@ pub struct SweepService {
     /// --corpus-serve`), `None` when sync is not enabled. The mutex
     /// serializes manifest mutation across connection handlers.
     sync_dir: Option<Mutex<std::path::PathBuf>>,
+    /// The crash journal, when the daemon runs with one. The mutex
+    /// serializes appends so journal order matches job-id order.
+    journal: Option<Mutex<Journal>>,
 }
 
 impl SweepService {
@@ -194,6 +198,7 @@ impl SweepService {
             done: Condvar::new(),
             shutdown: AtomicBool::new(false),
             sync_dir: None,
+            journal: None,
         }
     }
 
@@ -211,18 +216,80 @@ impl SweepService {
         self.sync_dir.as_ref()
     }
 
+    /// Attaches a crash journal: every accepted plan, cached round and
+    /// terminal state is appended (fsync'd) to it, enabling `serve
+    /// --resume` after a crash.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(Mutex::new(journal));
+        self
+    }
+
+    /// Rebuilds the job table from a journal replay — call once,
+    /// before serving, on `--resume`. Failed jobs are restored
+    /// terminally failed; done and pending jobs are restored *queued*
+    /// and must be re-run (their ids are returned, in order). Re-running
+    /// is cheap and exact: every cell journaled as cached is served by
+    /// the executor's cache probe, so only the genuinely unfinished
+    /// cell set is re-dispatched, and the rebuilt merge is
+    /// byte-identical to an uninterrupted run.
+    pub fn restore(&self, journaled: Vec<JournaledJob>) -> Vec<u64> {
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        debug_assert!(jobs.is_empty(), "restore() runs before any submit");
+        let mut pending = Vec::new();
+        for job in journaled {
+            let cells = job.plan.jobs.len() as u64;
+            let failed = job.state == ReplayState::Failed;
+            if !failed {
+                pending.push(job.id);
+            }
+            jobs.push(JobRecord {
+                status: JobStatus {
+                    id: job.id,
+                    figure: job.plan.figure.clone(),
+                    state: if failed {
+                        JobState::Failed
+                    } else {
+                        JobState::Queued
+                    },
+                    cells,
+                    cached: 0,
+                    simulated: 0,
+                    outstanding: cells,
+                    rounds: 0,
+                    error: failed.then(|| "failed before restart (journaled)".to_string()),
+                },
+                plan: Some(job.plan),
+                result: None,
+            });
+        }
+        pending
+    }
+
     /// Accepts a plan into the queue: validates it, pins its digests
     /// through the runner, and returns the new job's id. The job does
     /// not execute until [`SweepService::run`].
     ///
     /// # Errors
     ///
-    /// Any [`ShardError`] from validation or digest pinning.
+    /// Any [`ShardError`] from validation or digest pinning, or
+    /// [`ShardError::Run`] when the plan cannot be journaled — an
+    /// unjournalable job is refused rather than silently accepted
+    /// volatile.
     pub fn submit(&self, mut plan: ShardPlan) -> Result<u64, ShardError> {
         plan.validate()?;
         self.runner.pin_digests(&mut plan)?;
         let mut jobs = self.jobs.lock().expect("jobs lock");
         let id = jobs.len() as u64;
+        // Journal while holding the jobs lock: submit records must land
+        // in id order for replay to reconstruct the table.
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .expect("journal lock")
+                .append(&JournalRecord::submit(id, &plan))
+                .map_err(|e| ShardError::Run(format!("cannot journal submit: {e}")))?;
+        }
         jobs.push(JobRecord {
             status: JobStatus {
                 id,
@@ -326,13 +393,32 @@ impl SweepService {
             // Persist what this round computed before the next round (a
             // crash mid-job then costs at most one round's work).
             if !fresh.is_empty() {
-                let mut cache = self.cache.lock().expect("cache lock");
-                for (orig, output) in &fresh {
-                    let job = &plan.jobs[usize::try_from(*orig).expect("plan cell")];
-                    let _ = cache.insert(job, output);
-                }
-                if let Err(e) = cache.save() {
-                    last_error = Some(e.to_string());
+                let saved = {
+                    let mut cache = self.cache.lock().expect("cache lock");
+                    for (orig, output) in &fresh {
+                        let job = &plan.jobs[usize::try_from(*orig).expect("plan cell")];
+                        let _ = cache.insert(job, output);
+                    }
+                    match cache.save() {
+                        Ok(()) => true,
+                        Err(e) => {
+                            last_error = Some(e.to_string());
+                            false
+                        }
+                    }
+                };
+                // Journal the round only after its cells really hit the
+                // cache index — a journaled cell must be servable on
+                // resume. Append failure is tolerated: the journal only
+                // loses progress accounting, never results.
+                if saved {
+                    if let Some(journal) = &self.journal {
+                        let cells: Vec<u64> = fresh.iter().map(|(orig, _)| *orig).collect();
+                        let _ = journal
+                            .lock()
+                            .expect("journal lock")
+                            .append(&JournalRecord::cells(id, cells));
+                    }
                 }
             }
             status.outstanding = outputs.iter().filter(|o| o.is_none()).count() as u64;
@@ -350,9 +436,11 @@ impl SweepService {
                     .map(|e| format!(" (last error: {e})"))
                     .unwrap_or_default()
             ));
+            self.journal_terminal(id, true);
             return (status, None);
         }
         status.state = JobState::Done;
+        self.journal_terminal(id, false);
         let grid = MergedGrid {
             version: SHARD_FORMAT_VERSION,
             figure: plan.figure.clone(),
@@ -366,6 +454,17 @@ impl SweepService {
                 .collect(),
         };
         (status, Some(grid))
+    }
+
+    /// Best-effort terminal journal record. Losing it is safe: resume
+    /// re-runs the job, and the cache makes that a pure probe.
+    fn journal_terminal(&self, id: u64, failed: bool) {
+        if let Some(journal) = &self.journal {
+            let _ = journal
+                .lock()
+                .expect("journal lock")
+                .append(&JournalRecord::terminal(id, failed));
+        }
     }
 
     /// Runs one round: every shard of `sub` on its own thread, collected
@@ -507,6 +606,11 @@ impl SweepService {
             report.dropped += budget.dropped;
             report.bytes_freed += budget.bytes_freed;
         }
+        // Reclaim crash leftovers too: orphaned atomic-write temps (and
+        // any stray partial downloads, which never belong in a cache
+        // dir). Holding the cache lock keeps this race-free against
+        // concurrent saves.
+        report.add_stale(tse_trace::fsio::sweep_stale(cache.dir(), true)?);
         Ok(report)
     }
 

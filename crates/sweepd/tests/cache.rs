@@ -341,3 +341,43 @@ fn legacy_manifests_without_mtime_still_parse_and_age_out_first() {
     let report = cache.gc_budget(None, Some(86_400)).unwrap();
     assert_eq!((report.kept, report.dropped), (1, 0));
 }
+
+#[test]
+fn save_does_not_resurrect_an_entry_evicted_by_a_concurrent_handle() {
+    let scratch = ScratchDir::new("race");
+    let j = job(9, Some(DIGEST));
+    let output = synthetic_output(&j);
+    {
+        let mut writer = ResultCache::open(&scratch.0).unwrap();
+        writer.insert(&j, &output).unwrap();
+        writer.save().unwrap();
+    }
+
+    // Two live handles over the same directory, both indexing the entry.
+    let mut evictor = ResultCache::open(&scratch.0).unwrap();
+    let mut stale = ResultCache::open(&scratch.0).unwrap();
+    assert_eq!(stale.entries().len(), 1);
+
+    // The evictor hits a corrupt file and drops entry + file...
+    let entry_path = scratch.0.join(&evictor.entries()[0].path);
+    fs::write(&entry_path, "{ torn").unwrap();
+    assert!(evictor.lookup(&j).is_none());
+    evictor.save().unwrap();
+    assert!(!entry_path.exists());
+
+    // ...while the stale handle, dirtied by its own insert, still
+    // indexes it. Its save must prune the evicted entry, not write it
+    // back into the manifest.
+    let j2 = job(10, Some(DIGEST));
+    stale.insert(&j2, &synthetic_output(&j2)).unwrap();
+    stale.save().unwrap();
+    assert_eq!(stale.stats().evictions, 1, "prune counts the eviction");
+    let mut reopened = ResultCache::open(&scratch.0).unwrap();
+    assert_eq!(
+        reopened.entries().len(),
+        1,
+        "only the fresh insert survives"
+    );
+    assert!(reopened.lookup(&j).is_none(), "evicted entry stays evicted");
+    assert!(reopened.lookup(&j2).is_some());
+}

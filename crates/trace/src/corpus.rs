@@ -36,12 +36,14 @@
 //! # Ok::<(), tse_trace::corpus::CorpusError>(())
 //! ```
 
+use crate::fsio::{self, RealFs, Vfs};
 use crate::store::{TraceReader, TraceWriter};
 use crate::{AccessRecord, TraceIoError};
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the manifest inside a corpus directory.
 pub const MANIFEST_NAME: &str = "corpus.json";
@@ -152,21 +154,34 @@ impl std::fmt::Display for CorpusIssue {
 pub struct CorpusWriter {
     dir: PathBuf,
     entries: Vec<TraceEntry>,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl CorpusWriter {
     /// Creates (or reuses) the corpus directory. Any existing manifest
     /// is superseded when [`CorpusWriter::finish`] writes the new one.
+    /// Stale temp files a crashed writer left behind are swept.
     ///
     /// # Errors
     ///
     /// [`CorpusError::Io`] if the directory cannot be created.
     pub fn create(dir: impl Into<PathBuf>) -> Result<Self, CorpusError> {
+        Self::create_with(dir, Arc::new(RealFs))
+    }
+
+    /// [`CorpusWriter::create`] over an injected [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the directory cannot be created.
+    pub fn create_with(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Result<Self, CorpusError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let _ = fsio::sweep_stale(&dir, false);
         Ok(CorpusWriter {
             dir,
             entries: Vec::new(),
+            vfs,
         })
     }
 
@@ -174,7 +189,8 @@ impl CorpusWriter {
     /// manifest entries are loaded and kept, so a second `corpus gen`
     /// over an intact corpus re-verifies instead of regenerating. A
     /// missing manifest yields an empty writer (same as
-    /// [`CorpusWriter::create`]).
+    /// [`CorpusWriter::create`]). Stale temp files a crashed writer
+    /// left behind are swept; resumable `*.partial` downloads are not.
     ///
     /// # Errors
     ///
@@ -182,18 +198,30 @@ impl CorpusWriter {
     /// [`CorpusError::Manifest`] if a manifest exists but does not parse
     /// or declares an unsupported version.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CorpusError> {
+        Self::open_with(dir, Arc::new(RealFs))
+    }
+
+    /// [`CorpusWriter::open`] over an injected [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CorpusWriter::open`].
+    pub fn open_with(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Result<Self, CorpusError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let _ = fsio::sweep_stale(&dir, false);
         if !dir.join(MANIFEST_NAME).exists() {
             return Ok(CorpusWriter {
                 dir,
                 entries: Vec::new(),
+                vfs,
             });
         }
         let corpus = Corpus::open(&dir)?;
         Ok(CorpusWriter {
             dir,
             entries: corpus.manifest.entries,
+            vfs,
         })
     }
 
@@ -258,11 +286,20 @@ impl CorpusWriter {
     ) -> Result<TraceEntry, CorpusError> {
         let file_name = Self::file_name(workload, scale, seed);
         let path = dir.join(&file_name);
-        let mut w = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
+        // Stream into a temp sibling, fsync, then rename into place:
+        // a crash mid-write can only orphan the temp (swept at the
+        // next open/gc), never leave a torn trace at the final path.
+        let tmp = fsio::temp_sibling(&path);
+        let mut w = TraceWriter::new(BufWriter::new(File::create(&tmp)?))?;
         w.declare_nodes(nodes);
         w.extend(records)?;
-        let (meta, _) = w.finish()?;
-        let digest = digest_file(&path)?;
+        let (meta, sink) = w.finish()?;
+        let file = sink
+            .into_inner()
+            .map_err(|e| CorpusError::Io(e.into_error()))?;
+        file.sync_all()?;
+        let digest = digest_file(&tmp)?;
+        fsio::promote("trace-file", &tmp, &path)?;
         Ok(TraceEntry {
             workload: workload.to_string(),
             scale,
@@ -316,7 +353,10 @@ impl CorpusWriter {
         &self.entries
     }
 
-    /// Writes the manifest and returns it.
+    /// Writes the manifest atomically (write-temp + fsync + rename,
+    /// with a trailing newline) and returns it. A reader racing or
+    /// crashing against this sees the old manifest or the new one,
+    /// never a torn file.
     ///
     /// # Errors
     ///
@@ -328,7 +368,12 @@ impl CorpusWriter {
         };
         let text = serde_json::to_string_pretty(&manifest)
             .map_err(|e| CorpusError::Manifest(e.to_string()))?;
-        fs::write(self.dir.join(MANIFEST_NAME), text)?;
+        fsio::atomic_write_with(
+            self.vfs.as_ref(),
+            "corpus-manifest",
+            &self.dir.join(MANIFEST_NAME),
+            (text + "\n").as_bytes(),
+        )?;
         Ok(manifest)
     }
 }
@@ -527,6 +572,21 @@ pub struct GcReport {
     pub dropped: usize,
     /// Total size of the deleted files.
     pub bytes_freed: u64,
+    /// Stale temp files / orphaned `*.partial` downloads swept (gc
+    /// commands fill this in from [`crate::fsio::sweep_stale`]).
+    #[serde(default)]
+    pub stale: usize,
+    /// Total size of the swept stale files.
+    #[serde(default)]
+    pub stale_bytes: u64,
+}
+
+impl GcReport {
+    /// Folds a stale-file sweep into the report.
+    pub fn add_stale(&mut self, stale: crate::fsio::StaleReport) {
+        self.stale += stale.files;
+        self.stale_bytes += stale.bytes;
+    }
 }
 
 impl std::fmt::Display for GcReport {
@@ -535,7 +595,15 @@ impl std::fmt::Display for GcReport {
             f,
             "kept {}, dropped {} ({} bytes freed)",
             self.kept, self.dropped, self.bytes_freed
-        )
+        )?;
+        if self.stale > 0 {
+            write!(
+                f,
+                ", swept {} stale files ({} bytes)",
+                self.stale, self.stale_bytes
+            )?;
+        }
+        Ok(())
     }
 }
 

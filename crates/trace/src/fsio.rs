@@ -1,0 +1,648 @@
+//! Crash-safe filesystem plumbing: atomic writes and fault injection.
+//!
+//! Every piece of durable state in the workspace — corpus manifests,
+//! result-cache manifests and entries, merged grids, shard bundles,
+//! synced trace files, the sweepd job journal — funnels through this
+//! module so that one discipline covers all of them:
+//!
+//! * **Atomic writes** ([`atomic_write`] / [`atomic_write_with`] /
+//!   [`promote`]): content lands in a temp sibling (`.tmp-<pid>-…`),
+//!   is fsync'd, and only then renamed over the destination. A reader
+//!   observes either the old bytes or the new bytes, never a torn
+//!   file. After the rename the parent directory is fsync'd so the
+//!   rename itself survives a crash.
+//! * **Named crash points**: each atomic write is labelled (e.g.
+//!   `"cache-manifest"`) and fires `<label>.pre-rename` /
+//!   `<label>.post-rename` hooks. In production these are no-ops; a
+//!   crash harness sets `TSE_CRASH_POINT=<label>[:<nth>]` to abort the
+//!   process (kill-9 equivalent) the *nth* time that point is reached,
+//!   or `TSE_FSIO_FAULT=<label>:<eio|enospc>[:<nth>]` to make the
+//!   point return an injected I/O error instead. Both schedules are
+//!   deterministic: same environment + same workload = same failure.
+//! * **[`FaultFs`]**: an in-process [`Vfs`] implementation for unit
+//!   tests that injects EIO, ENOSPC and *torn* (partial) writes by an
+//!   explicit per-operation schedule, without touching process
+//!   environment or aborting anything.
+//! * **Stale-state sweeping** ([`sweep_stale`]): temp files orphaned
+//!   by a crash between write and rename are deleted on startup and
+//!   by the gc commands, which also reclaim abandoned `*.partial`
+//!   sync downloads.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Prefix of the temp siblings [`atomic_write_with`] writes before
+/// renaming ([`sweep_stale`] reclaims any left behind by a crash).
+pub const TMP_PREFIX: &str = ".tmp-";
+
+/// Environment variable naming a crash point at which the process
+/// aborts: `TSE_CRASH_POINT=<label>[:<nth>]` (nth is 1-based, default
+/// 1). Honored by [`RealFs`] and the free [`crash_point`] function.
+pub const CRASH_POINT_ENV: &str = "TSE_CRASH_POINT";
+
+/// Environment variable naming a crash point at which an I/O error is
+/// injected: `TSE_FSIO_FAULT=<label>:<eio|enospc>[:<nth>]`. A label
+/// here matches every point it prefixes (`corpus-manifest` matches
+/// `corpus-manifest.pre-rename`).
+pub const FAULT_ENV: &str = "TSE_FSIO_FAULT";
+
+/// The filesystem surface durable-state writers go through, so tests
+/// can substitute a fault-injecting implementation. Production code
+/// uses [`RealFs`], which also honors the [`CRASH_POINT_ENV`] /
+/// [`FAULT_ENV`] schedules for cross-process harnesses.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Creates (or truncates) `path`, writes `bytes`, and flushes them
+    /// to stable storage (fsync).
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Renames `from` over `to` (atomic on POSIX filesystems), then
+    /// makes the rename durable.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Reads a file to a string.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// A named crash/fault point. Returns `Ok(())` in production; a
+    /// fault schedule may return an injected error or abort the
+    /// process here.
+    fn crash_point(&self, label: &str) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: plain filesystem calls with fsync, plus the
+/// environment-driven crash/fault schedule (a no-op unless
+/// [`CRASH_POINT_ENV`] or [`FAULT_ENV`] is set).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        sync_parent_dir(to);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn crash_point(&self, label: &str) -> io::Result<()> {
+        crash_point(label)
+    }
+}
+
+/// Flushes the parent directory of `path` so a just-completed rename
+/// survives a crash. Best-effort: directory fsync is not supported on
+/// every platform/filesystem, and the rename itself already happened.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(handle) = File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+}
+
+/// One fault [`FaultFs`] injects when an operation matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with EIO after doing nothing.
+    Eio,
+    /// The operation fails with ENOSPC after doing nothing.
+    Enospc,
+    /// A write persists only the first `n` bytes (fsync'd, so the torn
+    /// prefix is really on disk), then fails with EIO.
+    Torn(usize),
+}
+
+impl FaultKind {
+    fn error(self) -> io::Error {
+        match self {
+            // Real errno values so messages read like the genuine
+            // failure ("Input/output error", "No space left on device").
+            FaultKind::Eio | FaultKind::Torn(_) => io::Error::from_raw_os_error(5),
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ScheduledFault {
+    /// Substring matched against the operation descriptor
+    /// (`"write:<file name>"`, `"rename:<file name>"`,
+    /// `"remove:<file name>"`, `"read:<file name>"`, or a crash-point
+    /// label verbatim).
+    op: String,
+    /// 1-based occurrence that trips the fault.
+    nth: u64,
+    kind: FaultKind,
+    hits: u64,
+    fired: bool,
+}
+
+/// A [`Vfs`] that injects faults by a deterministic, in-process
+/// schedule — the unit-test counterpart of the environment-driven
+/// schedule [`RealFs`] honors. Operations that no scheduled fault
+/// matches pass through to the real filesystem.
+///
+/// ```no_run
+/// use tse_trace::fsio::{atomic_write_with, FaultFs, FaultKind};
+/// let vfs = FaultFs::new();
+/// vfs.fail("write:cache.json", FaultKind::Enospc);
+/// let err = atomic_write_with(&vfs, "cache-manifest", "cache.json".as_ref(), b"{}")
+///     .unwrap_err();
+/// assert_eq!(err.raw_os_error(), Some(28));
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultFs {
+    inner: RealFs,
+    faults: Mutex<Vec<ScheduledFault>>,
+}
+
+impl FaultFs {
+    /// A fault-free passthrough; arm faults with [`FaultFs::fail`] /
+    /// [`FaultFs::fail_nth`].
+    pub fn new() -> Self {
+        FaultFs::default()
+    }
+
+    /// Schedules `kind` for the first operation whose descriptor
+    /// contains `op` (descriptors: `write:<file>`, `rename:<file>`,
+    /// `remove:<file>`, `read:<file>`, crash-point labels verbatim).
+    pub fn fail(&self, op: &str, kind: FaultKind) {
+        self.fail_nth(op, 1, kind);
+    }
+
+    /// Schedules `kind` for the `nth` (1-based) matching operation.
+    pub fn fail_nth(&self, op: &str, nth: u64, kind: FaultKind) {
+        self.faults.lock().unwrap().push(ScheduledFault {
+            op: op.to_string(),
+            nth,
+            kind,
+            hits: 0,
+            fired: false,
+        });
+    }
+
+    /// Number of scheduled faults that have actually fired — assert on
+    /// this to keep fault tests non-vacuous.
+    pub fn fired(&self) -> usize {
+        self.faults
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|f| f.fired)
+            .count()
+    }
+
+    /// Consults the schedule for `descriptor`; `Some(kind)` means the
+    /// operation must fail with that fault now.
+    fn check(&self, descriptor: &str) -> Option<FaultKind> {
+        let mut faults = self.faults.lock().unwrap();
+        for fault in faults.iter_mut() {
+            if fault.fired || !descriptor.contains(&fault.op) {
+                continue;
+            }
+            fault.hits += 1;
+            if fault.hits == fault.nth {
+                fault.fired = true;
+                return Some(fault.kind);
+            }
+        }
+        None
+    }
+}
+
+impl Vfs for FaultFs {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let descriptor = format!("write:{}", describe(path));
+        match self.check(&descriptor) {
+            Some(FaultKind::Torn(n)) => {
+                // Persist a real torn prefix, then fail: exactly what a
+                // crash mid-write leaves behind.
+                let keep = n.min(bytes.len());
+                self.inner.write_file(path, &bytes[..keep])?;
+                Err(FaultKind::Torn(n).error())
+            }
+            Some(kind) => Err(kind.error()),
+            None => self.inner.write_file(path, bytes),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let descriptor = format!("rename:{}", describe(to));
+        match self.check(&descriptor) {
+            Some(kind) => Err(kind.error()),
+            None => self.inner.rename(from, to),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let descriptor = format!("remove:{}", describe(path));
+        match self.check(&descriptor) {
+            Some(kind) => Err(kind.error()),
+            None => self.inner.remove_file(path),
+        }
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let descriptor = format!("read:{}", describe(path));
+        match self.check(&descriptor) {
+            Some(kind) => Err(kind.error()),
+            None => self.inner.read_to_string(path),
+        }
+    }
+
+    fn crash_point(&self, label: &str) -> io::Result<()> {
+        match self.check(label) {
+            Some(kind) => Err(kind.error()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// File-name part of a path, for fault-schedule matching. Temp
+/// siblings report their *logical* name (`.tmp-<pid>-<seq>-cache.json`
+/// → `cache.json`) so a schedule targets the destination file, not
+/// the decorated temp.
+fn describe(path: &Path) -> String {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    if let Some(rest) = name.strip_prefix(TMP_PREFIX) {
+        let mut parts = rest.splitn(3, '-');
+        let pid = parts.next().unwrap_or_default();
+        let seq = parts.next().unwrap_or_default();
+        if let (Ok(_), Ok(_), Some(logical)) =
+            (pid.parse::<u64>(), seq.parse::<u64>(), parts.next())
+        {
+            return logical.to_string();
+        }
+    }
+    name
+}
+
+/// The parsed environment schedule, read once per process.
+#[derive(Debug, Default)]
+struct EnvSchedule {
+    /// `(label, nth)` — abort at the nth hit of exactly this label.
+    crash: Option<(String, u64)>,
+    /// `(label prefix, kind, nth)` — inject at the nth hit of any
+    /// label starting with the prefix.
+    fault: Option<(String, FaultKind, u64)>,
+}
+
+impl EnvSchedule {
+    fn from_env() -> Self {
+        let mut schedule = EnvSchedule::default();
+        if let Ok(spec) = std::env::var(CRASH_POINT_ENV) {
+            let mut parts = spec.splitn(2, ':');
+            let label = parts.next().unwrap_or_default().to_string();
+            let nth = parts.next().and_then(|n| n.parse().ok()).unwrap_or(1);
+            if !label.is_empty() {
+                schedule.crash = Some((label, nth.max(1)));
+            }
+        }
+        if let Ok(spec) = std::env::var(FAULT_ENV) {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let kind = match parts.get(1).copied() {
+                Some("eio") => Some(FaultKind::Eio),
+                Some("enospc") => Some(FaultKind::Enospc),
+                _ => None,
+            };
+            if let (Some(label), Some(kind)) = (parts.first(), kind) {
+                let nth: u64 = parts.get(2).and_then(|n| n.parse().ok()).unwrap_or(1);
+                if !label.is_empty() {
+                    schedule.fault = Some((label.to_string(), kind, nth.max(1)));
+                }
+            }
+        }
+        schedule
+    }
+
+    fn is_empty(&self) -> bool {
+        self.crash.is_none() && self.fault.is_none()
+    }
+}
+
+fn env_schedule() -> &'static EnvSchedule {
+    static SCHEDULE: OnceLock<EnvSchedule> = OnceLock::new();
+    SCHEDULE.get_or_init(EnvSchedule::from_env)
+}
+
+fn env_hits() -> &'static Mutex<HashMap<String, u64>> {
+    static HITS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    HITS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fires the named crash/fault point against the process-wide
+/// environment schedule. With no schedule configured this is a no-op;
+/// with [`CRASH_POINT_ENV`] matching, the process **aborts** (the
+/// kill-9 the crash harness simulates); with [`FAULT_ENV`] matching
+/// (by label prefix), the injected error is returned.
+///
+/// # Errors
+///
+/// The injected EIO/ENOSPC when the fault schedule selects this point.
+pub fn crash_point(label: &str) -> io::Result<()> {
+    let schedule = env_schedule();
+    if schedule.is_empty() {
+        return Ok(());
+    }
+    let hits = {
+        let mut map = env_hits().lock().unwrap();
+        let counter = map.entry(label.to_string()).or_insert(0);
+        *counter += 1;
+        *counter
+    };
+    if let Some((wanted, nth)) = &schedule.crash {
+        if wanted == label && hits == *nth {
+            eprintln!("tse-fsio: crash point {label} reached — aborting");
+            std::process::abort();
+        }
+    }
+    if let Some((prefix, kind, nth)) = &schedule.fault {
+        if label.starts_with(prefix.as_str()) && hits == *nth {
+            eprintln!("tse-fsio: fault injected at {label}: {}", kind.error());
+            return Err(kind.error());
+        }
+    }
+    Ok(())
+}
+
+/// Labels of every atomic write in the workspace. Each contributes a
+/// `<label>.pre-rename` and `<label>.post-rename` crash point.
+pub const ATOMIC_WRITE_LABELS: &[&str] = &[
+    "corpus-manifest",
+    "trace-file",
+    "cache-manifest",
+    "cache-entry",
+    "sync-promote",
+    "plan",
+    "shard-bundle",
+    "merged-grid",
+    "journal-compact",
+];
+
+/// Every registered crash-point label a harness can kill a process at:
+/// pre/post-rename for each atomic write, plus the journal's append
+/// fences. The crash-loop test iterates exactly this list.
+pub fn registered_crash_points() -> Vec<String> {
+    let mut points = Vec::new();
+    for label in ATOMIC_WRITE_LABELS {
+        points.push(format!("{label}.pre-rename"));
+        points.push(format!("{label}.post-rename"));
+    }
+    points.push("journal.pre-append".to_string());
+    points.push("journal.post-append".to_string());
+    points
+}
+
+/// Process-unique temp sibling for `path`: same directory (so the
+/// rename cannot cross filesystems), named `.tmp-<pid>-<seq>-<name>`.
+pub fn temp_sibling(path: &Path) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!("{TMP_PREFIX}{}-{seq}-{name}", std::process::id()))
+}
+
+/// Atomically replaces `path` with `bytes` through `vfs`: write a temp
+/// sibling, fsync, rename over the destination (firing the labelled
+/// pre/post-rename crash points). On any failure the temp file is
+/// removed; the destination is never observable half-written.
+///
+/// # Errors
+///
+/// The underlying write/rename failure, or an injected fault.
+pub fn atomic_write_with(vfs: &dyn Vfs, label: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_sibling(path);
+    if let Err(e) = vfs.write_file(&tmp, bytes) {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
+    }
+    promote_with(vfs, label, &tmp, path)
+}
+
+/// [`atomic_write_with`] over the production filesystem.
+///
+/// # Errors
+///
+/// The underlying write/rename failure, or an injected fault.
+pub fn atomic_write(label: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(&RealFs, label, path, bytes)
+}
+
+/// Promotes an already-written (and fsync'd) temp file over its final
+/// path, firing `<label>.pre-rename` / `<label>.post-rename`. This is
+/// the tail of [`atomic_write_with`], split out for writers that
+/// stream their temp file themselves (TSB1 traces, sync transfers).
+/// On failure the temp file is removed.
+///
+/// # Errors
+///
+/// The rename failure, or an injected fault.
+pub fn promote_with(vfs: &dyn Vfs, label: &str, tmp: &Path, path: &Path) -> io::Result<()> {
+    if let Err(e) = vfs.crash_point(&format!("{label}.pre-rename")) {
+        let _ = vfs.remove_file(tmp);
+        return Err(e);
+    }
+    if let Err(e) = vfs.rename(tmp, path) {
+        let _ = vfs.remove_file(tmp);
+        return Err(e);
+    }
+    vfs.crash_point(&format!("{label}.post-rename"))
+}
+
+/// [`promote_with`] over the production filesystem.
+///
+/// # Errors
+///
+/// The rename failure, or an injected fault.
+pub fn promote(label: &str, tmp: &Path, path: &Path) -> io::Result<()> {
+    promote_with(&RealFs, label, tmp, path)
+}
+
+/// What a stale-state sweep reclaimed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StaleReport {
+    /// Files deleted.
+    pub files: usize,
+    /// Their total size.
+    pub bytes: u64,
+}
+
+/// True for file names only a crashed writer leaves behind: our
+/// `.tmp-…` siblings and legacy `.sync-….tmp` transfer temps.
+pub fn is_stale_temp(name: &str) -> bool {
+    name.starts_with(TMP_PREFIX) || (name.starts_with(".sync-") && name.ends_with(".tmp"))
+}
+
+/// Deletes stale temp files in `dir` (non-recursive), optionally also
+/// abandoned `*.partial` resumable-sync downloads. Partials are only
+/// swept by explicit gc — a startup sweep must leave them so an
+/// interrupted `corpus sync` can resume. Call only when no concurrent
+/// writer is active in `dir` (startup, gc): a live writer's in-flight
+/// temp would be indistinguishable from a stale one.
+///
+/// # Errors
+///
+/// The first directory-walk or deletion failure (a missing `dir`
+/// yields an empty report).
+pub fn sweep_stale(dir: &Path, include_partials: bool) -> io::Result<StaleReport> {
+    let mut report = StaleReport::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if is_stale_temp(&name) || (include_partials && name.ends_with(".partial")) {
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(entry.path())?;
+            report.files += 1;
+            report.bytes += len;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tse-fsio-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = scratch("atomic");
+        let path = dir.join("state.json");
+        atomic_write("cache-manifest", &path, b"old\n").unwrap();
+        atomic_write("cache-manifest", &path, b"new\n").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new\n");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| is_stale_temp(n))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_on_temp_write_preserves_old_contents() {
+        let dir = scratch("enospc");
+        let path = dir.join("state.json");
+        atomic_write("cache-manifest", &path, b"old\n").unwrap();
+        let vfs = FaultFs::new();
+        vfs.fail("write:state.json", FaultKind::Enospc);
+        let err = atomic_write_with(&vfs, "cache-manifest", &path, b"new\n").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(vfs.fired(), 1);
+        assert_eq!(fs::read(&path).unwrap(), b"old\n", "old state intact");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_never_reaches_the_destination() {
+        let dir = scratch("torn");
+        let path = dir.join("state.json");
+        atomic_write("corpus-manifest", &path, b"{\"v\":1}\n").unwrap();
+        let vfs = FaultFs::new();
+        vfs.fail("write:state.json", FaultKind::Torn(3));
+        let err = atomic_write_with(&vfs, "corpus-manifest", &path, b"{\"v\":2}\n").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"{\"v\":1}\n",
+            "destination still holds the complete old document"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eio_at_pre_rename_point_cleans_the_temp() {
+        let dir = scratch("prerename");
+        let path = dir.join("state.json");
+        let vfs = FaultFs::new();
+        vfs.fail("corpus-manifest.pre-rename", FaultKind::Eio);
+        let err = atomic_write_with(&vfs, "corpus-manifest", &path, b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(!path.exists());
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "temp removed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nth_schedule_skips_earlier_matches() {
+        let dir = scratch("nth");
+        let path = dir.join("state.json");
+        let vfs = FaultFs::new();
+        vfs.fail_nth("write:state.json", 2, FaultKind::Eio);
+        atomic_write_with(&vfs, "cache-manifest", &path, b"first").unwrap();
+        let err = atomic_write_with(&vfs, "cache-manifest", &path, b"second").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_reclaims_temps_and_optionally_partials() {
+        let dir = scratch("sweep");
+        fs::write(dir.join(".tmp-999-0-corpus.json"), b"torn").unwrap();
+        fs::write(dir.join(".sync-1234.tmp"), b"legacy").unwrap();
+        fs::write(dir.join("trace.tsb1.partial"), b"resume me").unwrap();
+        fs::write(dir.join("corpus.json"), b"{}").unwrap();
+
+        let report = sweep_stale(&dir, false).unwrap();
+        assert_eq!(report.files, 2, "temps swept, partial kept");
+        assert_eq!(report.bytes, 10);
+        assert!(dir.join("trace.tsb1.partial").exists());
+
+        let report = sweep_stale(&dir, true).unwrap();
+        assert_eq!(report.files, 1, "partial swept on explicit gc");
+        assert!(dir.join("corpus.json").exists());
+
+        assert_eq!(sweep_stale(&dir.join("missing"), true).unwrap().files, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registered_points_cover_every_label_twice_plus_journal() {
+        let points = registered_crash_points();
+        assert_eq!(points.len(), ATOMIC_WRITE_LABELS.len() * 2 + 2);
+        assert!(points.iter().any(|p| p == "cache-manifest.pre-rename"));
+        assert!(points.iter().any(|p| p == "journal.post-append"));
+    }
+}

@@ -19,7 +19,10 @@
 //!   delta coded, seekable; the format for traces at 10^6-10^8 records;
 //! * managed trace corpora ([`corpus`]) — directories of TSB1 traces
 //!   with a versioned, digest-carrying JSON manifest that figure sweeps
-//!   resolve `(workload, scale, seed)` requests against.
+//!   resolve `(workload, scale, seed)` requests against;
+//! * crash-safe state I/O ([`fsio`]) — atomic write-temp + fsync +
+//!   rename for every durable manifest, with deterministic fault
+//!   injection and named crash points for the crash-loop harness.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod fsio;
 mod io;
 mod record;
 mod spin;
