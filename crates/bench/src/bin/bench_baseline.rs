@@ -20,6 +20,10 @@ usage:
                                                 ratio, normalized by the median drift of the
                                                 untouched sentinel kernels — read the last column,
                                                 not the raw one, when the machine state moved
+    [--fail-above <ratio>]                      exit nonzero if any non-sentinel kernel's
+                                                like-for-like ratio exceeds <ratio> (CI gate)
+    [--only <group[,group/bench,...]>]          restrict the --fail-above gate to these groups
+                                                or kernels (the report still prints everything)
 ";
 
 fn main() -> ExitCode {
@@ -80,6 +84,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.normalized(e),
                 if e.sentinel { "  [sentinel]" } else { "" },
             );
+        }
+        if let Some(threshold) = flag("--fail-above") {
+            let threshold: f64 = threshold
+                .parse()
+                .map_err(|e| format!("--fail-above wants a ratio: {e}"))?;
+            let only: Vec<&str> = flag("--only")
+                .map(|s| s.split(',').filter(|k| !k.is_empty()).collect())
+                .unwrap_or_default();
+            let flagged = baseline::regressions(&report, threshold, &only);
+            if !flagged.is_empty() {
+                return Err(format!(
+                    "like-for-like regression above {threshold}x:\n  {}",
+                    flagged.join("\n  ")
+                ));
+            }
+            println!("no like-for-like regression above {threshold}x");
         }
         return Ok(());
     }

@@ -2,7 +2,8 @@
 
 use crate::{Cmob, CmobPtr, DirectoryPointers, Pop, StreamQueue, Svb, SvbEntry, TseStats};
 use tse_interconnect::TrafficClass;
-use tse_memsim::{DsmSystem, FastHashMap};
+use tse_memsim::{DsmSystem, FastHashMap, MissClass};
+use tse_types::ops::{OP_SPIN, OP_WRITE};
 use tse_types::{ConfigError, Cycle, Line, NodeId, SystemConfig, TseConfig};
 
 /// Hard ceiling on stream queues when the configuration asks for
@@ -303,6 +304,94 @@ impl TemporalStreamingEngine {
             ready_at: entry.ready_at,
             full_latency,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Batched block advance
+    // ------------------------------------------------------------------
+
+    /// Drives the engine and DSM over one lowered block of accesses:
+    /// the batch-execution equivalent of the record-at-a-time event
+    /// sequence (`write`, probe, [`TemporalStreamingEngine::demand_read`],
+    /// [`TemporalStreamingEngine::consumption_miss`] /
+    /// [`TemporalStreamingEngine::observe_miss`]), with identical
+    /// observable state and statistics.
+    ///
+    /// The three parallel columns are a block's per-record op bits
+    /// ([`tse_types::ops`]), node indices and line addresses. `all_reads`
+    /// widens the streamed scope from coherent reads to every read miss;
+    /// `spin_filtering` gates the spin heuristics, and `is_spin` is the
+    /// caller's (stateful) spin filter — it is invoked with exactly the
+    /// short-circuit pattern of the interpretive loop, so a filter that
+    /// mutates on every call sees the same call sequence.
+    ///
+    /// Consecutive same-node reads of one line collapse: after the head
+    /// access resolves — local hit, SVB hit (which installs), or miss
+    /// fill — the line is L1-resident and MRU, so the tail is booked as
+    /// one batched L1 probe ([`DsmSystem::probe_repeat`]) without
+    /// re-dispatching per record.
+    ///
+    /// Returns the number of spin-filtered misses in the block.
+    // The parallel columns stay separate slices: this crate cannot see
+    // the trace plane's `LoweredBlock`, and a core-side bundle struct
+    // would just restate the three borrows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advance_block(
+        &mut self,
+        dsm: &mut DsmSystem,
+        ops: &[u8],
+        nodes: &[u16],
+        lines: &[u64],
+        all_reads: bool,
+        spin_filtering: bool,
+        is_spin: &mut dyn FnMut(NodeId, Line) -> bool,
+    ) -> u64 {
+        debug_assert!(ops.len() == nodes.len() && ops.len() == lines.len());
+        let mut spin_misses = 0u64;
+        let mut i = 0usize;
+        while i < ops.len() {
+            let node = NodeId::new(nodes[i]);
+            let line = Line::new(lines[i]);
+            if ops[i] & OP_WRITE != 0 {
+                dsm.write(node, line);
+                self.write(dsm, line);
+                i += 1;
+                continue;
+            }
+            // Maximal same-node same-line read run starting at `i`.
+            let mut j = i + 1;
+            while j < ops.len()
+                && ops[j] & OP_WRITE == 0
+                && nodes[j] == nodes[i]
+                && lines[j] == lines[i]
+            {
+                j += 1;
+            }
+            dsm.count_read();
+            if dsm.probe_local(node, line).is_none()
+                && self.demand_read(dsm, node, line, Cycle::ZERO).is_none()
+            {
+                let miss = dsm.read_miss(node, line);
+                let coherent = miss.class == MissClass::Coherence;
+                if all_reads || coherent {
+                    let spin = spin_filtering
+                        && ((coherent && ops[i] & OP_SPIN != 0) || is_spin(node, line));
+                    if spin {
+                        spin_misses += 1;
+                        self.observe_miss(dsm, node, line, Cycle::ZERO);
+                    } else {
+                        self.consumption_miss(dsm, node, line, Cycle::ZERO);
+                    }
+                } else {
+                    self.observe_miss(dsm, node, line, Cycle::ZERO);
+                }
+            }
+            if j - i > 1 {
+                dsm.probe_repeat(node, line, (j - i - 1) as u64);
+            }
+            i = j;
+        }
+        spin_misses
     }
 
     // ------------------------------------------------------------------

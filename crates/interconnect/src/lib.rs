@@ -35,4 +35,4 @@ mod torus;
 mod traffic;
 
 pub use torus::Torus;
-pub use traffic::{Traffic, TrafficClass, TrafficReport};
+pub use traffic::{Traffic, TrafficClass, TrafficReport, TrafficScratch};

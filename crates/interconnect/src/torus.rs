@@ -126,12 +126,17 @@ impl Torus {
     /// X bisection of the torus.
     ///
     /// The bisection cut splits the torus into the left `width/2` columns
-    /// and the right `width/2` columns; in a ring, a route can cross the
-    /// cut through the middle (`width/2 - 1 -> width/2`) or through the
-    /// wraparound (`width - 1 -> 0`). Dimension-order routing takes the
-    /// shorter X direction, so each route crosses the bisection zero or one
-    /// times; routes between nodes in the same half that use only Y links
-    /// never cross it.
+    /// and the right columns; in a ring, a route can cross the cut through
+    /// the middle (`width/2 - 1 -> width/2`) or through the wraparound
+    /// (`width - 1 -> 0`). Dimension-order routing takes the shorter X
+    /// direction, and the two cuts bound the left half exactly, so a
+    /// shortest route crosses the bisection iff its endpoints sit in
+    /// different halves — and then exactly once: the in-half arc between
+    /// same-half columns is always strictly shorter than the wrapping arc
+    /// (an in-half distance is at most `width/2`, the wrap alternative at
+    /// least `width/2 + 1`), so same-half routes never leave the half.
+    /// That collapses the per-message ring walk to two comparisons (the
+    /// test module keeps the walk as an oracle).
     pub fn bisection_crossings(&self, src: NodeId, dst: NodeId) -> usize {
         if self.width < 2 {
             return 0;
@@ -139,30 +144,17 @@ impl Torus {
         let half = self.width / 2;
         let (sx, _) = self.coords(src);
         let (dx, _) = self.coords(dst);
-        if sx == dx {
-            return 0;
-        }
-        // Walk the shorter ring direction and count cut crossings.
-        let fwd = (dx + self.width - sx) % self.width; // steps going +1
-        let bwd = (sx + self.width - dx) % self.width; // steps going -1
-        let (dir, steps) = if fwd <= bwd {
-            (1i64, fwd)
-        } else {
-            (-1i64, bwd)
-        };
-        let mut x = sx as i64;
-        let mut crossings = 0;
-        for _ in 0..steps {
-            let next = (x + dir).rem_euclid(self.width as i64);
-            let (a, b) = (x as usize, next as usize);
-            let crosses_mid = (a == half - 1 && b == half) || (a == half && b == half - 1);
-            let crosses_wrap = (a == self.width - 1 && b == 0) || (a == 0 && b == self.width - 1);
-            if crosses_mid || crosses_wrap {
-                crossings += 1;
-            }
-            x = next;
-        }
-        crossings
+        usize::from((sx < half) != (dx < half))
+    }
+
+    /// Per-node table of which X half each node sits in: `true` for the
+    /// left `width/2` columns. Two nodes' routes cross the bisection iff
+    /// their table entries differ (see [`Torus::bisection_crossings`]);
+    /// hot paths that classify many messages index this instead of
+    /// re-deriving coordinates per message.
+    pub fn bisection_sides(&self) -> Vec<bool> {
+        let half = self.width / 2;
+        (0..self.nodes()).map(|i| i % self.width < half).collect()
     }
 
     /// Number of unidirectional links cut by the X bisection
@@ -183,6 +175,42 @@ mod tests {
 
     fn t44() -> Torus {
         Torus::new(4, 4).unwrap()
+    }
+
+    /// The original O(steps) implementation: walk the shorter ring
+    /// direction and count cut crossings edge by edge. Kept as the
+    /// oracle for the closed form used in production.
+    fn walked_crossings(t: &Torus, src: NodeId, dst: NodeId) -> usize {
+        let w = t.width();
+        if w < 2 {
+            return 0;
+        }
+        let half = w / 2;
+        let (sx, _) = t.coords(src);
+        let (dx, _) = t.coords(dst);
+        if sx == dx {
+            return 0;
+        }
+        let fwd = (dx + w - sx) % w; // steps going +1
+        let bwd = (sx + w - dx) % w; // steps going -1
+        let (dir, steps) = if fwd <= bwd {
+            (1i64, fwd)
+        } else {
+            (-1i64, bwd)
+        };
+        let mut x = sx as i64;
+        let mut crossings = 0;
+        for _ in 0..steps {
+            let next = (x + dir).rem_euclid(w as i64);
+            let (a, b) = (x as usize, next as usize);
+            let crosses_mid = (a == half - 1 && b == half) || (a == half && b == half - 1);
+            let crosses_wrap = (a == w - 1 && b == 0) || (a == 0 && b == w - 1);
+            if crosses_mid || crosses_wrap {
+                crossings += 1;
+            }
+            x = next;
+        }
+        crossings
     }
 
     #[test]
@@ -288,6 +316,26 @@ mod tests {
             let (a, b) = (NodeId::new((a % n) as u16), NodeId::new((b % n) as u16));
             prop_assert_eq!(t.hops(a, b), t.hops(b, a));
             prop_assert!(t.hops(a, b) <= w / 2 + h / 2);
+        }
+
+        #[test]
+        fn closed_form_matches_ring_walk(w in 1usize..9, h in 1usize..9, a in 0usize..64, b in 0usize..64) {
+            let t = Torus::new(w, h).unwrap();
+            let n = t.nodes();
+            let (a, b) = (NodeId::new((a % n) as u16), NodeId::new((b % n) as u16));
+            prop_assert_eq!(t.bisection_crossings(a, b), walked_crossings(&t, a, b));
+        }
+
+        #[test]
+        fn side_table_matches_crossings(w in 1usize..9, h in 1usize..9, a in 0usize..64, b in 0usize..64) {
+            let t = Torus::new(w, h).unwrap();
+            let n = t.nodes();
+            let (a, b) = (NodeId::new((a % n) as u16), NodeId::new((b % n) as u16));
+            let sides = t.bisection_sides();
+            prop_assert_eq!(
+                sides[a.index()] != sides[b.index()],
+                t.bisection_crossings(a, b) == 1
+            );
         }
     }
 }

@@ -92,6 +92,11 @@ impl fmt::Display for TrafficClass {
 #[derive(Debug, Clone)]
 pub struct Traffic {
     torus: Torus,
+    /// `side[n]` is the X half node `n` sits in; a message crosses the
+    /// bisection iff its endpoints' entries differ (see
+    /// [`Torus::bisection_sides`]). Precomputed so the per-message cost
+    /// is one indexed compare instead of coordinate math.
+    side: Vec<bool>,
     total: [u64; 4],
     bisection: [u64; 4],
     messages: [u64; 4],
@@ -102,6 +107,7 @@ impl Traffic {
     pub fn new(torus: &Torus) -> Self {
         Traffic {
             torus: *torus,
+            side: torus.bisection_sides(),
             total: [0; 4],
             bisection: [0; 4],
             messages: [0; 4],
@@ -119,9 +125,44 @@ impl Traffic {
         let i = class.index();
         self.total[i] += bytes;
         self.messages[i] += 1;
-        if self.torus.bisection_crossings(src, dst) > 0 {
+        if self.side[src.index()] != self.side[dst.index()] {
             self.bisection[i] += bytes;
         }
+    }
+
+    /// Records one message into a detached [`TrafficScratch`] instead of
+    /// this accumulator's counters. Batched replay records a whole block
+    /// into a scratch and [`Traffic::absorb`]s it once per block, keeping
+    /// the run-level counters out of the hot loop; the classification is
+    /// identical to [`Traffic::record`].
+    pub fn record_into(
+        &self,
+        scratch: &mut TrafficScratch,
+        src: NodeId,
+        dst: NodeId,
+        class: TrafficClass,
+        bytes: u64,
+    ) {
+        if src == dst {
+            return;
+        }
+        let i = class.index();
+        scratch.total[i] += bytes;
+        scratch.messages[i] += 1;
+        if self.side[src.index()] != self.side[dst.index()] {
+            scratch.bisection[i] += bytes;
+        }
+    }
+
+    /// Folds a per-batch scratch into the run-level counters and resets
+    /// the scratch for reuse.
+    pub fn absorb(&mut self, scratch: &mut TrafficScratch) {
+        for i in 0..4 {
+            self.total[i] += scratch.total[i];
+            self.bisection[i] += scratch.bisection[i];
+            self.messages[i] += scratch.messages[i];
+        }
+        *scratch = TrafficScratch::default();
     }
 
     /// Total bytes recorded across all classes.
@@ -169,6 +210,25 @@ impl Traffic {
             bisection_overhead_bytes: self.bisection[1] + self.bisection[2] + self.bisection[3],
             messages: self.messages.iter().sum(),
         }
+    }
+}
+
+/// Detached per-batch traffic counters (see [`Traffic::record_into`]).
+///
+/// A scratch carries no topology of its own: messages are classified
+/// against the owning [`Traffic`]'s side table at record time, so
+/// absorbing a scratch is twelve unconditional adds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrafficScratch {
+    total: [u64; 4],
+    bisection: [u64; 4],
+    messages: [u64; 4],
+}
+
+impl TrafficScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        TrafficScratch::default()
     }
 }
 
@@ -312,6 +372,36 @@ mod tests {
         assert!(TrafficClass::DiscardedData.is_overhead());
         assert!(TrafficClass::CmobMaintenance.is_overhead());
         assert_eq!(TrafficClass::ALL.len(), 4);
+    }
+
+    #[test]
+    fn scratch_absorb_matches_direct_recording() {
+        let mut direct = Traffic::new(&torus());
+        let mut batched = Traffic::new(&torus());
+        let mut scratch = TrafficScratch::new();
+        let msgs = [
+            (1u16, 2u16, TrafficClass::Demand, 100u64), // crosses the middle cut
+            (0, 1, TrafficClass::Demand, 100),          // stays in the left half
+            (0, 3, TrafficClass::StreamAddresses, 64),  // crosses the wrap cut
+            (3, 3, TrafficClass::DiscardedData, 999),   // local: ignored
+            (5, 6, TrafficClass::CmobMaintenance, 8),
+        ];
+        for &(s, d, c, b) in &msgs {
+            direct.record(NodeId::new(s), NodeId::new(d), c, b);
+            batched.record_into(&mut scratch, NodeId::new(s), NodeId::new(d), c, b);
+        }
+        batched.absorb(&mut scratch);
+        assert_eq!(direct.report(), batched.report());
+        for c in TrafficClass::ALL {
+            assert_eq!(direct.class_bytes(c), batched.class_bytes(c));
+            assert_eq!(
+                direct.class_bisection_bytes(c),
+                batched.class_bisection_bytes(c)
+            );
+        }
+        // The scratch resets on absorb: absorbing again changes nothing.
+        batched.absorb(&mut scratch);
+        assert_eq!(direct.report(), batched.report());
     }
 
     #[test]

@@ -147,6 +147,67 @@ impl<V: Copy + Default> SetAssocCache<V> {
         }
     }
 
+    /// Like [`SetAssocCache::get`], but first checks the way cached in
+    /// `hint` before scanning the set, and rewrites `hint` on every hit.
+    ///
+    /// State effects (LRU stamps, tick, hit/miss counters) are identical
+    /// to `get` for every input: a resident line occupies exactly one
+    /// slot, so a tag match at `hint` finds the same way the scan would.
+    /// Callers keep one hint per access stream (e.g. per node) so runs of
+    /// touches to the same line skip the way scan entirely.
+    pub fn get_hinted(&mut self, line: Line, hint: &mut usize) -> Option<V> {
+        if let Some(s) = self.slots.get(*hint) {
+            if s.stamp != 0 && s.tag == line {
+                self.tick += 1;
+                self.slots[*hint].stamp = self.tick;
+                self.hits += 1;
+                return Some(self.slots[*hint].meta);
+            }
+        }
+        match self.find(line) {
+            Some(i) => {
+                *hint = i;
+                self.tick += 1;
+                self.slots[i].stamp = self.tick;
+                self.hits += 1;
+                Some(self.slots[i].meta)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Batch probe: equivalent to `count` consecutive
+    /// [`SetAssocCache::get_hinted`] calls for the same line with no
+    /// intervening mutation, in one set probe.
+    ///
+    /// Repeated hits restamp the same slot, so only the final tick is
+    /// observable — a hit advances the tick by `count` and stamps once;
+    /// a miss books `count` misses. The batched replay kernel uses this
+    /// to collapse a run of same-line probes into one cache operation.
+    pub fn get_repeat(&mut self, line: Line, hint: &mut usize, count: u64) -> Option<V> {
+        debug_assert!(count > 0, "get_repeat of zero probes");
+        let found = match self.slots.get(*hint) {
+            Some(s) if s.stamp != 0 && s.tag == line => Some(*hint),
+            _ => self.find(line),
+        };
+        match found {
+            Some(i) => {
+                *hint = i;
+                self.tick += count;
+                self.slots[i].stamp = self.tick;
+                self.hits += count;
+                Some(self.slots[i].meta)
+            }
+            None => {
+                self.misses += count;
+                None
+            }
+        }
+    }
+
     /// Looks up a line without updating LRU order or counters.
     pub fn peek(&self, line: Line) -> Option<V> {
         self.find(line).map(|i| self.slots[i].meta)
@@ -168,8 +229,23 @@ impl<V: Copy + Default> SetAssocCache<V> {
             self.slots[i].stamp = self.tick;
             return None;
         }
+        self.place(line, meta)
+    }
+
+    /// [`SetAssocCache::insert`] for a line the caller has already proven
+    /// absent (e.g. a fill right after a miss with no intervening
+    /// mutation), skipping the residency scan. State effects are
+    /// identical to `insert` on an absent line.
+    pub fn insert_absent(&mut self, line: Line, meta: V) -> Option<(Line, V)> {
+        debug_assert!(self.find(line).is_none(), "insert_absent on resident line");
+        self.tick += 1;
+        self.place(line, meta)
+    }
+
+    /// Places an absent line into its set: prefer an empty way, otherwise
+    /// evict the LRU way. Assumes `self.tick` was already advanced.
+    fn place(&mut self, line: Line, meta: V) -> Option<(Line, V)> {
         let set = self.set_of(line);
-        // Prefer an empty way; otherwise evict the LRU way.
         let mut victim_slot = None;
         let mut lru_slot = set * self.ways;
         let mut lru_stamp = u64::MAX;
@@ -339,7 +415,99 @@ mod tests {
         assert_eq!(v, vec![(Line::new(1), 10), (Line::new(2), 20)]);
     }
 
+    #[test]
+    fn hinted_get_matches_get() {
+        let mut c = tiny();
+        let mut hint = usize::MAX;
+        c.insert(Line::new(1), 10);
+        // Cold hint: falls back to the scan and learns the slot.
+        assert_eq!(c.get_hinted(Line::new(1), &mut hint), Some(10));
+        // Warm hint: short-circuits, same result and counters.
+        assert_eq!(c.get_hinted(Line::new(1), &mut hint), Some(10));
+        assert_eq!(c.hits(), 2);
+        // A miss books a miss and leaves the hint alone.
+        assert_eq!(c.get_hinted(Line::new(9), &mut hint), None);
+        assert_eq!(c.misses(), 1);
+        // Stale hint after invalidation: falls back cleanly.
+        c.invalidate(Line::new(1));
+        assert_eq!(c.get_hinted(Line::new(1), &mut hint), None);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn get_repeat_matches_repeated_hinted_gets() {
+        let mut a = tiny();
+        let mut b = tiny();
+        let (mut ha, mut hb) = (usize::MAX, usize::MAX);
+        a.insert(Line::new(1), 10);
+        b.insert(Line::new(1), 10);
+        // Hit run of 5.
+        for _ in 0..5 {
+            assert_eq!(a.get_hinted(Line::new(1), &mut ha), Some(10));
+        }
+        assert_eq!(b.get_repeat(Line::new(1), &mut hb, 5), Some(10));
+        assert_eq!((a.hits(), a.misses()), (b.hits(), b.misses()));
+        // Miss run of 3.
+        for _ in 0..3 {
+            assert_eq!(a.get_hinted(Line::new(9), &mut ha), None);
+        }
+        assert_eq!(b.get_repeat(Line::new(9), &mut hb, 3), None);
+        assert_eq!((a.hits(), a.misses()), (b.hits(), b.misses()));
+        // Identical LRU evolution afterwards: same eviction choice.
+        a.insert(Line::new(2), 2);
+        b.insert(Line::new(2), 2);
+        assert_eq!(
+            a.insert(Line::new(3), 3),
+            b.insert(Line::new(3), 3),
+            "LRU state diverged after batched probes"
+        );
+    }
+
+    #[test]
+    fn insert_absent_matches_insert_for_absent_lines() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.insert(Line::new(1), 1);
+        b.insert_absent(Line::new(1), 1);
+        a.insert(Line::new(2), 2);
+        b.insert_absent(Line::new(2), 2);
+        // Same LRU state: both evict line 1 next.
+        assert_eq!(a.insert(Line::new(3), 3), Some((Line::new(1), 1)));
+        assert_eq!(b.insert_absent(Line::new(3), 3), Some((Line::new(1), 1)));
+    }
+
     proptest! {
+        #[test]
+        fn hinted_and_plain_gets_evolve_identically(
+            ops in proptest::collection::vec((0u64..16, any::<bool>()), 0..200),
+        ) {
+            // 2 sets x 2 ways, random get/insert interleaving: the hinted
+            // cache (one shared hint) must stay observationally identical.
+            let mut plain: SetAssocCache<u64> = SetAssocCache::new(256, 2).unwrap();
+            let mut hinted: SetAssocCache<u64> = SetAssocCache::new(256, 2).unwrap();
+            let mut hint = usize::MAX;
+            for (line, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(
+                        plain.insert(Line::new(line), line),
+                        hinted.insert(Line::new(line), line)
+                    );
+                } else {
+                    prop_assert_eq!(
+                        plain.get(Line::new(line)),
+                        hinted.get_hinted(Line::new(line), &mut hint)
+                    );
+                }
+                prop_assert_eq!(plain.hits(), hinted.hits());
+                prop_assert_eq!(plain.misses(), hinted.misses());
+            }
+            let mut a: Vec<_> = plain.iter().collect();
+            let mut b: Vec<_> = hinted.iter().collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+
         #[test]
         fn occupancy_never_exceeds_capacity(ops in proptest::collection::vec((0u64..64, any::<bool>()), 0..300)) {
             // 4 sets x 2 ways = 8 lines

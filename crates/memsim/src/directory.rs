@@ -73,6 +73,62 @@ pub struct WriteGrant {
     pub was_exclusive: bool,
 }
 
+/// Compact stored form of a directory entry: 24 bytes instead of the
+/// 32-byte enum form, so a map slot (key + entry) stays within one cache
+/// line — the directory table is megabytes and probed cold on every
+/// simulated miss, so bytes per probe are what the hot path pays for.
+///
+/// Encoding: `mask == 0` is `Uncached`; otherwise `MODIFIED` in `flags`
+/// distinguishes `Modified` (mask = owner's bit) from `Shared`.
+/// `last_writer == u16::MAX` means none (node ids are bounded by 64).
+#[derive(Debug, Clone, Copy)]
+struct PackedEntry {
+    /// Sharer bitmask (`Shared`), or the owner's bit (`Modified`).
+    mask: u64,
+    /// Write-ownership generation counter (0 = never written).
+    version: u64,
+    /// Last writer's node index, or `u16::MAX` for none.
+    last_writer: u16,
+    /// Bit 0: the line is exclusively owned (`Modified`).
+    flags: u8,
+}
+
+const MODIFIED: u8 = 1;
+const NO_WRITER: u16 = u16::MAX;
+
+impl PackedEntry {
+    #[inline]
+    fn owner(&self) -> NodeId {
+        debug_assert!(self.flags & MODIFIED != 0 && self.mask != 0);
+        NodeId::new(self.mask.trailing_zeros() as u16)
+    }
+
+    fn unpack(&self) -> DirectoryEntry {
+        DirectoryEntry {
+            state: if self.mask == 0 {
+                DirState::Uncached
+            } else if self.flags & MODIFIED != 0 {
+                DirState::Modified(self.owner())
+            } else {
+                DirState::Shared(self.mask)
+            },
+            last_writer: (self.last_writer != NO_WRITER).then(|| NodeId::new(self.last_writer)),
+            version: self.version,
+        }
+    }
+}
+
+impl Default for PackedEntry {
+    fn default() -> Self {
+        PackedEntry {
+            mask: 0,
+            version: 0,
+            last_writer: NO_WRITER,
+            flags: 0,
+        }
+    }
+}
+
 /// A full-map directory covering the whole simulated address space.
 ///
 /// Physically each entry lives at the line's home node (the `SystemConfig`
@@ -93,7 +149,7 @@ pub struct WriteGrant {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Directory {
-    entries: LineMap<DirectoryEntry>,
+    entries: LineMap<PackedEntry>,
     nodes: usize,
 }
 
@@ -133,11 +189,11 @@ impl Directory {
     /// Returns the entry for a line (an `Uncached`, never-written entry if
     /// the line has no state yet).
     pub fn entry(&self, line: Line) -> DirectoryEntry {
-        self.entries.get(line).unwrap_or_default()
+        self.entries.get(line).unwrap_or_default().unpack()
     }
 
-    fn entry_mut(&mut self, line: Line) -> &mut DirectoryEntry {
-        self.entries.get_or_insert_with(line, DirectoryEntry::new)
+    fn entry_mut(&mut self, line: Line) -> &mut PackedEntry {
+        self.entries.get_or_insert_with(line, PackedEntry::default)
     }
 
     fn mask(node: NodeId) -> u64 {
@@ -161,23 +217,14 @@ impl Directory {
     /// simulated access.
     pub fn read_fill(&mut self, node: NodeId, line: Line) -> ReadFill {
         let e = self.entry_mut(line);
-        let supplier = match e.state {
-            DirState::Uncached => {
-                e.state = DirState::Shared(Self::mask(node));
-                None
-            }
-            DirState::Shared(m) => {
-                e.state = DirState::Shared(m | Self::mask(node));
-                None
-            }
-            DirState::Modified(owner) => {
-                e.state = DirState::Shared(Self::mask(owner) | Self::mask(node));
-                if owner == node {
-                    None
-                } else {
-                    Some(owner)
-                }
-            }
+        let supplier = if e.flags & MODIFIED != 0 {
+            let owner = e.owner();
+            e.flags &= !MODIFIED;
+            e.mask |= Self::mask(node);
+            (owner != node).then_some(owner)
+        } else {
+            e.mask |= Self::mask(node);
+            None
         };
         ReadFill {
             supplier,
@@ -200,23 +247,19 @@ impl Directory {
     /// the writer's cache fill).
     pub fn write_acquire(&mut self, node: NodeId, line: Line) -> WriteGrant {
         let e = self.entry_mut(line);
-        let invalidated = match e.state {
-            DirState::Uncached => 0,
-            DirState::Shared(m) => m & !Self::mask(node),
-            DirState::Modified(owner) => {
-                if owner == node {
-                    // Silent upgrade: still the exclusive owner.
-                    return WriteGrant {
-                        invalidated: 0,
-                        version: e.version,
-                        was_exclusive: true,
-                    };
-                }
-                Self::mask(owner)
-            }
-        };
-        e.state = DirState::Modified(node);
-        e.last_writer = Some(node);
+        let own = Self::mask(node);
+        if e.flags & MODIFIED != 0 && e.mask == own {
+            // Silent upgrade: still the exclusive owner.
+            return WriteGrant {
+                invalidated: 0,
+                version: e.version,
+                was_exclusive: true,
+            };
+        }
+        let invalidated = e.mask & !own;
+        e.mask = own;
+        e.flags |= MODIFIED;
+        e.last_writer = node.index() as u16;
         e.version += 1;
         WriteGrant {
             invalidated,
@@ -234,35 +277,26 @@ impl Directory {
         let Some(e) = self.entries.get_mut(line) else {
             return false;
         };
-        match e.state {
-            DirState::Uncached => false,
-            DirState::Shared(m) => {
-                let m = m & !Self::mask(node);
-                e.state = if m == 0 {
-                    DirState::Uncached
-                } else {
-                    DirState::Shared(m)
-                };
+        let own = Self::mask(node);
+        if e.flags & MODIFIED != 0 {
+            if e.mask == own {
+                e.mask = 0;
+                e.flags &= !MODIFIED;
+                true
+            } else {
                 false
             }
-            DirState::Modified(owner) => {
-                if owner == node {
-                    e.state = DirState::Uncached;
-                    true
-                } else {
-                    false
-                }
-            }
+        } else {
+            e.mask &= !own;
+            false
         }
     }
 
     /// True if `node` currently holds a registered copy of `line`.
     pub fn holds(&self, node: NodeId, line: Line) -> bool {
-        match self.entry(line).state {
-            DirState::Uncached => false,
-            DirState::Shared(m) => m & Self::mask(node) != 0,
-            DirState::Modified(owner) => owner == node,
-        }
+        self.entries
+            .get(line)
+            .is_some_and(|e| e.mask & Self::mask(node) != 0)
     }
 }
 

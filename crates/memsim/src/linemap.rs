@@ -11,8 +11,11 @@
 //! * insert-or-update and lookup only (the directory never deletes
 //!   entries, it mutates them in place), so there are no tombstones and
 //!   probe chains stay short at the 5/8 load ceiling;
-//! * parallel key/value arrays keep probes on one cache line until the
-//!   value is actually needed.
+//! * keys and values are interleaved in one slot array: every caller
+//!   reads the value on a hit and probe chains are short at this load
+//!   factor, so landing key and value on the same cache line saves a
+//!   second random-memory touch per probe (the directory working set is
+//!   megabytes, so each array touched is a likely cache miss).
 //!
 //! One slot index is reserved as the empty marker (`u64::MAX`); a line
 //! with that exact index is legal in a trace, so it is carried in a
@@ -46,26 +49,38 @@ const INITIAL_CAPACITY: usize = 16;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LineMap<V> {
-    keys: Vec<u64>,
-    vals: Vec<V>,
+    slots: Vec<Slot<V>>,
     /// `capacity - 1` (capacity is a power of two).
     mask: usize,
     /// Occupied slots (excluding `reserved`).
     len: usize,
     /// Grow when `len` reaches this (5/8 of capacity — plain linear
     /// probing clusters at the load SwissTable-style probing tolerates,
-    /// and slots are 16 bytes, so the headroom is cheap).
+    /// and the headroom is cheap).
     grow_at: usize,
     /// Value for the one line whose index equals the empty marker.
     reserved: Option<V>,
+}
+
+/// One slot: key and value together, so a probe that hits pays one
+/// random-memory touch instead of two.
+#[derive(Debug, Clone, Copy)]
+struct Slot<V> {
+    key: u64,
+    val: V,
 }
 
 impl<V: Copy + Default> LineMap<V> {
     /// Creates an empty map.
     pub fn new() -> Self {
         LineMap {
-            keys: vec![EMPTY; INITIAL_CAPACITY],
-            vals: vec![V::default(); INITIAL_CAPACITY],
+            slots: vec![
+                Slot {
+                    key: EMPTY,
+                    val: V::default(),
+                };
+                INITIAL_CAPACITY
+            ],
             mask: INITIAL_CAPACITY - 1,
             len: 0,
             grow_at: INITIAL_CAPACITY / 8 * 5,
@@ -100,11 +115,11 @@ impl<V: Copy + Default> LineMap<V> {
         }
         let mut i = self.slot(key);
         loop {
-            let k = self.keys[i];
-            if k == key {
-                return Some(self.vals[i]);
+            let s = &self.slots[i];
+            if s.key == key {
+                return Some(s.val);
             }
-            if k == EMPTY {
+            if s.key == EMPTY {
                 return None;
             }
             i = (i + 1) & self.mask;
@@ -121,9 +136,9 @@ impl<V: Copy + Default> LineMap<V> {
         }
         let mut i = self.slot(key);
         loop {
-            let k = self.keys[i];
+            let k = self.slots[i].key;
             if k == key {
-                return Some(&mut self.vals[i]);
+                return Some(&mut self.slots[i].val);
             }
             if k == EMPTY {
                 return None;
@@ -151,15 +166,17 @@ impl<V: Copy + Default> LineMap<V> {
         }
         let mut i = self.slot(key);
         loop {
-            let k = self.keys[i];
+            let k = self.slots[i].key;
             if k == key {
-                return &mut self.vals[i];
+                return &mut self.slots[i].val;
             }
             if k == EMPTY {
-                self.keys[i] = key;
-                self.vals[i] = default();
+                self.slots[i] = Slot {
+                    key,
+                    val: default(),
+                };
                 self.len += 1;
-                return &mut self.vals[i];
+                return &mut self.slots[i].val;
             }
             i = (i + 1) & self.mask;
         }
@@ -169,20 +186,27 @@ impl<V: Copy + Default> LineMap<V> {
     /// a plain rehash of occupied slots suffices).
     fn grow(&mut self) {
         let new_cap = (self.mask + 1) * 2;
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
-        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); new_cap]);
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Slot {
+                    key: EMPTY,
+                    val: V::default(),
+                };
+                new_cap
+            ],
+        );
         self.mask = new_cap - 1;
         self.grow_at = new_cap / 8 * 5;
-        for (k, v) in old_keys.into_iter().zip(old_vals) {
-            if k == EMPTY {
+        for s in old {
+            if s.key == EMPTY {
                 continue;
             }
-            let mut i = self.slot(k);
-            while self.keys[i] != EMPTY {
+            let mut i = self.slot(s.key);
+            while self.slots[i].key != EMPTY {
                 i = (i + 1) & self.mask;
             }
-            self.keys[i] = k;
-            self.vals[i] = v;
+            self.slots[i] = s;
         }
     }
 }

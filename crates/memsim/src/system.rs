@@ -2,7 +2,7 @@
 
 use crate::{Directory, FastHashMap, MemStats, SetAssocCache};
 use std::collections::hash_map::Entry;
-use tse_interconnect::{Torus, Traffic, TrafficClass};
+use tse_interconnect::{Torus, Traffic, TrafficClass, TrafficScratch};
 use tse_types::{ConfigError, Line, NodeId, SystemConfig, LINE_BYTES};
 
 /// Which level of the local hierarchy served a read.
@@ -119,8 +119,24 @@ pub struct DsmSystem {
     /// control bytes beat an open-addressed u64 probe on cache misses.
     seen: Vec<FastHashMap<Line, u64>>,
     traffic: Traffic,
+    /// Batch-local traffic counters: the hot paths record into this
+    /// scratch and [`DsmSystem::traffic`]/[`DsmSystem::traffic_mut`]
+    /// fold it into `traffic` on the way out, so the run-level
+    /// accumulator stays off the per-message path. Byte counts commute,
+    /// so the deferred flush is observation-equivalent to direct
+    /// recording.
+    scratch: TrafficScratch,
     stats: MemStats,
     global_seq: u64,
+    /// `nodes - 1` when the node count is a power of two, so the hot
+    /// paths compute a line's home with a mask instead of a `u64` modulo.
+    home_mask: Option<u64>,
+    /// Per-node last-hit way hints for the L1/L2 probes (see
+    /// [`SetAssocCache::get_hinted`]): runs of accesses to the same line
+    /// skip the way scan. Pure caches — results are identical with any
+    /// hint values.
+    l1_hint: Vec<usize>,
+    l2_hint: Vec<usize>,
 }
 
 impl DsmSystem {
@@ -149,10 +165,24 @@ impl DsmSystem {
             directory: Directory::new(cfg.nodes),
             seen: vec![FastHashMap::default(); cfg.nodes],
             traffic: Traffic::new(&torus),
+            scratch: TrafficScratch::new(),
             stats: MemStats::default(),
             global_seq: 0,
+            home_mask: cfg.nodes.is_power_of_two().then_some(cfg.nodes as u64 - 1),
+            l1_hint: vec![usize::MAX; cfg.nodes],
+            l2_hint: vec![usize::MAX; cfg.nodes],
             cfg: cfg.clone(),
         })
+    }
+
+    /// The line's home node — [`SystemConfig::home_node`], with the
+    /// modulo strength-reduced to a mask for power-of-two node counts.
+    #[inline]
+    fn home_of(&self, line: Line) -> NodeId {
+        match self.home_mask {
+            Some(mask) => NodeId::new((line.index() & mask) as u16),
+            None => self.cfg.home_node(line),
+        }
     }
 
     /// The system configuration.
@@ -170,14 +200,21 @@ impl DsmSystem {
         &self.stats
     }
 
+    /// Folds the batch-local scratch into the run-level accumulator.
+    fn flush_traffic(&mut self) {
+        self.traffic.absorb(&mut self.scratch);
+    }
+
     /// Accumulated traffic (shared with TSE overhead recording).
-    pub fn traffic(&self) -> &Traffic {
+    pub fn traffic(&mut self) -> &Traffic {
+        self.flush_traffic();
         &self.traffic
     }
 
     /// Mutable access to the traffic accumulator, so engines layered on
     /// top (TSE) can book their overhead messages in the same report.
     pub fn traffic_mut(&mut self) -> &mut Traffic {
+        self.flush_traffic();
         &mut self.traffic
     }
 
@@ -201,15 +238,16 @@ impl DsmSystem {
     /// before paying for the directory transaction).
     pub fn probe_local(&mut self, node: NodeId, line: Line) -> Option<HitLevel> {
         let n = node.index();
-        if self.l1[n].get(line).is_some() {
+        if self.l1[n].get_hinted(line, &mut self.l1_hint[n]).is_some() {
             self.stats.l1_hits += 1;
             return Some(HitLevel::L1);
         }
-        if let Some(version) = self.l2[n].get(line) {
+        if let Some(version) = self.l2[n].get_hinted(line, &mut self.l2_hint[n]) {
             self.stats.l2_hits += 1;
             // Inclusive fill into L1; L1 victims are clean (write-through
-            // to L2 is implied) and evicted silently.
-            self.l1[n].insert(line, version);
+            // to L2 is implied) and evicted silently. The L1 missed just
+            // above, so the fill skips the residency scan.
+            self.l1[n].insert_absent(line, version);
             return Some(HitLevel::L2);
         }
         None
@@ -246,15 +284,29 @@ impl DsmSystem {
         self.l1[n].insert(line, version);
     }
 
+    /// [`DsmSystem::fill_hierarchy`] for a line proven absent from both
+    /// levels (a fill right after a local probe missed, with no
+    /// intervening insertion): skips both residency scans. L1 absence
+    /// follows from L2 absence by inclusion; the eviction handler only
+    /// removes lines, so the L1 stays clear of `line` across it.
+    fn fill_hierarchy_absent(&mut self, node: NodeId, line: Line, version: u64) {
+        let n = node.index();
+        if let Some((victim, _)) = self.l2[n].insert_absent(line, version) {
+            self.handle_l2_eviction(node, victim);
+        }
+        self.l1[n].insert_absent(line, version);
+    }
+
     fn handle_l2_eviction(&mut self, node: NodeId, victim: Line) {
         // Inclusion: drop the L1 copy.
         self.l1[node.index()].invalidate(victim);
         self.stats.evictions += 1;
-        let home = self.cfg.home_node(victim);
+        let home = self.home_of(victim);
         let dirty = self.directory.remove_node(node, victim);
         if dirty {
             self.stats.writebacks += 1;
-            self.traffic.record(
+            self.traffic.record_into(
+                &mut self.scratch,
                 node,
                 home,
                 TrafficClass::Demand,
@@ -262,8 +314,13 @@ impl DsmSystem {
             );
         } else {
             // Replacement hint keeps the full-map directory precise.
-            self.traffic
-                .record(node, home, TrafficClass::Demand, self.cfg.header_bytes);
+            self.traffic.record_into(
+                &mut self.scratch,
+                node,
+                home,
+                TrafficClass::Demand,
+                self.cfg.header_bytes,
+            );
         }
     }
 
@@ -286,6 +343,46 @@ impl DsmSystem {
             hit: None,
             miss: Some(miss),
         }
+    }
+
+    /// Performs `count` consecutive reads of the same line by the same
+    /// node, equivalent to `count` [`DsmSystem::read`] calls with no
+    /// intervening access, in at most one directory transaction.
+    ///
+    /// The first read resolves normally; every subsequent one then hits
+    /// the L1 (the first probe or fill made the line resident and MRU),
+    /// so the remainder collapses into one batched L1 probe
+    /// ([`SetAssocCache::get_repeat`]). The batched replay kernel uses
+    /// this for the run-length-encoded same-line runs the lowering pass
+    /// finds.
+    pub fn read_repeat(&mut self, node: NodeId, line: Line, count: u64) -> ReadOutcome {
+        debug_assert!(count > 0, "read_repeat of zero reads");
+        let first = self.read(node, line);
+        if count > 1 {
+            let n = node.index();
+            self.stats.reads += count - 1;
+            self.stats.l1_hits += count - 1;
+            let hit = self.l1[n].get_repeat(line, &mut self.l1_hint[n], count - 1);
+            debug_assert!(hit.is_some(), "line absent from L1 right after a read");
+        }
+        first
+    }
+
+    /// Books `count` reads that are guaranteed L1 hits, equivalent to
+    /// `count` probe-and-count sequences (`stats.reads += 1` plus
+    /// [`DsmSystem::probe_local`]) against an L1-resident line.
+    ///
+    /// This is [`DsmSystem::read_repeat`]'s tail for paths where the
+    /// *first* access of a run did not go through [`DsmSystem::read`] —
+    /// an SVB hit that installed the line, or an engine-mediated miss —
+    /// but still left the line resident and MRU in the L1.
+    pub fn probe_repeat(&mut self, node: NodeId, line: Line, count: u64) {
+        debug_assert!(count > 0, "probe_repeat of zero probes");
+        let n = node.index();
+        self.stats.reads += count;
+        self.stats.l1_hits += count;
+        let hit = self.l1[n].get_repeat(line, &mut self.l1_hint[n], count);
+        debug_assert!(hit.is_some(), "probe_repeat of a line absent from L1");
     }
 
     /// Counts a read access that was satisfied outside the hierarchy
@@ -320,7 +417,7 @@ impl DsmSystem {
             _ => MissClass::Replacement,
         };
 
-        let home = self.cfg.home_node(line);
+        let home = self.home_of(line);
         let fill = match grant.supplier {
             Some(owner) if owner != node => FillPath::RemoteCache { home, owner },
             _ if home == node => FillPath::LocalMemory,
@@ -328,7 +425,9 @@ impl DsmSystem {
         };
         self.account_fill_traffic(node, fill, TrafficClass::Demand);
 
-        self.fill_hierarchy(node, line, grant.version);
+        // The caller established a local miss, so the fill is
+        // scan-free (see `fill_hierarchy_absent`).
+        self.fill_hierarchy_absent(node, line, grant.version);
 
         match class {
             MissClass::Cold => self.stats.cold_misses += 1,
@@ -354,15 +453,21 @@ impl DsmSystem {
         match fill {
             FillPath::LocalMemory => {}
             FillPath::RemoteMemory { home } => {
-                self.traffic.record(node, home, class, hdr);
-                self.traffic.record(home, node, class, hdr + LINE_BYTES);
+                self.traffic
+                    .record_into(&mut self.scratch, node, home, class, hdr);
+                self.traffic
+                    .record_into(&mut self.scratch, home, node, class, hdr + LINE_BYTES);
             }
             FillPath::RemoteCache { home, owner } => {
-                self.traffic.record(node, home, class, hdr);
-                self.traffic.record(home, owner, class, hdr);
-                self.traffic.record(owner, node, class, hdr + LINE_BYTES);
+                self.traffic
+                    .record_into(&mut self.scratch, node, home, class, hdr);
+                self.traffic
+                    .record_into(&mut self.scratch, home, owner, class, hdr);
+                self.traffic
+                    .record_into(&mut self.scratch, owner, node, class, hdr + LINE_BYTES);
                 // Sharing writeback: the downgraded owner updates memory.
-                self.traffic.record(owner, home, class, hdr + LINE_BYTES);
+                self.traffic
+                    .record_into(&mut self.scratch, owner, home, class, hdr + LINE_BYTES);
             }
         }
     }
@@ -373,7 +478,7 @@ impl DsmSystem {
     /// but does **not** install the line into the caches (streamed blocks
     /// live in the SVB until they are used, per Section 3.3).
     pub fn stream_fetch(&mut self, node: NodeId, line: Line) -> FillPath {
-        let home = self.cfg.home_node(line);
+        let home = self.home_of(line);
         let grant = self.directory.read_fill(node, line);
         self.seen[node.index()].insert(line, grant.version);
         match grant.supplier {
@@ -402,16 +507,19 @@ impl DsmSystem {
     pub fn write(&mut self, node: NodeId, line: Line) -> WriteOutcome {
         self.stats.writes += 1;
         let n = node.index();
-        let had_line = self.l2[n].contains(line);
-        // One directory transaction decides both questions: a silent
-        // upgrade (`was_exclusive`) leaves the entry untouched, so
-        // probing state first and acquiring second would do the same
-        // work with a second map lookup.
+        // One directory transaction decides everything: a silent upgrade
+        // (`was_exclusive`) leaves the entry untouched. Every L2 eviction
+        // notifies the directory (`remove_node`), so `Modified(node)`
+        // implies the line is still resident in `node`'s L2 — the silent
+        // path needs no residency probe at all, and the hinted LRU
+        // refresh below skips even the set scan for the common
+        // same-line write run.
         let grant = self.directory.write_acquire(node, line);
 
-        if grant.was_exclusive && had_line {
-            // Silent store hit: refresh LRU.
-            self.l2[n].get(line);
+        if grant.was_exclusive {
+            // Silent store hit: refresh LRU (a `get` that provably hits).
+            let refreshed = self.l2[n].get_hinted(line, &mut self.l2_hint[n]);
+            debug_assert!(refreshed.is_some(), "exclusive owner lost its L2 copy");
             self.l1[n].insert(line, grant.version);
             return WriteOutcome {
                 silent: true,
@@ -419,13 +527,15 @@ impl DsmSystem {
             };
         }
 
+        let had_line = self.l2[n].contains(line);
         let invalidated = grant.invalidated;
         self.stats.write_transactions += 1;
-        let home = self.cfg.home_node(line);
+        let home = self.home_of(line);
         let hdr = self.cfg.header_bytes;
 
         // Request + grant/data.
-        self.traffic.record(node, home, TrafficClass::Demand, hdr);
+        self.traffic
+            .record_into(&mut self.scratch, node, home, TrafficClass::Demand, hdr);
         let fill_bytes = if had_line { hdr } else { hdr + LINE_BYTES };
         self.traffic
             .record(home, node, TrafficClass::Demand, fill_bytes);
@@ -437,15 +547,25 @@ impl DsmSystem {
             mask &= mask - 1;
             let victim = NodeId::new(idx);
             self.stats.invalidations += 1;
-            self.traffic.record(home, victim, TrafficClass::Demand, hdr);
-            self.traffic.record(victim, node, TrafficClass::Demand, hdr);
+            self.traffic
+                .record_into(&mut self.scratch, home, victim, TrafficClass::Demand, hdr);
+            self.traffic
+                .record_into(&mut self.scratch, victim, node, TrafficClass::Demand, hdr);
             // Remove the line from the victim's hierarchy.
             let v = victim.index();
             self.l1[v].invalidate(line);
             self.l2[v].invalidate(line);
         }
 
-        self.fill_caches(node, line, grant.version);
+        if had_line {
+            self.fill_caches(node, line, grant.version);
+        } else {
+            // The writer's L2 missed (and with it the inclusive L1), and
+            // the invalidations above only touched other nodes: the fill
+            // skips both residency scans.
+            self.fill_hierarchy_absent(node, line, grant.version);
+            self.seen[n].insert(line, grant.version);
+        }
         WriteOutcome {
             silent: false,
             invalidated,
@@ -458,6 +578,7 @@ impl DsmSystem {
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
         self.traffic = Traffic::new(&self.torus);
+        self.scratch = TrafficScratch::new();
     }
 
     // ------------------------------------------------------------------
@@ -689,6 +810,33 @@ mod tests {
         d.read(NodeId::new(0), Line::new(2));
         d.read(NodeId::new(0), Line::new(1)); // hit: no seq
         assert_eq!(d.global_seq(), 2);
+    }
+
+    #[test]
+    fn read_repeat_matches_repeated_reads() {
+        // Same-line runs through every first-read outcome (cold miss,
+        // L2 hit after L1 pressure, plain L1 hit) must leave both
+        // systems in identical observable state.
+        let mut a = dsm();
+        let mut b = dsm();
+        let n = NodeId::new(0);
+        let runs = [
+            (Line::new(5), 4u64), // cold miss then L1 hits
+            (Line::new(5), 3),    // L1 hit run
+            (Line::new(69), 2),   // different set
+            (Line::new(5), 1),    // run of one
+        ];
+        for &(line, count) in &runs {
+            let first = a.read(n, line);
+            for _ in 1..count {
+                let rest = a.read(n, line);
+                assert_eq!(rest.hit, Some(HitLevel::L1), "run tail must hit L1");
+            }
+            assert_eq!(b.read_repeat(n, line, count), first);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.global_seq(), b.global_seq());
+        assert_eq!(a.traffic().report(), b.traffic().report());
     }
 
     #[test]

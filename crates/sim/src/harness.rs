@@ -100,15 +100,110 @@ impl RunResult {
 
 /// Per-node state for baseline-prefetcher runs: the predictor plus its
 /// prefetch buffer (identical to the TSE's SVB, per Section 5.5).
-struct PfNode {
-    predictor: Box<dyn Prefetcher>,
-    buffer: Svb,
+pub(crate) struct PfNode {
+    pub(crate) predictor: Box<dyn Prefetcher>,
+    pub(crate) buffer: Svb,
 }
 
-enum Engine {
+pub(crate) enum Engine {
     Baseline,
     Tse(Box<TemporalStreamingEngine>),
     Prefetch(Vec<PfNode>),
+}
+
+/// Instantiates the engine beside the cache hierarchy, shared by the
+/// batched kernel ([`crate::kernel`]) and the record-at-a-time
+/// reference loop.
+pub(crate) fn build_engine(
+    kind: &EngineKind,
+    sys: &SystemConfig,
+    nodes: usize,
+) -> Result<Engine, ConfigError> {
+    Ok(match kind {
+        EngineKind::Baseline => Engine::Baseline,
+        EngineKind::Tse(tse_cfg) => {
+            Engine::Tse(Box::new(TemporalStreamingEngine::new(sys, tse_cfg)?))
+        }
+        EngineKind::Stride { depth, buffer } => Engine::Prefetch(
+            (0..nodes)
+                .map(|_| PfNode {
+                    predictor: Box::new(StridePrefetcher::new(*depth)),
+                    buffer: Svb::new(*buffer),
+                })
+                .collect(),
+        ),
+        EngineKind::Ghb {
+            indexing,
+            entries,
+            width,
+            buffer,
+        } => Engine::Prefetch(
+            (0..nodes)
+                .map(|_| PfNode {
+                    predictor: Box::new(GhbPrefetcher::new(*indexing, *entries, *width)),
+                    buffer: Svb::new(*buffer),
+                })
+                .collect(),
+        ),
+    })
+}
+
+/// Whether spin misses are filtered out of the consumption stream. The
+/// TSE's spin filter can be ablated; baselines always exclude spins, as
+/// the paper's methodology does.
+pub(crate) fn spin_filtering_for(kind: &EngineKind) -> bool {
+    match kind {
+        EngineKind::Tse(t) => t.spin_filter,
+        _ => true,
+    }
+}
+
+/// Teardown shared by the batched kernel and the reference loop:
+/// residual buffered blocks are discards, then the counters assemble
+/// into the [`RunResult`].
+pub(crate) fn finish_run(
+    name: &str,
+    mut dsm: DsmSystem,
+    engine: Engine,
+    mut baseline_stats: TseStats,
+    consumptions: Vec<Consumption>,
+    records: u64,
+    spin_misses: u64,
+) -> RunResult {
+    let (engine_name, engine_stats) = match engine {
+        Engine::Baseline => ("base".to_string(), baseline_stats),
+        Engine::Tse(mut tse) => {
+            tse.finish(&mut dsm);
+            ("TSE".to_string(), tse.stats().clone())
+        }
+        Engine::Prefetch(pf) => {
+            let mut name = String::new();
+            for (n, mut p) in pf.into_iter().enumerate() {
+                name = p.predictor.name().to_string();
+                for entry in p.buffer.drain() {
+                    baseline_stats.discarded += 1;
+                    dsm.account_fill_traffic(
+                        NodeId::new(n as u16),
+                        entry.fill,
+                        TrafficClass::DiscardedData,
+                    );
+                    dsm.drop_sharer(NodeId::new(n as u16), entry.line);
+                }
+            }
+            (name, baseline_stats)
+        }
+    };
+
+    RunResult {
+        workload: name.to_string(),
+        engine_name,
+        mem: *dsm.stats(),
+        engine: engine_stats,
+        traffic: dsm.traffic().report(),
+        consumptions,
+        records,
+        spin_misses,
+    }
 }
 
 /// Runs a workload through the trace-driven harness.
@@ -147,8 +242,25 @@ pub fn run_trace(workload: &dyn Workload, cfg: &RunConfig) -> Result<RunResult, 
 
 /// The replay core shared by [`run_trace`] (generate-then-replay) and
 /// [`crate::run_trace_stored`] (replay a stored global order): drives
-/// the DSM + engine with an already-interleaved record stream.
+/// the DSM + engine with an already-interleaved record stream, by
+/// buffering it into blocks for the batched kernel ([`crate::kernel`]).
 pub(crate) fn run_interleaved(
+    name: &str,
+    trace_nodes: usize,
+    total: usize,
+    records: impl Iterator<Item = AccessRecord>,
+    cfg: &RunConfig,
+) -> Result<RunResult, ConfigError> {
+    let mut src = crate::kernel::IterBlocks::new(records);
+    crate::kernel::run_blocks(name, trace_nodes, total, &mut src, cfg)
+}
+
+/// The record-at-a-time interpretation of the replay semantics, kept as
+/// the executable specification the batched kernel is asserted
+/// bit-identical against (`tests/batched_equivalence.rs`). Not part of
+/// the public API.
+#[doc(hidden)]
+pub fn run_interleaved_reference(
     name: &str,
     trace_nodes: usize,
     total: usize,
@@ -163,42 +275,9 @@ pub(crate) fn run_interleaved(
         )));
     }
 
-    let mut engine = match &cfg.engine {
-        EngineKind::Baseline => Engine::Baseline,
-        EngineKind::Tse(tse_cfg) => {
-            Engine::Tse(Box::new(TemporalStreamingEngine::new(&cfg.sys, tse_cfg)?))
-        }
-        EngineKind::Stride { depth, buffer } => Engine::Prefetch(
-            (0..nodes)
-                .map(|_| PfNode {
-                    predictor: Box::new(StridePrefetcher::new(*depth)),
-                    buffer: Svb::new(*buffer),
-                })
-                .collect(),
-        ),
-        EngineKind::Ghb {
-            indexing,
-            entries,
-            width,
-            buffer,
-        } => Engine::Prefetch(
-            (0..nodes)
-                .map(|_| PfNode {
-                    predictor: Box::new(GhbPrefetcher::new(*indexing, *entries, *width)),
-                    buffer: Svb::new(*buffer),
-                })
-                .collect(),
-        ),
-    };
-
+    let mut engine = build_engine(&cfg.engine, &cfg.sys, nodes)?;
     let warm_records = (total as f64 * cfg.warm_fraction) as usize;
-
-    // The TSE's spin filter can be ablated; baselines always exclude
-    // spins, as the paper's methodology does.
-    let spin_filtering = match &cfg.engine {
-        EngineKind::Tse(t) => t.spin_filter,
-        _ => true,
-    };
+    let spin_filtering = spin_filtering_for(&cfg.engine);
     let mut spin_filter = SpinFilter::new(nodes);
     let mut baseline_stats = TseStats::default();
     let mut consumptions = Vec::new();
@@ -342,41 +421,15 @@ pub(crate) fn run_interleaved(
         }
     }
 
-    // Teardown: residual buffered blocks are discards.
-    let (engine_name, engine_stats) = match engine {
-        Engine::Baseline => ("base".to_string(), baseline_stats),
-        Engine::Tse(mut tse) => {
-            tse.finish(&mut dsm);
-            ("TSE".to_string(), tse.stats().clone())
-        }
-        Engine::Prefetch(pf) => {
-            let mut name = String::new();
-            for (n, mut p) in pf.into_iter().enumerate() {
-                name = p.predictor.name().to_string();
-                for entry in p.buffer.drain() {
-                    baseline_stats.discarded += 1;
-                    dsm.account_fill_traffic(
-                        NodeId::new(n as u16),
-                        entry.fill,
-                        TrafficClass::DiscardedData,
-                    );
-                    dsm.drop_sharer(NodeId::new(n as u16), entry.line);
-                }
-            }
-            (name, baseline_stats)
-        }
-    };
-
-    Ok(RunResult {
-        workload: name.to_string(),
-        engine_name,
-        mem: *dsm.stats(),
-        engine: engine_stats,
-        traffic: dsm.traffic().report(),
+    Ok(finish_run(
+        name,
+        dsm,
+        engine,
+        baseline_stats,
         consumptions,
-        records: measured_records,
+        measured_records,
         spin_misses,
-    })
+    ))
 }
 
 /// Shorthand: baseline run capturing consumptions for trace analyses.

@@ -42,6 +42,7 @@
 
 mod analysis;
 mod harness;
+mod kernel;
 mod replay;
 mod runner;
 pub mod shard;
@@ -49,7 +50,11 @@ mod stats;
 mod timing;
 
 pub use analysis::{correlation_curve, CorrelationAnalysis, CorrelationCurve, MAX_DISTANCE};
+#[doc(hidden)]
+pub use harness::run_interleaved_reference;
 pub use harness::{run_baseline_collecting, run_trace, RunConfig, RunResult};
+#[doc(hidden)]
+pub use replay::run_trace_stored_reference;
 pub use replay::{
     mapped_node_count, run_trace_mapped, run_trace_mapped_path, run_trace_stored,
     run_trace_streamed, run_trace_streamed_path, run_trace_streamed_reader, tsb1_node_count,
@@ -57,6 +62,8 @@ pub use replay::{
 };
 pub use runner::{run_parallel, SweepPool};
 pub use stats::Samples;
+#[doc(hidden)]
+pub use timing::run_timing_stored_reference;
 pub use timing::{
     run_timing, run_timing_mapped, run_timing_mapped_path, run_timing_stored, run_timing_streamed,
     run_timing_streamed_path, run_timing_streamed_reader, TimingResult,

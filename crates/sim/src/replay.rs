@@ -8,7 +8,7 @@
 //! and [`run_trace_stored`] replays it through the harness as many
 //! times as needed.
 
-use crate::harness::run_interleaved;
+use crate::kernel::{run_blocks, SliceBlocks};
 use crate::runner::SweepPool;
 use crate::{RunConfig, RunResult};
 use std::cell::RefCell;
@@ -208,7 +208,19 @@ pub fn tsb1_node_count<R: Read>(reader: &TraceReader<R>) -> usize {
 /// Returns a [`ConfigError`] if the configuration is invalid or the
 /// trace's node count differs from `cfg.sys.nodes`.
 pub fn run_trace_stored(trace: &StoredTrace, cfg: &RunConfig) -> Result<RunResult, ConfigError> {
-    run_interleaved(
+    let mut src = SliceBlocks::new(&trace.records);
+    run_blocks(&trace.name, trace.nodes, trace.records.len(), &mut src, cfg)
+}
+
+/// [`run_trace_stored`] through the record-at-a-time reference loop —
+/// the executable specification the batched kernel is asserted
+/// bit-identical against. Not part of the public API.
+#[doc(hidden)]
+pub fn run_trace_stored_reference(
+    trace: &StoredTrace,
+    cfg: &RunConfig,
+) -> Result<RunResult, ConfigError> {
+    crate::harness::run_interleaved_reference(
         &trace.name,
         trace.nodes,
         trace.records.len(),
@@ -303,8 +315,8 @@ pub fn run_trace_streamed_reader<R: Read + Seek>(
     let nodes = tsb1_node_count(&reader);
     let total = usize::try_from(reader.records()).unwrap_or(usize::MAX);
     let error = Rc::new(RefCell::new(None));
-    let stream = StreamedRecords::new(reader, nodes, Rc::clone(&error));
-    let result = run_interleaved(&name.into(), nodes, total, stream, cfg)?;
+    let mut stream = StreamedRecords::new(reader, nodes, Rc::clone(&error));
+    let result = run_blocks(&name.into(), nodes, total, &mut stream, cfg)?;
     // A trace error mid-stream ends the record iterator early; surface
     // it instead of the truncated result.
     if let Some(e) = error.borrow_mut().take() {
@@ -369,8 +381,8 @@ pub fn run_trace_mapped(
     let nodes = mapped_node_count(&trace);
     let total = usize::try_from(trace.records()).unwrap_or(usize::MAX);
     let error = Rc::new(RefCell::new(None));
-    let stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
-    let result = run_interleaved(&name.into(), nodes, total, stream, cfg)?;
+    let mut stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
+    let result = run_blocks(&name.into(), nodes, total, &mut stream, cfg)?;
     // A trace error mid-stream ends the record iterator early; surface
     // it instead of the truncated result.
     if let Some(e) = error.borrow_mut().take() {
@@ -398,9 +410,9 @@ pub fn run_trace_mapped_path(
     run_trace_mapped(name, trace, cfg)
 }
 
-/// The record iterator behind [`run_trace_streamed`] (and the timing
+/// The block source behind [`run_trace_streamed`] (and the timing
 /// model's `run_timing_streamed`): pulls raw blocks off the reader,
-/// fans their decode out to the sweep pool, and yields records in trace
+/// fans their decode out to the sweep pool, and yields blocks in trace
 /// order from a bounded reorder window.
 pub(crate) struct StreamedRecords<R: Read> {
     reader: TraceReader<R>,
@@ -416,7 +428,9 @@ pub(crate) struct StreamedRecords<R: Read> {
     decoded: BTreeMap<u32, Vec<AccessRecord>>,
     /// Index of the next block to hand to the consumer.
     next_emit: u32,
-    current: std::vec::IntoIter<AccessRecord>,
+    /// The block most recently handed to the consumer (the kernel
+    /// borrows it until the next [`BlockSource::next_block`] call).
+    block: Vec<AccessRecord>,
     eof: bool,
     nodes: usize,
     error: Rc<RefCell<Option<TraceIoError>>>,
@@ -439,7 +453,7 @@ impl<R: Read> StreamedRecords<R> {
             raw: BTreeMap::new(),
             decoded: BTreeMap::new(),
             next_emit: 0,
-            current: Vec::new().into_iter(),
+            block: Vec::new(),
             eof: false,
             nodes,
             error,
@@ -472,7 +486,7 @@ impl<R: Read> StreamedRecords<R> {
     }
 
     /// Produces the next block's records, in trace order.
-    fn next_block(&mut self) -> Option<Vec<AccessRecord>> {
+    fn take_block(&mut self) -> Option<Vec<AccessRecord>> {
         self.dispatch();
         // Observe every decode that has completed.
         while let Ok((idx, result)) = self.rrx.try_recv() {
@@ -515,35 +529,29 @@ impl<R: Read> StreamedRecords<R> {
     }
 }
 
-impl<R: Read> Iterator for StreamedRecords<R> {
-    type Item = AccessRecord;
-
-    fn next(&mut self) -> Option<AccessRecord> {
-        loop {
-            if let Some(rec) = self.current.next() {
-                // Same invariant StoredTrace::load_tsb1 enforces: a
-                // record outside 0..nodes would index the harness out
-                // of bounds.
-                if rec.node.index() >= self.nodes {
-                    let e = TraceIoError::Corrupt {
-                        offset: 0,
-                        reason: format!(
-                            "record on node {} but the trace declares {} nodes",
-                            rec.node, self.nodes
-                        ),
-                    };
-                    self.current = Vec::new().into_iter();
-                    self.fail(e);
-                    return None;
-                }
-                return Some(rec);
-            }
-            self.current = self.next_block()?.into_iter();
+impl<R: Read> crate::kernel::BlockSource for StreamedRecords<R> {
+    fn next_block(&mut self) -> Option<&[AccessRecord]> {
+        let block = self.take_block()?;
+        // Same invariant StoredTrace::load_tsb1 enforces, checked once
+        // per block before any of it is replayed: a record outside
+        // 0..nodes would index the replay kernel out of bounds.
+        if let Some(rec) = block.iter().find(|r| r.node.index() >= self.nodes) {
+            let e = TraceIoError::Corrupt {
+                offset: 0,
+                reason: format!(
+                    "record on node {} but the trace declares {} nodes",
+                    rec.node, self.nodes
+                ),
+            };
+            self.fail(e);
+            return None;
         }
+        self.block = block;
+        Some(&self.block)
     }
 }
 
-/// The record iterator behind [`run_trace_mapped`] (and the timing
+/// The block source behind [`run_trace_mapped`] (and the timing
 /// model's `run_timing_mapped`): the zero-copy sibling of
 /// [`StreamedRecords`]. Where the streamed path reads each raw block
 /// into an owned buffer before handing it to the pool, this one shares
@@ -568,7 +576,9 @@ pub(crate) struct MappedRecords {
     next_emit: u32,
     /// Total blocks in the trace, from the trailer index.
     blocks: u32,
-    current: std::vec::IntoIter<AccessRecord>,
+    /// The block most recently handed to the consumer (the kernel
+    /// borrows it until the next [`BlockSource::next_block`] call).
+    block: Vec<AccessRecord>,
     nodes: usize,
     error: Rc<RefCell<Option<TraceIoError>>>,
 }
@@ -593,7 +603,7 @@ impl MappedRecords {
             next_dispatch: 0,
             next_emit: 0,
             blocks,
-            current: Vec::new().into_iter(),
+            block: Vec::new(),
             nodes,
             error,
         }
@@ -626,7 +636,7 @@ impl MappedRecords {
     }
 
     /// Produces the next block's records, in trace order.
-    fn next_block(&mut self) -> Option<Vec<AccessRecord>> {
+    fn take_block(&mut self) -> Option<Vec<AccessRecord>> {
         self.dispatch();
         // Observe every decode that has completed.
         while let Ok((idx, result)) = self.rrx.try_recv() {
@@ -673,31 +683,25 @@ impl MappedRecords {
     }
 }
 
-impl Iterator for MappedRecords {
-    type Item = AccessRecord;
-
-    fn next(&mut self) -> Option<AccessRecord> {
-        loop {
-            if let Some(rec) = self.current.next() {
-                // Same invariant StoredTrace::load_tsb1 enforces: a
-                // record outside 0..nodes would index the harness out
-                // of bounds.
-                if rec.node.index() >= self.nodes {
-                    let e = TraceIoError::Corrupt {
-                        offset: 0,
-                        reason: format!(
-                            "record on node {} but the trace declares {} nodes",
-                            rec.node, self.nodes
-                        ),
-                    };
-                    self.current = Vec::new().into_iter();
-                    self.fail(e);
-                    return None;
-                }
-                return Some(rec);
-            }
-            self.current = self.next_block()?.into_iter();
+impl crate::kernel::BlockSource for MappedRecords {
+    fn next_block(&mut self) -> Option<&[AccessRecord]> {
+        let block = self.take_block()?;
+        // Same invariant StoredTrace::load_tsb1 enforces, checked once
+        // per block before any of it is replayed: a record outside
+        // 0..nodes would index the replay kernel out of bounds.
+        if let Some(rec) = block.iter().find(|r| r.node.index() >= self.nodes) {
+            let e = TraceIoError::Corrupt {
+                offset: 0,
+                reason: format!(
+                    "record on node {} but the trace declares {} nodes",
+                    rec.node, self.nodes
+                ),
+            };
+            self.fail(e);
+            return None;
         }
+        self.block = block;
+        Some(&self.block)
     }
 }
 

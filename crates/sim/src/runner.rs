@@ -102,6 +102,11 @@ impl SweepPool {
     /// makes progress even when every pool worker is busy with other
     /// batches, so nesting `run` inside a job cannot deadlock.
     ///
+    /// Jobs travel the batch queue in *chunks* — one channel send (and
+    /// one result send) per chunk of cells, not per cell — so tiny-grid
+    /// sweeps aren't dominated by submit overhead. Two chunks per
+    /// executor keeps the tail balanced under variable job cost.
+    ///
     /// # Panics
     ///
     /// If a job panics, the batch still drains (every job runs exactly
@@ -119,22 +124,37 @@ impl SweepPool {
         let limit = if limit == 0 { self.threads } else { limit };
         let f = Arc::new(f);
 
-        // The batch's private job queue: pool workers and the caller
-        // drain it concurrently; results funnel back over a channel.
-        let (jtx, jrx) = crossbeam::channel::unbounded::<(usize, J)>();
-        for job in jobs.into_iter().enumerate() {
-            jtx.send(job).expect("batch queue open");
+        // The batch's private chunk queue: pool workers and the caller
+        // drain it concurrently; chunk results funnel back over a
+        // channel, tagged with the chunk's first job index.
+        let chunk = n.div_ceil(limit.max(1) * 2).max(1);
+        let chunks = n.div_ceil(chunk);
+        let (jtx, jrx) = crossbeam::channel::unbounded::<(usize, Vec<J>)>();
+        {
+            let mut jobs = jobs.into_iter();
+            let mut start = 0usize;
+            while start < n {
+                let batch: Vec<J> = jobs.by_ref().take(chunk).collect();
+                let len = batch.len();
+                jtx.send((start, batch)).expect("batch queue open");
+                start += len;
+            }
         }
         drop(jtx);
-        let (rtx, rrx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
-        for _ in 0..n.min(limit).saturating_sub(1) {
+        let (rtx, rrx) = mpsc::channel::<(usize, Vec<std::thread::Result<R>>)>();
+        for _ in 0..chunks.min(limit).saturating_sub(1) {
             let jrx = jrx.clone();
             let f = Arc::clone(&f);
             let rtx = rtx.clone();
             self.execute(move || {
-                while let Some((idx, job)) = jrx.try_recv() {
-                    let r = catch_unwind(AssertUnwindSafe(|| f(job)));
-                    if rtx.send((idx, r)).is_err() {
+                while let Some((start, batch)) = jrx.try_recv() {
+                    // Each job is caught individually: one panic must
+                    // not cancel the rest of its chunk.
+                    let rs: Vec<_> = batch
+                        .into_iter()
+                        .map(|job| catch_unwind(AssertUnwindSafe(|| f(job))))
+                        .collect();
+                    if rtx.send((start, rs)).is_err() {
                         return;
                     }
                 }
@@ -146,23 +166,31 @@ impl SweepPool {
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         {
             let mut completed = 0usize;
-            let mut book = |idx: usize, r: std::thread::Result<R>| match r {
-                Ok(v) => out[idx] = Some(v),
-                Err(p) => {
-                    panic.get_or_insert(p);
+            let mut book = |start: usize, rs: Vec<std::thread::Result<R>>| {
+                let len = rs.len();
+                for (i, r) in rs.into_iter().enumerate() {
+                    match r {
+                        Ok(v) => out[start + i] = Some(v),
+                        Err(p) => {
+                            panic.get_or_insert(p);
+                        }
+                    }
                 }
+                len
             };
             // Participate: the caller works the queue like any other
             // worker.
-            while let Some((idx, job)) = jrx.try_recv() {
-                book(idx, catch_unwind(AssertUnwindSafe(|| f(job))));
-                completed += 1;
+            while let Some((start, batch)) = jrx.try_recv() {
+                let rs: Vec<_> = batch
+                    .into_iter()
+                    .map(|job| catch_unwind(AssertUnwindSafe(|| f(job))))
+                    .collect();
+                completed += book(start, rs);
             }
-            // Then wait out the jobs other workers picked up.
+            // Then wait out the chunks other workers picked up.
             while completed < n {
-                let (idx, r) = rrx.recv().expect("every dispatched job reports");
-                book(idx, r);
-                completed += 1;
+                let (start, rs) = rrx.recv().expect("every dispatched chunk reports");
+                completed += book(start, rs);
             }
         }
         if let Some(p) = panic {
@@ -288,6 +316,53 @@ mod tests {
         });
         assert_eq!(outer.len(), 8);
         assert_eq!(outer[2], (20..28).sum::<u64>());
+    }
+
+    #[test]
+    fn chunked_submission_covers_uneven_batches_exactly_once() {
+        // 67 jobs across a handful of executors: the last chunk is
+        // short, and every index must land in its submission slot.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let r = run_parallel((0..67usize).collect(), 3, move |x| {
+            c.fetch_add(1, Ordering::SeqCst);
+            x * 5
+        });
+        assert_eq!(r, (0..67).map(|x| x * 5).collect::<Vec<_>>());
+        assert_eq!(counter.load(Ordering::SeqCst), 67);
+    }
+
+    #[test]
+    fn panicking_job_inside_nested_batch_stays_contained() {
+        // A panic in an *inner* batch must reach that batch's submitter
+        // (an outer job), drain the inner batch fully, and — once the
+        // outer job catches it — leave the outer batch and the pool
+        // intact. Nest-safety and panic propagation together.
+        let inner_runs = Arc::new(AtomicUsize::new(0));
+        let ir = Arc::clone(&inner_runs);
+        let outer = run_parallel((0..6u64).collect(), 0, move |x| {
+            let ir = Arc::clone(&ir);
+            let inner = catch_unwind(AssertUnwindSafe(move || {
+                run_parallel((0..10u64).collect(), 0, move |y| {
+                    ir.fetch_add(1, Ordering::SeqCst);
+                    assert!(!(x == 3 && y == 7), "inner job fails under outer 3");
+                    y
+                })
+            }));
+            // Only the outer job that owned the failing inner batch
+            // observes the panic.
+            assert_eq!(inner.is_err(), x == 3, "panic escaped its batch");
+            x
+        });
+        assert_eq!(outer, (0..6).collect::<Vec<_>>());
+        assert_eq!(
+            inner_runs.load(Ordering::SeqCst),
+            60,
+            "a panic must not cancel the rest of its inner batch"
+        );
+        // The pool keeps serving.
+        let r = run_parallel(vec![9u8, 8], 4, |x| x);
+        assert_eq!(r, vec![9, 8]);
     }
 
     #[test]

@@ -28,9 +28,10 @@ use std::rc::Rc;
 use tse_core::{TemporalStreamingEngine, TseStats};
 use tse_interconnect::TrafficReport;
 use tse_memsim::{DsmSystem, HitLevel, MemStats, MissClass};
-use tse_trace::store::{MappedTrace, TraceReader};
+use tse_trace::store::{LoweredBlock, MappedTrace, TraceReader};
 use tse_trace::{interleave, AccessKind, AccessRecord, SpinFilter, TraceIoError};
-use tse_types::{ConfigError, Cycle, SystemConfig};
+use tse_types::ops::{OP_DEPENDENT, OP_SPIN, OP_WRITE};
+use tse_types::{ConfigError, Cycle, Line, NodeId, SystemConfig};
 use tse_workloads::Workload;
 
 /// Cycles charged for an L2 hit after out-of-order hiding (the 25-cycle
@@ -331,12 +332,12 @@ pub fn run_timing_streamed_reader<R: Read + Seek>(
     let nodes = tsb1_node_count(&reader);
     let total = usize::try_from(reader.records()).unwrap_or(usize::MAX);
     let error: Rc<RefCell<Option<TraceIoError>>> = Rc::new(RefCell::new(None));
-    let stream = StreamedRecords::new(reader, nodes, Rc::clone(&error));
-    let result = run_timing_interleaved(
+    let mut stream = StreamedRecords::new(reader, nodes, Rc::clone(&error));
+    let result = run_timing_blocks(
         &name.into(),
         nodes,
         total,
-        stream,
+        &mut stream,
         sys,
         engine,
         warm_fraction,
@@ -390,12 +391,12 @@ pub fn run_timing_mapped(
     let nodes = mapped_node_count(&trace);
     let total = usize::try_from(trace.records()).unwrap_or(usize::MAX);
     let error: Rc<RefCell<Option<TraceIoError>>> = Rc::new(RefCell::new(None));
-    let stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
-    let result = run_timing_interleaved(
+    let mut stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
+    let result = run_timing_blocks(
         &name.into(),
         nodes,
         total,
-        stream,
+        &mut stream,
         sys,
         engine,
         warm_fraction,
@@ -429,11 +430,285 @@ pub fn run_timing_mapped_path(
     run_timing_mapped(name, trace, sys, engine, warm_fraction)
 }
 
+/// All mutable state of one timing run: the DSM, the optional TSE, the
+/// per-node interval cores and the warm-up bookkeeping. Shared by the
+/// batched block loop ([`run_timing_blocks`]) and the record-at-a-time
+/// reference ([`run_timing_interleaved_reference`]), which differ only
+/// in how they walk the trace.
+struct TimingRun {
+    dsm: DsmSystem,
+    tse: Option<Box<TemporalStreamingEngine>>,
+    cores: Vec<Core>,
+    warm_marks: Vec<(u64, u64, u64, u64)>,
+    prev_clock: Vec<u64>,
+    spin_filter: SpinFilter,
+}
+
+impl TimingRun {
+    fn new(
+        trace_nodes: usize,
+        sys: &SystemConfig,
+        engine: &EngineKind,
+    ) -> Result<Self, ConfigError> {
+        let dsm = DsmSystem::new(sys)?;
+        if trace_nodes != sys.nodes {
+            return Err(ConfigError::new(format!(
+                "trace is configured for {trace_nodes} nodes but the system has {}",
+                sys.nodes
+            )));
+        }
+        let tse = match engine {
+            EngineKind::Baseline => None,
+            EngineKind::Tse(cfg) => {
+                let mut t = TemporalStreamingEngine::new(sys, cfg)?;
+                t.set_timing(true);
+                Some(Box::new(t))
+            }
+            _ => {
+                return Err(ConfigError::new(
+                    "timing model supports Baseline and Tse engines only",
+                ))
+            }
+        };
+        Ok(TimingRun {
+            dsm,
+            tse,
+            cores: (0..sys.nodes).map(|_| Core::new(sys)).collect(),
+            warm_marks: vec![(0, 0, 0, 0); sys.nodes],
+            prev_clock: vec![0; sys.nodes],
+            spin_filter: SpinFilter::new(sys.nodes),
+        })
+    }
+
+    /// Warm-up boundary: caches, CMOBs and core clocks stay warm;
+    /// counters restart (the paper's measurement discipline).
+    fn warm_reset(&mut self) {
+        self.dsm.reset_stats();
+        if let Some(t) = self.tse.as_mut() {
+            t.reset_stats();
+        }
+        for (n, core) in self.cores.iter_mut().enumerate() {
+            core.mlp_sum = 0;
+            core.mlp_events = 0;
+            self.warm_marks[n] = (core.t, core.busy, core.stall_other, core.stall_coherent);
+        }
+    }
+
+    /// Advances logical-clock work and private stall for one record's
+    /// slot, returning the node's physical time afterwards.
+    #[inline]
+    fn advance_clock(&mut self, n: usize, clock: u64, stall: u32) -> Cycle {
+        let work = clock.saturating_sub(self.prev_clock[n]);
+        self.prev_clock[n] = clock;
+        self.cores[n].work(work);
+        if stall > 0 {
+            self.cores[n].private_stall(u64::from(stall));
+        }
+        Cycle::new(self.cores[n].t)
+    }
+
+    /// The timing event sequence for one read that missed the L1 and
+    /// L2 (SVB probe, miss classification, interval-model issue).
+    fn read_miss_event(&mut self, node: NodeId, line: Line, now: Cycle, spin: bool, dep: bool) {
+        if let Some(t) = self.tse.as_mut() {
+            if let Some(hit) = t.demand_read(&mut self.dsm, node, line, now) {
+                if hit.ready_at > now {
+                    // Partially covered: the access behaves like a miss
+                    // whose latency is the residual flight time
+                    // (overlapping with other accesses exactly as a
+                    // demand miss would).
+                    let residual = (hit.ready_at - now).raw().min(hit.full_latency.raw());
+                    self.cores[node.index()].read_miss(residual, true, dep);
+                }
+                return;
+            }
+        }
+        let miss = self.dsm.read_miss(node, line);
+        let latency = self.dsm.fill_latency(node, miss.fill).raw();
+        let is_coh = miss.class == MissClass::Coherence;
+        let spin = is_coh && (spin || self.spin_filter.is_spin(node, line));
+        let consumption = is_coh && !spin;
+        self.cores[node.index()].read_miss(latency, consumption, dep);
+        if let Some(t) = self.tse.as_mut() {
+            if consumption {
+                t.consumption_miss(&mut self.dsm, node, line, now);
+            } else {
+                t.observe_miss(&mut self.dsm, node, line, now);
+            }
+        }
+    }
+
+    /// One record of the record-at-a-time reference loop.
+    fn step(&mut self, rec: &AccessRecord) {
+        let n = rec.node.index();
+        let now = self.advance_clock(n, rec.clock, rec.private_stall);
+        match rec.kind {
+            AccessKind::Write => {
+                self.dsm.write(rec.node, rec.line);
+                if let Some(t) = self.tse.as_mut() {
+                    t.write(&mut self.dsm, rec.line);
+                }
+                // Stores retire through the store buffer; with the
+                // paper's aggressive TSO implementation their latency is
+                // fully hidden.
+            }
+            AccessKind::Read => {
+                self.dsm.count_read();
+                match self.dsm.probe_local(rec.node, rec.line) {
+                    Some(HitLevel::L1) => {}
+                    Some(HitLevel::L2) => self.cores[n].l2_hit(),
+                    None => self.read_miss_event(rec.node, rec.line, now, rec.spin, rec.dependent),
+                }
+            }
+        }
+    }
+
+    /// One lowered slice of the batched block loop. Per-record clock
+    /// work and private stalls are preserved exactly (the interval
+    /// model's `div_ceil` rounding is per record), but dispatch and
+    /// probes batch: the kernel columns drive a dispatch-free loop, and
+    /// same-node same-line read runs collapse into one resolved head
+    /// plus a batched L1 probe — tail reads are guaranteed L1 hits,
+    /// which the timing model charges nothing for.
+    fn advance_slice(&mut self, lowered: &LoweredBlock) {
+        let (ops, nodes, lines) = (lowered.ops(), lowered.nodes(), lowered.lines());
+        let (clocks, stalls) = (lowered.clocks(), lowered.stalls());
+        let mut i = 0usize;
+        while i < ops.len() {
+            let n = usize::from(nodes[i]);
+            let node = NodeId::new(nodes[i]);
+            let line = Line::new(lines[i]);
+            let now = self.advance_clock(n, clocks[i], stalls[i]);
+            if ops[i] & OP_WRITE != 0 {
+                self.dsm.write(node, line);
+                if let Some(t) = self.tse.as_mut() {
+                    t.write(&mut self.dsm, line);
+                }
+                i += 1;
+                continue;
+            }
+            let j = crate::kernel::run_end(ops, nodes, lines, i);
+            self.dsm.count_read();
+            match self.dsm.probe_local(node, line) {
+                Some(HitLevel::L1) => {}
+                Some(HitLevel::L2) => self.cores[n].l2_hit(),
+                None => self.read_miss_event(
+                    node,
+                    line,
+                    now,
+                    ops[i] & OP_SPIN != 0,
+                    ops[i] & OP_DEPENDENT != 0,
+                ),
+            }
+            for k in (i + 1)..j {
+                self.advance_clock(n, clocks[k], stalls[k]);
+            }
+            if j - i > 1 {
+                self.dsm.probe_repeat(node, line, (j - i - 1) as u64);
+            }
+            i = j;
+        }
+    }
+
+    /// Drains the cores and assembles the [`TimingResult`].
+    fn finish(mut self, name: &str, engine: &EngineKind, sys: &SystemConfig) -> TimingResult {
+        for core in self.cores.iter_mut() {
+            core.finish();
+        }
+        let engine_stats = match self.tse {
+            Some(mut t) => {
+                t.finish(&mut self.dsm);
+                t.stats().clone()
+            }
+            None => TseStats::default(),
+        };
+
+        let mut busy = 0;
+        let mut other = 0;
+        let mut coh = 0;
+        let mut makespan = 0;
+        let mut mlp_sum = 0.0;
+        let mut mlp_w = 0u64;
+        for (core, mark) in self.cores.iter().zip(&self.warm_marks) {
+            makespan = makespan.max(core.t - mark.0);
+            busy += core.busy - mark.1;
+            other += core.stall_other - mark.2;
+            coh += core.stall_coherent - mark.3;
+            mlp_sum += core.mlp() * core.mlp_events as f64;
+            mlp_w += core.mlp_events;
+        }
+        let mlp = if mlp_w == 0 {
+            1.0
+        } else {
+            mlp_sum / mlp_w as f64
+        };
+
+        TimingResult {
+            workload: name.to_string(),
+            engine_name: match engine {
+                EngineKind::Baseline => "base".to_string(),
+                _ => "TSE".to_string(),
+            },
+            cycles: makespan,
+            busy,
+            other_stall: other,
+            coherent_stall: coh,
+            mlp,
+            mem: *self.dsm.stats(),
+            engine: engine_stats,
+            traffic: self.dsm.traffic().report(),
+            seconds: sys.cycles_to_seconds(Cycle::new(makespan)),
+        }
+    }
+}
+
+/// The batched timing core: pulls blocks, lowers them, and executes
+/// each through [`TimingRun::advance_slice`]. All timing entry points
+/// (generate, stored, streamed, mapped) route here; blocks straddling
+/// the warm-up boundary split so counter resets land exactly between
+/// the same two records as in the reference loop.
+pub(crate) fn run_timing_blocks(
+    name: &str,
+    trace_nodes: usize,
+    total: usize,
+    src: &mut dyn crate::kernel::BlockSource,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, ConfigError> {
+    let mut run = TimingRun::new(trace_nodes, sys, engine)?;
+    let warm_records = (total as f64 * warm_fraction) as usize;
+    let mut processed = 0usize;
+    let mut lowered = LoweredBlock::new();
+
+    while let Some(block) = src.next_block() {
+        let mut start = 0usize;
+        while start < block.len() {
+            let end = if processed < warm_records {
+                block.len().min(start + (warm_records - processed))
+            } else {
+                block.len()
+            };
+            let slice = &block[start..end];
+            start = end;
+            if processed == warm_records {
+                run.warm_reset();
+            }
+            processed += slice.len();
+            lowered.clear();
+            lowered.lower_records(slice);
+            run.advance_slice(&lowered);
+        }
+    }
+
+    Ok(run.finish(name, engine, sys))
+}
+
 /// The timing event loop shared by [`run_timing`] (generate),
 /// [`run_timing_stored`] (in-memory replay) and [`run_timing_streamed`]
 /// (TSB1 block stream): drives coherence + TSE state in logical-clock
 /// order while each node's physical time advances through the interval
-/// model.
+/// model, block-at-a-time through the batched kernel.
 pub(crate) fn run_timing_interleaved(
     name: &str,
     trace_nodes: usize,
@@ -443,156 +718,62 @@ pub(crate) fn run_timing_interleaved(
     engine: &EngineKind,
     warm_fraction: f64,
 ) -> Result<TimingResult, ConfigError> {
-    let mut dsm = DsmSystem::new(sys)?;
-    if trace_nodes != sys.nodes {
-        return Err(ConfigError::new(format!(
-            "trace is configured for {trace_nodes} nodes but the system has {}",
-            sys.nodes
-        )));
-    }
-    let mut tse = match engine {
-        EngineKind::Baseline => None,
-        EngineKind::Tse(cfg) => {
-            let mut t = TemporalStreamingEngine::new(sys, cfg)?;
-            t.set_timing(true);
-            Some(Box::new(t))
-        }
-        _ => {
-            return Err(ConfigError::new(
-                "timing model supports Baseline and Tse engines only",
-            ))
-        }
-    };
+    let mut src = crate::kernel::IterBlocks::new(records);
+    run_timing_blocks(
+        name,
+        trace_nodes,
+        total,
+        &mut src,
+        sys,
+        engine,
+        warm_fraction,
+    )
+}
 
+/// The record-at-a-time interpretation of the timing semantics, kept as
+/// the executable specification the batched kernel is asserted
+/// bit-identical against (`tests/batched_equivalence.rs`). Not part of
+/// the public API.
+#[doc(hidden)]
+pub fn run_timing_interleaved_reference(
+    name: &str,
+    trace_nodes: usize,
+    total: usize,
+    records: impl Iterator<Item = AccessRecord>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, ConfigError> {
+    let mut run = TimingRun::new(trace_nodes, sys, engine)?;
     let warm_records = (total as f64 * warm_fraction) as usize;
-
-    let mut cores: Vec<Core> = (0..sys.nodes).map(|_| Core::new(sys)).collect();
-    let mut warm_marks: Vec<(u64, u64, u64, u64)> = vec![(0, 0, 0, 0); sys.nodes];
-    let mut prev_clock: Vec<u64> = vec![0; sys.nodes];
-    let mut spin_filter = SpinFilter::new(sys.nodes);
-    let mut processed = 0usize;
-
-    #[allow(clippy::explicit_counter_loop)] // `processed` is also read inside the body
-    for rec in records {
+    for (processed, rec) in records.enumerate() {
         if processed == warm_records {
-            dsm.reset_stats();
-            if let Some(t) = tse.as_mut() {
-                t.reset_stats();
-            }
-            for (n, core) in cores.iter_mut().enumerate() {
-                core.mlp_sum = 0;
-                core.mlp_events = 0;
-                warm_marks[n] = (core.t, core.busy, core.stall_other, core.stall_coherent);
-            }
+            run.warm_reset();
         }
-        processed += 1;
-
-        let n = rec.node.index();
-        let work = rec.clock.saturating_sub(prev_clock[n]);
-        prev_clock[n] = rec.clock;
-        cores[n].work(work);
-        if rec.private_stall > 0 {
-            cores[n].private_stall(rec.private_stall as u64);
-        }
-        let now = Cycle::new(cores[n].t);
-
-        match rec.kind {
-            AccessKind::Write => {
-                dsm.write(rec.node, rec.line);
-                if let Some(t) = tse.as_mut() {
-                    t.write(&mut dsm, rec.line);
-                }
-                // Stores retire through the store buffer; with the
-                // paper's aggressive TSO implementation their latency is
-                // fully hidden.
-            }
-            AccessKind::Read => {
-                dsm.count_read();
-                match dsm.probe_local(rec.node, rec.line) {
-                    Some(HitLevel::L1) => {}
-                    Some(HitLevel::L2) => cores[n].l2_hit(),
-                    None => {
-                        if let Some(t) = tse.as_mut() {
-                            if let Some(hit) = t.demand_read(&mut dsm, rec.node, rec.line, now) {
-                                if hit.ready_at > now {
-                                    // Partially covered: the access behaves
-                                    // like a miss whose latency is the
-                                    // residual flight time (overlapping
-                                    // with other accesses exactly as a
-                                    // demand miss would).
-                                    let residual =
-                                        (hit.ready_at - now).raw().min(hit.full_latency.raw());
-                                    cores[n].read_miss(residual, true, rec.dependent);
-                                }
-                                continue;
-                            }
-                        }
-                        let miss = dsm.read_miss(rec.node, rec.line);
-                        let latency = dsm.fill_latency(rec.node, miss.fill).raw();
-                        let is_coh = miss.class == MissClass::Coherence;
-                        let spin = is_coh && (rec.spin || spin_filter.is_spin(rec.node, rec.line));
-                        let consumption = is_coh && !spin;
-                        cores[n].read_miss(latency, consumption, rec.dependent);
-                        if let Some(t) = tse.as_mut() {
-                            if consumption {
-                                t.consumption_miss(&mut dsm, rec.node, rec.line, now);
-                            } else {
-                                t.observe_miss(&mut dsm, rec.node, rec.line, now);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        run.step(&rec);
     }
+    Ok(run.finish(name, engine, sys))
+}
 
-    for core in cores.iter_mut() {
-        core.finish();
-    }
-    let engine_stats = match tse {
-        Some(mut t) => {
-            t.finish(&mut dsm);
-            t.stats().clone()
-        }
-        None => TseStats::default(),
-    };
-
-    let mut busy = 0;
-    let mut other = 0;
-    let mut coh = 0;
-    let mut makespan = 0;
-    let mut mlp_sum = 0.0;
-    let mut mlp_w = 0u64;
-    for (core, mark) in cores.iter().zip(&warm_marks) {
-        makespan = makespan.max(core.t - mark.0);
-        busy += core.busy - mark.1;
-        other += core.stall_other - mark.2;
-        coh += core.stall_coherent - mark.3;
-        mlp_sum += core.mlp() * core.mlp_events as f64;
-        mlp_w += core.mlp_events;
-    }
-    let mlp = if mlp_w == 0 {
-        1.0
-    } else {
-        mlp_sum / mlp_w as f64
-    };
-
-    Ok(TimingResult {
-        workload: name.to_string(),
-        engine_name: match engine {
-            EngineKind::Baseline => "base".to_string(),
-            _ => "TSE".to_string(),
-        },
-        cycles: makespan,
-        busy,
-        other_stall: other,
-        coherent_stall: coh,
-        mlp,
-        mem: *dsm.stats(),
-        engine: engine_stats,
-        traffic: dsm.traffic().report(),
-        seconds: sys.cycles_to_seconds(Cycle::new(makespan)),
-    })
+/// [`run_timing_stored`] through the record-at-a-time reference loop —
+/// the executable specification the batched kernel is asserted
+/// bit-identical against. Not part of the public API.
+#[doc(hidden)]
+pub fn run_timing_stored_reference(
+    trace: &StoredTrace,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+) -> Result<TimingResult, ConfigError> {
+    run_timing_interleaved_reference(
+        trace.name(),
+        trace.nodes(),
+        trace.len(),
+        trace.records().iter().copied(),
+        sys,
+        engine,
+        warm_fraction,
+    )
 }
 
 #[cfg(test)]

@@ -11,9 +11,40 @@
 //! block.
 
 use super::codec::{F_DEPENDENT, F_PC, F_RESERVED, F_SPIN, F_STALL, F_WRITE};
-use super::varint::{get_u64, unzigzag};
+use super::varint::{get_u64, get_u64_window, unzigzag, MAX_VARINT_BYTES};
 use crate::{AccessKind, AccessRecord, TraceIoError};
+use tse_types::ops::{OP_DEPENDENT, OP_SPIN, OP_WRITE};
 use tse_types::{Line, NodeId};
+
+/// Upper bound on one record's encoded size: the flag byte plus up to
+/// five varints (node, clock delta, line delta, pc delta, stall).
+const MAX_RECORD_BYTES: usize = 1 + 5 * MAX_VARINT_BYTES;
+
+// The lowered op bits reuse the TSB1 flag-bit positions, so lowering a
+// decoded flag byte is a single mask.
+const _: () = assert!(
+    F_WRITE == OP_WRITE && F_DEPENDENT == OP_DEPENDENT && F_SPIN == OP_SPIN,
+    "lowered op bits must match the TSB1 flag positions"
+);
+
+/// Decodes one varint field, through the hoisted-bounds window decoder
+/// when the caller proved `MAX_RECORD_BYTES` of headroom at the start
+/// of the record (which leaves at least one window for every field),
+/// and the per-byte-checked decoder near the end of the payload. Both
+/// paths accept and reject identically.
+#[inline]
+fn field(payload: &[u8], pos: &mut usize, fast: bool) -> Option<u64> {
+    if fast {
+        let w: &[u8; MAX_VARINT_BYTES] = payload[*pos..*pos + MAX_VARINT_BYTES]
+            .try_into()
+            .expect("fast path requires a full window of headroom");
+        let (v, n) = get_u64_window(w)?;
+        *pos += n;
+        Some(v)
+    } else {
+        get_u64(payload, pos)
+    }
+}
 
 /// Per-node running decode state, validity-tagged by batch epoch so
 /// reuse across blocks is O(1) (no table clear). Mirrors the codec's
@@ -175,19 +206,23 @@ impl RecordBatch {
             || TraceIoError::corrupt(offset, format!("undecodable record in block {index}"));
         let mut pos = 0usize;
         for _ in 0..count {
+            // With a full record's worth of headroom every field can use
+            // the windowed decoder; only records near the payload tail
+            // fall back to the per-byte-checked path.
+            let fast = payload.len() - pos >= MAX_RECORD_BYTES;
             let &flags = payload.get(pos).ok_or_else(undecodable)?;
             pos += 1;
             if flags & F_RESERVED != 0 {
                 return Err(undecodable());
             }
-            let node = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+            let node = field(payload, &mut pos, fast).ok_or_else(undecodable)?;
             if node > u64::from(u16::MAX) {
                 return Err(undecodable());
             }
-            let clock_delta = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
-            let line_delta = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+            let clock_delta = field(payload, &mut pos, fast).ok_or_else(undecodable)?;
+            let line_delta = field(payload, &mut pos, fast).ok_or_else(undecodable)?;
             let pc_delta = if flags & F_PC != 0 {
-                let delta = unzigzag(get_u64(payload, &mut pos).ok_or_else(undecodable)?);
+                let delta = unzigzag(field(payload, &mut pos, fast).ok_or_else(undecodable)?);
                 if i32::try_from(delta).is_err() {
                     return Err(undecodable());
                 }
@@ -196,7 +231,7 @@ impl RecordBatch {
                 None
             };
             let private_stall = if flags & F_STALL != 0 {
-                let v = get_u64(payload, &mut pos).ok_or_else(undecodable)?;
+                let v = field(payload, &mut pos, fast).ok_or_else(undecodable)?;
                 u32::try_from(v)
                     .ok()
                     .filter(|&v| v != 0)
@@ -225,6 +260,135 @@ impl RecordBatch {
             ));
         }
         Ok(())
+    }
+}
+
+/// A block lowered for the batched replay kernel: dispatch-free
+/// parallel arrays holding only the fields the replay inner loops read.
+///
+/// Lowering collapses each record's kind/dependent/spin into a single
+/// op byte (`tse_types::ops`) so the kernel tests bits instead of
+/// matching enums, and drops the pc column (replay never reads it).
+/// `max_node` is the per-block hoisted node-range bound: validating it
+/// once per block replaces the per-record node check. Buffers keep
+/// their capacity across `lower_*` calls, so steady-state lowering
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct LoweredBlock {
+    ops: Vec<u8>,
+    nodes: Vec<u16>,
+    lines: Vec<u64>,
+    clocks: Vec<u64>,
+    stalls: Vec<u32>,
+    max_node: u16,
+}
+
+impl LoweredBlock {
+    /// Creates an empty lowered block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drops the records (buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.nodes.clear();
+        self.lines.clear();
+        self.clocks.clear();
+        self.stalls.clear();
+        self.max_node = 0;
+    }
+
+    /// Per-record op bytes (`tse_types::ops` bits).
+    pub fn ops(&self) -> &[u8] {
+        &self.ops
+    }
+
+    /// Per-record node indices.
+    pub fn nodes(&self) -> &[u16] {
+        &self.nodes
+    }
+
+    /// Per-record line addresses.
+    pub fn lines(&self) -> &[u64] {
+        &self.lines
+    }
+
+    /// Per-record logical clocks.
+    pub fn clocks(&self) -> &[u64] {
+        &self.clocks
+    }
+
+    /// Per-record private-stall cycles.
+    pub fn stalls(&self) -> &[u32] {
+        &self.stalls
+    }
+
+    /// Highest node index referenced (0 for an empty block).
+    pub fn max_node(&self) -> u16 {
+        self.max_node
+    }
+
+    fn push(&mut self, op: u8, node: u16, line: u64, clock: u64, stall: u32) {
+        self.ops.push(op);
+        self.nodes.push(node);
+        self.lines.push(line);
+        self.clocks.push(clock);
+        self.stalls.push(stall);
+        self.max_node = self.max_node.max(node);
+    }
+
+    /// Lowers a slice of records, replacing the previous contents.
+    pub fn lower_records(&mut self, records: &[AccessRecord]) {
+        self.clear();
+        self.ops.reserve(records.len());
+        self.nodes.reserve(records.len());
+        self.lines.reserve(records.len());
+        self.clocks.reserve(records.len());
+        self.stalls.reserve(records.len());
+        for r in records {
+            let op = if matches!(r.kind, AccessKind::Write) {
+                OP_WRITE
+            } else {
+                0
+            } | if r.dependent { OP_DEPENDENT } else { 0 }
+                | if r.spin { OP_SPIN } else { 0 };
+            self.push(
+                op,
+                r.node.index() as u16,
+                r.line.index(),
+                r.clock,
+                r.private_stall,
+            );
+        }
+    }
+
+    /// Lowers a decoded [`RecordBatch`], replacing the previous
+    /// contents. Column copies plus one mask per flag byte (the op bits
+    /// share the TSB1 flag positions).
+    pub fn lower_batch(&mut self, batch: &RecordBatch) {
+        self.clear();
+        self.ops.extend(
+            batch
+                .flags
+                .iter()
+                .map(|f| f & (F_WRITE | F_DEPENDENT | F_SPIN)),
+        );
+        self.nodes.extend_from_slice(&batch.nodes);
+        self.lines.extend_from_slice(&batch.lines);
+        self.clocks.extend_from_slice(&batch.clocks);
+        self.stalls.extend_from_slice(&batch.stalls);
+        self.max_node = batch.nodes.iter().copied().max().unwrap_or(0);
     }
 }
 
@@ -386,6 +550,60 @@ mod tests {
             }
             prop_assert_eq!(rehydrated, records);
         }
+    }
+
+    #[test]
+    fn lowering_records_and_batch_agree() {
+        let records = varied_records(10_000);
+        let bytes = trace_bytes(records.clone());
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let mut batch = RecordBatch::new();
+        let mut from_batch = LoweredBlock::new();
+        let mut from_records = LoweredBlock::new();
+        let mut seen = 0usize;
+        while let Some(raw) = r.next_raw_block().unwrap() {
+            batch
+                .decode(&raw.payload, raw.records, raw.offset, raw.index)
+                .unwrap();
+            from_batch.lower_batch(&batch);
+            let slice = &records[seen..seen + batch.len()];
+            from_records.lower_records(slice);
+            seen += batch.len();
+            assert_eq!(from_batch.len(), slice.len());
+            assert_eq!(from_batch.ops(), from_records.ops());
+            assert_eq!(from_batch.nodes(), from_records.nodes());
+            assert_eq!(from_batch.lines(), from_records.lines());
+            assert_eq!(from_batch.clocks(), from_records.clocks());
+            assert_eq!(from_batch.stalls(), from_records.stalls());
+            assert_eq!(from_batch.max_node(), from_records.max_node());
+            // The lowered columns match the rehydrated records.
+            for (i, rec) in slice.iter().enumerate() {
+                let op = from_batch.ops()[i];
+                assert_eq!(op & OP_WRITE != 0, matches!(rec.kind, AccessKind::Write));
+                assert_eq!(op & OP_DEPENDENT != 0, rec.dependent);
+                assert_eq!(op & OP_SPIN != 0, rec.spin);
+                assert_eq!(op & !(OP_WRITE | OP_DEPENDENT | OP_SPIN), 0);
+                assert_eq!(from_batch.nodes()[i] as usize, rec.node.index());
+                assert_eq!(from_batch.lines()[i], rec.line.index());
+                assert_eq!(from_batch.clocks()[i], rec.clock);
+                assert_eq!(from_batch.stalls()[i], rec.private_stall);
+            }
+        }
+        assert_eq!(seen, records.len());
+    }
+
+    #[test]
+    fn lowered_block_reuse_is_clean() {
+        let mut lowered = LoweredBlock::new();
+        lowered.lower_records(&varied_records(100));
+        assert_eq!(lowered.len(), 100);
+        assert_eq!(lowered.max_node(), 4);
+        lowered.lower_records(&varied_records(3));
+        assert_eq!(lowered.len(), 3);
+        assert_eq!(lowered.max_node(), 2);
+        lowered.lower_records(&[]);
+        assert!(lowered.is_empty());
+        assert_eq!(lowered.max_node(), 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod reader;
 mod varint;
 mod writer;
 
-pub use batch::RecordBatch;
+pub use batch::{LoweredBlock, RecordBatch};
 pub use mmap::{BlockSlice, MappedTrace};
 pub use reader::{decode_block, read_tsb1, RawBlock, TraceReader};
 pub use writer::{write_tsb1, TraceWriter};

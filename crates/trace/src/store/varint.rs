@@ -54,6 +54,84 @@ pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
     })
 }
 
+/// Maximum encoded length of a `u64` varint (ten 7-bit groups).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Decodes one varint from a fixed [`MAX_VARINT_BYTES`]-byte window,
+/// returning the value and its encoded length.
+///
+/// The bulk-decode fast path: [`get_u64`] re-checks the buffer bound at
+/// every byte, which the batched block decoder pays five times per
+/// record. Callers that can prove `MAX_VARINT_BYTES` bytes remain hoist
+/// that proof into the window borrow and decode with no per-byte
+/// bounds checks at all; the body is the varint loop fully unrolled in
+/// four-byte groups (SIMD-shaped scalar code — straight-line shift/or
+/// steps with one early exit per byte), so the common one- and
+/// two-byte deltas resolve in a couple of predictable branches.
+///
+/// Accepts and rejects exactly the encodings [`get_from`] does: the
+/// value/length pair agrees with [`get_u64`] on every input, `None`
+/// exactly for non-canonical encodings (a tenth byte above 1 would
+/// overflow a `u64` or continue an 11th group).
+#[inline]
+pub fn get_u64_window(w: &[u8; MAX_VARINT_BYTES]) -> Option<(u64, usize)> {
+    let b = w[0];
+    if b & 0x80 == 0 {
+        return Some((u64::from(b), 1));
+    }
+    let mut value = u64::from(b & 0x7f);
+    // Bytes 1-4.
+    let b = w[1];
+    value |= u64::from(b & 0x7f) << 7;
+    if b & 0x80 == 0 {
+        return Some((value, 2));
+    }
+    let b = w[2];
+    value |= u64::from(b & 0x7f) << 14;
+    if b & 0x80 == 0 {
+        return Some((value, 3));
+    }
+    let b = w[3];
+    value |= u64::from(b & 0x7f) << 21;
+    if b & 0x80 == 0 {
+        return Some((value, 4));
+    }
+    let b = w[4];
+    value |= u64::from(b & 0x7f) << 28;
+    if b & 0x80 == 0 {
+        return Some((value, 5));
+    }
+    // Bytes 5-8.
+    let b = w[5];
+    value |= u64::from(b & 0x7f) << 35;
+    if b & 0x80 == 0 {
+        return Some((value, 6));
+    }
+    let b = w[6];
+    value |= u64::from(b & 0x7f) << 42;
+    if b & 0x80 == 0 {
+        return Some((value, 7));
+    }
+    let b = w[7];
+    value |= u64::from(b & 0x7f) << 49;
+    if b & 0x80 == 0 {
+        return Some((value, 8));
+    }
+    let b = w[8];
+    value |= u64::from(b & 0x7f) << 56;
+    if b & 0x80 == 0 {
+        return Some((value, 9));
+    }
+    // Byte 9 holds the top bit only: anything above 1 overflows a u64
+    // (or asks for an 11th group), exactly get_from's rejection.
+    let b = w[9];
+    if b > 1 {
+        return None;
+    }
+    value |= u64::from(b) << 63;
+    Some((value, 10))
+}
+
 /// Zigzag-maps a signed delta into an unsigned varint payload:
 /// 0, -1, 1, -2, 2, ... → 0, 1, 2, 3, 4, ...
 pub const fn zigzag(v: i64) -> u64 {
@@ -115,6 +193,59 @@ mod tests {
         let buf = [0x80u8; 10];
         let mut pos = 0;
         assert_eq!(get_u64(&buf, &mut pos), None);
+    }
+
+    /// The windowed decoder agrees with `get_u64` on every canonical
+    /// encoding and on representative corrupt windows.
+    #[test]
+    fn windowed_decode_matches_streaming_decode() {
+        let mut cases: Vec<Vec<u8>> = Vec::new();
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            (1 << 35) - 1,
+            1 << 35,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            cases.push(buf);
+        }
+        // Non-canonical: overlong and overflowing tenth bytes.
+        cases.push(vec![0x80; 10]);
+        cases.push({
+            let mut b = vec![0x80; 9];
+            b.push(0x02);
+            b
+        });
+        cases.push({
+            let mut b = vec![0x80; 9];
+            b.push(0x7f);
+            b
+        });
+        for case in cases {
+            let mut w = [0u8; MAX_VARINT_BYTES];
+            w[..case.len()].copy_from_slice(&case);
+            // Trailing garbage past the varint must not matter.
+            for pad in [0x00u8, 0xff] {
+                for slot in w.iter_mut().skip(case.len()) {
+                    *slot = pad;
+                }
+                let mut pos = 0;
+                let slow = get_u64(&w, &mut pos);
+                let fast = get_u64_window(&w);
+                match slow {
+                    Some(v) => assert_eq!(fast, Some((v, pos)), "case {case:?}"),
+                    None => assert_eq!(fast, None, "case {case:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod config;
 mod error;
 mod fasthash;
 mod node;
+pub mod ops;
 mod time;
 
 pub use addr::{Addr, Line, LINE_BYTES, LINE_SHIFT};

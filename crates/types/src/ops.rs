@@ -1,0 +1,19 @@
+//! The lowered replay op byte.
+//!
+//! The batched replay kernel lowers every trace record into parallel
+//! per-field arrays (see `tse-trace`'s `LoweredBlock`); the record's
+//! kind and replay-relevant flags collapse into this one byte so the
+//! kernel's inner loops test bits instead of matching enums. The
+//! encoding lives here, in the shared base crate, because both the
+//! lowering pass (`tse-trace`) and the engine's block-advance entry
+//! point (`tse-core`) need it and neither depends on the other.
+
+/// The record is a write (clear = read).
+pub const OP_WRITE: u8 = 1 << 0;
+
+/// The record's read depends on the previous read's data (pointer
+/// chasing); used by the timing model to serialize misses.
+pub const OP_DEPENDENT: u8 = 1 << 1;
+
+/// The trace marked this access as part of a spin loop.
+pub const OP_SPIN: u8 = 1 << 2;
