@@ -35,6 +35,7 @@ pub const REQUIRED_GROUPS: &[&str] = &[
     "prefetchers",
     "dsm",
     "sweep",
+    "parallel_replay",
     "trace_plane",
 ];
 
@@ -538,6 +539,7 @@ mod tests {
                 "prefetchers" => ("prefetchers/stride_on_miss", 1.0),
                 "dsm" => ("dsm/x", 1.0),
                 "sweep" => ("sweep/x", 1.0),
+                "parallel_replay" => ("parallel_replay/scaled_db2_seq", 1.0),
                 _ => ("trace_plane/x", 1.0),
             }
         }));

@@ -6,16 +6,17 @@ use criterion::{black_box, Criterion};
 use std::io::Cursor;
 use std::sync::OnceLock;
 use tse_sim::{
-    run_parallel, run_trace_stored, run_trace_streamed, EngineKind, RunConfig, StoredTrace,
-    SweepPool,
+    run_parallel, run_trace_stored, run_trace_stored_par, run_trace_streamed, EngineKind,
+    RunConfig, StoredTrace, SweepPool,
 };
-use tse_types::TseConfig;
+use tse_types::{Parallelism, TseConfig};
 use tse_workloads::{OltpFlavor, Tpcc};
 
 /// Registers every sweep benchmark on `c`.
 pub fn all(c: &mut Criterion) {
     bench_pool(c);
     bench_replay(c);
+    bench_parallel_replay(c);
 }
 
 /// One shared small Tpcc trace (a few TSB1 blocks), both materialized
@@ -76,5 +77,43 @@ pub fn bench_replay(c: &mut Criterion) {
             black_box(r.engine.covered)
         });
     });
+    g.finish();
+}
+
+/// One shared full-scale Tpcc trace (~280K records, several 64Ki-record
+/// epochs) for the epoch-parallel macro benchmark.
+fn db2_macro_trace() -> &'static StoredTrace {
+    static TRACE: OnceLock<StoredTrace> = OnceLock::new();
+    TRACE.get_or_init(|| StoredTrace::from_workload(&Tpcc::scaled(OltpFlavor::Db2, 1.0), 42))
+}
+
+/// Epoch-parallel replay of the scaled Db2 trace against the sequential
+/// kernel: the wall-clock side of the determinism contract
+/// (`tests/parallel_equivalence.rs` holds the bit-identity side). The
+/// speedup of `scaled_db2_par{2,4}t` over `scaled_db2_seq` tracks the
+/// machine's core count — on a single-core runner the parallel rows
+/// instead measure the scheduler's overhead ceiling.
+pub fn bench_parallel_replay(c: &mut Criterion) {
+    let trace = db2_macro_trace();
+    let mut g = c.benchmark_group("parallel_replay");
+    g.bench_function("scaled_db2_seq", |b| {
+        b.iter(|| {
+            let r = run_trace_stored(trace, &tse_cfg()).expect("replay");
+            black_box(r.engine.covered)
+        });
+    });
+    for (name, threads) in [
+        ("scaled_db2_par1t", 1usize),
+        ("scaled_db2_par2t", 2),
+        ("scaled_db2_par4t", 4),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_trace_stored_par(trace, &tse_cfg(), Parallelism::new(threads))
+                    .expect("parallel replay");
+                black_box(r.engine.covered)
+            });
+        });
+    }
     g.finish();
 }

@@ -27,11 +27,22 @@ pub struct SvbHit {
     pub full_latency: Cycle,
 }
 
-/// Per-node stream engine state: the SVB plus the node's stream queues,
-/// and the lookup maps that keep the per-miss and per-hit paths O(1)
-/// instead of scanning every queue.
+/// Per-node stream engine state: the node's CMOB, its SVB, its stream
+/// queues, and the lookup maps that keep the per-miss and per-hit paths
+/// O(1) instead of scanning every queue.
+///
+/// This is the engine-side analogue of `tse_memsim::NodeState`: every
+/// per-node component lives in exactly one of these, so the engine is
+/// *partitionable* along the node axis. Note that unlike the DSM's
+/// node caches, engine nodes are **not** detached during epoch-parallel
+/// replay: stream launches read *other* nodes' CMOBs, and the SVB and
+/// queues mutate on merge-ordered events (stream fetches, directory
+/// invalidations), so their evolution is inherently interleave-ordered
+/// — the merge drives them sequentially via
+/// [`TemporalStreamingEngine::advance_block_outcomes`].
 #[derive(Debug)]
-struct NodeEngine {
+struct EngineNode {
+    cmob: Cmob,
     svb: Svb,
     queues: Vec<StreamQueue>,
     /// Queue id → current position in `queues`, maintained across
@@ -49,9 +60,10 @@ struct NodeEngine {
     head_scratch: Vec<Line>,
 }
 
-impl NodeEngine {
-    fn new(svb_entries: Option<usize>) -> Self {
-        NodeEngine {
+impl EngineNode {
+    fn new(cmob_capacity: usize, svb_entries: Option<usize>) -> Self {
+        EngineNode {
+            cmob: Cmob::new(cmob_capacity),
             svb: Svb::new(svb_entries),
             queues: Vec::new(),
             qindex: FastHashMap::default(),
@@ -170,9 +182,8 @@ fn unpublish(head_index: &mut FastHashMap<Line, Vec<u64>>, h: Line, qid: u64) {
 pub struct TemporalStreamingEngine {
     tse_cfg: TseConfig,
     sys_cfg: SystemConfig,
-    cmobs: Vec<Cmob>,
     pointers: DirectoryPointers,
-    nodes: Vec<NodeEngine>,
+    nodes: Vec<EngineNode>,
     stats: TseStats,
     next_qid: u64,
     lru_tick: u64,
@@ -192,12 +203,9 @@ impl TemporalStreamingEngine {
         sys.validate()?;
         tse.validate()?;
         let nodes = (0..sys.nodes)
-            .map(|_| NodeEngine::new(tse.svb_entries))
+            .map(|_| EngineNode::new(tse.cmob_capacity, tse.svb_entries))
             .collect();
         Ok(TemporalStreamingEngine {
-            cmobs: (0..sys.nodes)
-                .map(|_| Cmob::new(tse.cmob_capacity))
-                .collect(),
             pointers: DirectoryPointers::new(tse.directory_pointers),
             nodes,
             stats: TseStats::default(),
@@ -236,7 +244,7 @@ impl TemporalStreamingEngine {
 
     /// A node's CMOB (for inspection/tests).
     pub fn cmob(&self, node: NodeId) -> &Cmob {
-        &self.cmobs[node.index()]
+        &self.nodes[node.index()].cmob
     }
 
     /// The directory pointer extension (for inspection/tests).
@@ -371,20 +379,15 @@ impl TemporalStreamingEngine {
             if dsm.probe_local(node, line).is_none()
                 && self.demand_read(dsm, node, line, Cycle::ZERO).is_none()
             {
-                let miss = dsm.read_miss(node, line);
-                let coherent = miss.class == MissClass::Coherence;
-                if all_reads || coherent {
-                    let spin = spin_filtering
-                        && ((coherent && ops[i] & OP_SPIN != 0) || is_spin(node, line));
-                    if spin {
-                        spin_misses += 1;
-                        self.observe_miss(dsm, node, line, Cycle::ZERO);
-                    } else {
-                        self.consumption_miss(dsm, node, line, Cycle::ZERO);
-                    }
-                } else {
-                    self.observe_miss(dsm, node, line, Cycle::ZERO);
-                }
+                spin_misses += self.handle_uncovered_read(
+                    dsm,
+                    node,
+                    line,
+                    ops[i] & OP_SPIN != 0,
+                    all_reads,
+                    spin_filtering,
+                    is_spin,
+                );
             }
             if j - i > 1 {
                 dsm.probe_repeat(node, line, (j - i - 1) as u64);
@@ -392,6 +395,109 @@ impl TemporalStreamingEngine {
             i = j;
         }
         spin_misses
+    }
+
+    /// [`TemporalStreamingEngine::advance_block`] for epoch-parallel
+    /// (detached) replay: the node-local cache work already ran in
+    /// phase A, so instead of probing, each position's outcome byte
+    /// (`tse_memsim::epoch::outcome`) says how the run head resolved.
+    /// Only the shared-plane half executes here, in global interleave
+    /// order — writes via [`DsmSystem::write_resolved`], misses via the
+    /// identical SVB/dispatch sequence — so engine state, statistics
+    /// and the `is_spin` call sequence evolve exactly as in
+    /// `advance_block`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advance_block_outcomes(
+        &mut self,
+        dsm: &mut DsmSystem,
+        ops: &[u8],
+        nodes: &[u16],
+        lines: &[u64],
+        outcomes: &[u8],
+        all_reads: bool,
+        spin_filtering: bool,
+        is_spin: &mut dyn FnMut(NodeId, Line) -> bool,
+    ) -> u64 {
+        use tse_memsim::epoch::outcome;
+        debug_assert!(
+            ops.len() == nodes.len() && ops.len() == lines.len() && ops.len() == outcomes.len()
+        );
+        let mut spin_misses = 0u64;
+        let mut i = 0usize;
+        while i < ops.len() {
+            let node = NodeId::new(nodes[i]);
+            let line = Line::new(lines[i]);
+            if ops[i] & OP_WRITE != 0 {
+                dsm.write_resolved(node, line, outcomes[i] == outcome::WRITE_HAD);
+                self.write(dsm, line);
+                i += 1;
+                continue;
+            }
+            // Maximal same-node same-line read run starting at `i` —
+            // identical boundaries to advance_block (and to the phase-A
+            // walk that produced the outcome bytes).
+            let mut j = i + 1;
+            while j < ops.len()
+                && ops[j] & OP_WRITE == 0
+                && nodes[j] == nodes[i]
+                && lines[j] == lines[i]
+            {
+                j += 1;
+            }
+            debug_assert!(
+                matches!(
+                    outcomes[i],
+                    outcome::HIT_L1 | outcome::HIT_L2 | outcome::MISS
+                ),
+                "read head without a read outcome"
+            );
+            if outcomes[i] == outcome::MISS
+                && self.demand_read(dsm, node, line, Cycle::ZERO).is_none()
+            {
+                spin_misses += self.handle_uncovered_read(
+                    dsm,
+                    node,
+                    line,
+                    ops[i] & OP_SPIN != 0,
+                    all_reads,
+                    spin_filtering,
+                    is_spin,
+                );
+            }
+            i = j;
+        }
+        spin_misses
+    }
+
+    /// The dispatch of a read that missed hierarchy and SVB, shared by
+    /// the sequential and outcome-driven block loops: classify via the
+    /// directory, then route to the spin / consumption / observation
+    /// arm with the interpretive loop's exact short-circuit order.
+    /// Returns 1 if the miss was spin-filtered.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_uncovered_read(
+        &mut self,
+        dsm: &mut DsmSystem,
+        node: NodeId,
+        line: Line,
+        spin_bit: bool,
+        all_reads: bool,
+        spin_filtering: bool,
+        is_spin: &mut dyn FnMut(NodeId, Line) -> bool,
+    ) -> u64 {
+        let miss = dsm.read_miss(node, line);
+        let coherent = miss.class == MissClass::Coherence;
+        if all_reads || coherent {
+            let spin = spin_filtering && ((coherent && spin_bit) || is_spin(node, line));
+            if spin {
+                self.observe_miss(dsm, node, line, Cycle::ZERO);
+                return 1;
+            }
+            self.consumption_miss(dsm, node, line, Cycle::ZERO);
+        } else {
+            self.observe_miss(dsm, node, line, Cycle::ZERO);
+        }
+        0
     }
 
     // ------------------------------------------------------------------
@@ -551,7 +657,7 @@ impl TemporalStreamingEngine {
     /// Appends a consumption to the node's CMOB and updates the directory
     /// pointer (Figure 3's steps 3-4).
     fn record_order(&mut self, dsm: &mut DsmSystem, node: NodeId, line: Line) {
-        let pos = self.cmobs[node.index()].append(line);
+        let pos = self.nodes[node.index()].cmob.append(line);
         self.stats.cmob_appends += 1;
         // Packetized append: entry bytes over the processor pins to local
         // memory (no interconnect traffic).
@@ -592,7 +698,9 @@ impl TemporalStreamingEngine {
             dsm.traffic_mut()
                 .record(home, ptr.node, TrafficClass::StreamAddresses, hdr);
             let start = ptr.pos + 1; // the head's own data went via coherence
-            let window = self.cmobs[ptr.node.index()].read_window(start, self.tse_cfg.chunk);
+            let window = self.nodes[ptr.node.index()]
+                .cmob
+                .read_window(start, self.tse_cfg.chunk);
             let exhausted = window.len() < self.tse_cfg.chunk;
             // Address stream: source -> requesting node.
             dsm.traffic_mut().record(
@@ -693,7 +801,9 @@ impl TemporalStreamingEngine {
             }
             (f.src, f.next_pos)
         };
-        let window = self.cmobs[src.index()].read_window(next_pos, self.tse_cfg.chunk);
+        let window = self.nodes[src.index()]
+            .cmob
+            .read_window(next_pos, self.tse_cfg.chunk);
         let exhausted = window.len() < self.tse_cfg.chunk;
         let got = window.len();
         // Refill request + address chunk.

@@ -27,8 +27,8 @@ use tse_experiments::cli::{self, opt, parse, positional, CliError};
 use tse_experiments::grid;
 use tse_experiments::ExperimentCtx;
 use tse_sim::{
-    run_parallel, run_trace_stored, run_trace_streamed_reader, tsb1_node_count, EngineKind,
-    RunConfig, StoredTrace,
+    mapped_node_count, run_parallel, run_trace_mapped_par, run_trace_stored, run_trace_stored_par,
+    run_trace_streamed_reader, tsb1_node_count, EngineKind, RunConfig, StoredTrace,
 };
 use tse_sweepd::sync::{self, SyncError};
 use tse_trace::corpus::{digest_file, sweep_retained, Corpus, CorpusWriter, TraceEntry};
@@ -49,8 +49,10 @@ USAGE:
       re-encode a trace; formats: .tsb1/.tsb = TSB1 binary, else JSONL
       (input format is sniffed, not extension-derived; --nodes declares
       a node count when the input carries none, e.g. JSONL)
-  tracectl replay <path> [--engine tse|base] [--lookahead <n>] [--nodes <n>]
-      replay a stored trace through the trace-driven harness
+  tracectl replay <path> [--engine tse|base] [--lookahead <n>] [--nodes <n>] [--threads <n>]
+      replay a stored trace through the trace-driven harness.
+      --threads > 1 replays epoch-parallel (bit-identical to
+      sequential; 0 = one thread per core; default 1 = sequential)
   tracectl corpus gen --dir <d> [--scales <f,..>] [--seeds <n,..>] [--workloads <w,..>]
       generate a managed suite of traces (every scale x seed x workload)
       into <d> with a digest-carrying manifest the figure sweeps can
@@ -317,6 +319,13 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
         Some(v) => Some(parse(v, "--nodes")?),
         None => None,
     };
+    // 1 = sequential kernel (the default), N > 1 = epoch-parallel
+    // replay with N phase-A workers, 0 = one worker per core. Results
+    // are bit-identical across all values.
+    let par = tse_types::Parallelism::new(match opt(args, "--threads")? {
+        Some(v) => parse(v, "--threads")?,
+        None => 1,
+    });
     // Simulate a machine of the trace's size (near-square torus), not
     // the paper's fixed 16-node default.
     let machine = |nodes: usize| -> Result<SystemConfig, CliError> {
@@ -331,7 +340,23 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::io(format!("no valid machine for {nodes} nodes: {e}")))
         }
     };
-    let r = if sniff_tsb1(path)? && nodes_override.is_none() {
+    let r = if sniff_tsb1(path)? && nodes_override.is_none() && !par.is_sequential() {
+        // Epoch-parallel TSB1 replay runs off a shared mapping: decode
+        // fans out on the pool while phase-A workers own the node
+        // shards.
+        let trace =
+            std::sync::Arc::new(tse_trace::store::MappedTrace::open(path).map_err(CliError::io)?);
+        let cfg = RunConfig {
+            engine,
+            sys: machine(mapped_node_count(&trace))?,
+            ..RunConfig::default()
+        };
+        let name = Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        run_trace_mapped_par(name, trace, &cfg, par).map_err(CliError::io)?
+    } else if sniff_tsb1(path)? && nodes_override.is_none() {
         // TSB1 replays streamed: blocks decode on pool workers ahead of
         // the consumer and the trace is never materialized in memory.
         let file = std::fs::File::open(path).map_err(CliError::io)?;
@@ -362,7 +387,11 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
             sys: machine(trace.nodes())?,
             ..RunConfig::default()
         };
-        run_trace_stored(&trace, &cfg).map_err(CliError::io)?
+        if par.is_sequential() {
+            run_trace_stored(&trace, &cfg).map_err(CliError::io)?
+        } else {
+            run_trace_stored_par(&trace, &cfg, par).map_err(CliError::io)?
+        }
     };
     println!(
         "{} [{}]: {} measured records, {} consumptions, coverage {:.1}%, discards {:.1}%, {} spin misses",

@@ -1,0 +1,95 @@
+//! Epoch-parallel replay support: the outcome encoding and journal
+//! types that connect the node-local phase to the shared-plane merge.
+//!
+//! The epoch scheduler (in the `tse-sim` crate) replays each lowered
+//! block in two phases:
+//!
+//! 1. **Phase A (parallel)** — per-node workers own the detached
+//!    [`NodeCaches`](crate::NodeCaches) and walk their share of the
+//!    records (their own accesses plus *all* writes, which affect every
+//!    node's caches). Each probed position yields one [`outcome`] byte;
+//!    L2 evictions are journaled as [`EvictEvent`]s; the hit/read
+//!    counters the probes own accumulate in a [`ProbeDelta`].
+//! 2. **Merge (sequential)** — the facade walks the full record stream
+//!    in global interleave order, consuming the outcome bytes instead
+//!    of probing, and replays only the shared-plane half (directory
+//!    transactions, miss classification, traffic) against a residency
+//!    shadow. Applying each position's journaled eviction *before* the
+//!    position itself reproduces the sequential order: within a record
+//!    the eviction is triggered by the fill, which precedes every
+//!    engine-side directory operation, and the evicted line is always
+//!    distinct from the filled line, so directory operations on the two
+//!    commute.
+//!
+//! The encoding is deliberately tiny — one byte per record, one event
+//! per L2 eviction — because everything else the merge needs (miss
+//! classes, fill paths, invalidation masks, the global directory-order
+//! sequence in `MissInfo`) is recomputed exactly where the sequential
+//! kernel computes it.
+
+use tse_types::{Line, NodeId};
+
+/// Phase-A outcome bytes, one per record position of an epoch.
+///
+/// Workers write sparsely into a zeroed buffer (only positions they
+/// own); the driver OR-combines the per-shard buffers, which is sound
+/// because every position is owned by exactly one shard (the record's
+/// node for reads, the writer for writes) and [`NONE`](outcome::NONE)
+/// is zero.
+pub mod outcome {
+    /// Position not probed: a run tail, or owned by another shard.
+    pub const NONE: u8 = 0;
+    /// Run-head read hit the L1.
+    pub const HIT_L1: u8 = 1;
+    /// Run-head read hit the L2 (the probe filled the L1).
+    pub const HIT_L2: u8 = 2;
+    /// Run-head read missed the hierarchy (the probe pre-filled both
+    /// levels, since every sequential miss path fills at this position).
+    pub const MISS: u8 = 3;
+    /// Write by a node whose L2 already held the line.
+    pub const WRITE_HAD: u8 = 4;
+    /// Write by a node whose L2 did not hold the line.
+    pub const WRITE_ABSENT: u8 = 5;
+}
+
+/// An L2 eviction observed during phase A, journaled for the merge.
+///
+/// At most one eviction exists per record position (a position triggers
+/// at most one L2 fill, and a fill evicts at most one victim), so the
+/// merged journal needs no tie-breaking: sort by `pos` and apply each
+/// event immediately before its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictEvent {
+    /// Record position within the epoch's lowered block.
+    pub pos: u32,
+    /// The node whose L2 evicted.
+    pub node: NodeId,
+    /// The evicted line.
+    pub victim: Line,
+}
+
+/// Per-epoch deltas of the counters the node-local phase owns
+/// (`reads`, `l1_hits`, `l2_hits` of
+/// [`MemStats`](crate::MemStats)); every other counter stays with the
+/// shared plane. Folded into the facade via
+/// [`DsmSystem::absorb_probes`](crate::DsmSystem::absorb_probes) when
+/// the epoch merges — before any warm-boundary reset, since epochs
+/// never straddle the warm boundary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeDelta {
+    /// Read accesses probed (run heads and collapsed tails).
+    pub reads: u64,
+    /// L1 hits among them.
+    pub l1_hits: u64,
+    /// L2 hits among them.
+    pub l2_hits: u64,
+}
+
+impl ProbeDelta {
+    /// Accumulates another delta (shards of one epoch commute).
+    pub fn add(&mut self, other: &ProbeDelta) {
+        self.reads += other.reads;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+    }
+}

@@ -43,6 +43,7 @@
 mod analysis;
 mod harness;
 mod kernel;
+mod parallel;
 mod replay;
 mod runner;
 pub mod shard;
@@ -56,16 +57,18 @@ pub use harness::{run_baseline_collecting, run_trace, RunConfig, RunResult};
 #[doc(hidden)]
 pub use replay::run_trace_stored_reference;
 pub use replay::{
-    mapped_node_count, run_trace_mapped, run_trace_mapped_path, run_trace_stored,
-    run_trace_streamed, run_trace_streamed_path, run_trace_streamed_reader, tsb1_node_count,
-    StoredTrace, StreamedReplayError,
+    mapped_node_count, run_trace_mapped, run_trace_mapped_par, run_trace_mapped_path,
+    run_trace_mapped_path_par, run_trace_stored, run_trace_stored_par, run_trace_streamed,
+    run_trace_streamed_path, run_trace_streamed_reader, tsb1_node_count, StoredTrace,
+    StreamedReplayError,
 };
 pub use runner::{run_parallel, SweepPool};
 pub use stats::Samples;
 #[doc(hidden)]
 pub use timing::run_timing_stored_reference;
 pub use timing::{
-    run_timing, run_timing_mapped, run_timing_mapped_path, run_timing_stored, run_timing_streamed,
+    run_timing, run_timing_mapped, run_timing_mapped_par, run_timing_mapped_path,
+    run_timing_mapped_path_par, run_timing_stored, run_timing_stored_par, run_timing_streamed,
     run_timing_streamed_path, run_timing_streamed_reader, TimingResult,
 };
 

@@ -1,0 +1,742 @@
+//! Epoch-parallel replay: the deterministic intra-run scheduler.
+//!
+//! Sweep-level parallelism ([`crate::run_parallel`], `sweepd`) runs
+//! grid cells concurrently but leaves each cell single-threaded, so one
+//! big cell is wall-clock-bound no matter how many workers exist. This
+//! module parallelizes *inside* a run, exploiting the target machine's
+//! own structure: each simulated node owns its cache hierarchy, and
+//! only the coherence plane (directory, traffic, miss classification)
+//! serializes them.
+//!
+//! # How an epoch executes
+//!
+//! The driver assembles the record stream into *epochs* (up to
+//! [`EPOCH_RECORDS`] records, never straddling the warm-up boundary)
+//! and lowers each into an [`LoweredBlock`] shared behind an `Arc`.
+//! Every worker partitions the shared columns by node on the fly (the
+//! node→shard map of [`LoweredBlock::partition_by_node`], filtered
+//! inline rather than materialized). Every epoch then runs in two
+//! phases:
+//!
+//! 1. **Phase A (parallel)** — each worker owns the detached
+//!    [`NodeCaches`] of its node shard ([`DsmSystem::detach_nodes`])
+//!    and walks its positions (its nodes' accesses plus all writes) in
+//!    ascending order, producing one outcome byte per probed position
+//!    ([`tse_memsim::epoch::outcome`]), an [`EvictEvent`] journal of L2
+//!    evictions, and a [`ProbeDelta`] of the counters the probes own.
+//!    A node's trajectory depends only on its own records and the
+//!    global write stream — both independent of the shard count — so
+//!    outcomes are identical for every `--threads` value.
+//! 2. **Merge (sequential, deterministic)** — the driver ORs the
+//!    per-shard outcome buffers (each position is owned by exactly one
+//!    shard), sorts the eviction journal by position, and replays the
+//!    shared-plane half of every record in global interleave order:
+//!    directory transactions, miss classification, engine state and
+//!    traffic evolve through the exact code paths of the sequential
+//!    kernel, consuming outcome bytes instead of probing. Each
+//!    journaled eviction is applied ([`DsmSystem::apply_eviction`])
+//!    immediately before its position; the evicted line is always
+//!    distinct from the line the position fills, so the directory
+//!    operations commute and the sequential order is reproduced.
+//!
+//! The merge is the only consumer of the shared plane and runs on one
+//! thread in epoch order, so `RunResult`/`TimingResult` are
+//! **bit-identical** to the sequential batched kernel — asserted for
+//! every engine kind in `tests/parallel_equivalence.rs` and re-checked
+//! under CI's `par-smoke` job.
+//!
+//! Epochs pipeline: while workers run phase A on epoch *e*, the driver
+//! merges epoch *e−1* and assembles epoch *e+1*, so the sequential
+//! merge overlaps the parallel probes.
+//!
+//! # Why run segmentation is unobservable
+//!
+//! Epochs are [`EPOCH_RECORDS`]-sized while the sequential kernel
+//! slices at TSB1 block granularity, so a same-node same-line read run
+//! may be segmented differently (a run head in one segmentation is a
+//! collapsed tail in the other). Both resolutions are observationally
+//! identical: within a run there are no writes, so after the first head
+//! the line is L1-resident and MRU, and a re-probed "head" is a
+//! guaranteed L1 hit — same `reads`/`l1_hits` deltas, same LRU state,
+//! no engine or directory involvement, and the timing model charges L1
+//! hits nothing.
+
+use crate::harness::{build_engine, finish_run, spin_filtering_for, Engine, PfNode};
+use crate::kernel::{run_blocks, run_end, BlockSource};
+use crate::timing::{run_timing_blocks, TimingRun};
+use crate::{EngineKind, RunConfig, RunResult, StreamScope, TimingResult};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{mpsc, Arc};
+use tse_core::TseStats;
+use tse_interconnect::TrafficClass;
+use tse_memsim::epoch::{outcome, EvictEvent, ProbeDelta};
+use tse_memsim::{DsmSystem, MissClass, NodeCaches};
+use tse_trace::store::LoweredBlock;
+use tse_trace::{AccessRecord, Consumption, SpinFilter};
+use tse_types::ops::{OP_SPIN, OP_WRITE};
+use tse_types::{ConfigError, Cycle, Line, NodeId, Parallelism, SystemConfig};
+
+/// Records per epoch. Large enough to amortize the per-epoch channel
+/// round-trips and outcome-buffer merges, small enough that three
+/// pipelined epochs of columns stay cache- and memory-friendly. Fixed
+/// (never derived from the thread count) so epoch boundaries — and
+/// therefore results — are identical for every `--threads` value.
+const EPOCH_RECORDS: usize = 1 << 16;
+
+/// Epochs in flight at once: workers probe epoch *e* while the driver
+/// merges *e−1*; one more is assembled ahead so workers never idle on
+/// the assembler.
+const PIPELINE: usize = 3;
+
+/// One epoch's worth of phase-A work for one shard. The shard derives
+/// its positions (its nodes' records plus all writes) by filtering the
+/// shared columns inline — materializing per-shard index lists on the
+/// driver thread proved to cost more than the probes they route.
+struct EpochJob {
+    epoch: u64,
+    block: Arc<LoweredBlock>,
+}
+
+/// One shard's phase-A result for one epoch.
+struct EpochOut {
+    epoch: u64,
+    outcomes: Vec<u8>,
+    events: Vec<EvictEvent>,
+    delta: ProbeDelta,
+}
+
+/// An assembled epoch awaiting (or undergoing) phase A.
+struct EpochPlan {
+    epoch: u64,
+    block: Arc<LoweredBlock>,
+    /// True for the first epoch starting exactly at the warm-up
+    /// boundary: counters reset before this epoch merges.
+    reset_before: bool,
+    /// True once the epoch lies in the measured region.
+    measuring: bool,
+}
+
+/// Walks one shard's positions of an epoch against its detached caches.
+///
+/// `caches[i]` is the hierarchy of node `i * shards + shard`. The
+/// worker scans the shared columns once: reads are collapsed into runs
+/// exactly as the sequential kernel collapses them (a run is a single
+/// node's positions, so it belongs to one shard whole); writes by owned
+/// nodes produce a `WRITE_*` outcome, writes by foreign nodes
+/// invalidate whichever owned copies exist — the cache-state effect of
+/// the sequential directory invalidation, whose accounting the merge
+/// reproduces from the directory mask.
+fn phase_a(
+    caches: &mut [NodeCaches],
+    shards: usize,
+    shard: usize,
+    block: &LoweredBlock,
+    out: &mut EpochOut,
+) {
+    let (ops, nodes, lines) = (block.ops(), block.nodes(), block.lines());
+    let mut i = 0usize;
+    while i < ops.len() {
+        let n = usize::from(nodes[i]);
+        if ops[i] & OP_WRITE != 0 {
+            let line = Line::new(lines[i]);
+            for (li, c) in caches.iter_mut().enumerate() {
+                let owner = li * shards + shard;
+                if owner == n {
+                    let (o, victim) = c.local_write(line);
+                    out.outcomes[i] = o;
+                    if let Some(victim) = victim {
+                        out.events.push(EvictEvent {
+                            pos: i as u32,
+                            node: NodeId::new(n as u16),
+                            victim,
+                        });
+                    }
+                } else {
+                    c.foreign_write(line);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        let j = run_end(ops, nodes, lines, i);
+        if n % shards == shard {
+            let line = Line::new(lines[i]);
+            let c = &mut caches[n / shards];
+            let (o, victim) = c.probe_read(line, &mut out.delta);
+            out.outcomes[i] = o;
+            if let Some(victim) = victim {
+                out.events.push(EvictEvent {
+                    pos: i as u32,
+                    node: NodeId::new(n as u16),
+                    victim,
+                });
+            }
+            if j - i > 1 {
+                c.repeat_reads(line, (j - i - 1) as u64, &mut out.delta);
+            }
+        }
+        i = j;
+    }
+}
+
+/// A worker thread: phase A over every epoch it is sent, returning its
+/// caches when the job channel closes.
+fn worker_loop(
+    shard: usize,
+    shards: usize,
+    mut caches: Vec<NodeCaches>,
+    jobs: mpsc::Receiver<EpochJob>,
+    results: mpsc::Sender<EpochOut>,
+) -> Vec<NodeCaches> {
+    for job in jobs {
+        let mut out = EpochOut {
+            epoch: job.epoch,
+            outcomes: vec![outcome::NONE; job.block.len()],
+            events: Vec::new(),
+            delta: ProbeDelta::default(),
+        };
+        phase_a(&mut caches, shards, shard, &job.block, &mut out);
+        if results.send(out).is_err() {
+            break;
+        }
+    }
+    caches
+}
+
+/// Assembles the block stream into epoch-sized lowered blocks, splitting
+/// exactly at the warm-up boundary (so every epoch is entirely pre- or
+/// post-warm and the counter reset lands between the same two records
+/// as in the sequential kernel).
+struct Assembler {
+    warm_records: usize,
+    processed: usize,
+    /// Tail of a source block that straddled an epoch boundary.
+    carry: Vec<AccessRecord>,
+    done: bool,
+}
+
+impl Assembler {
+    fn new(warm_records: usize) -> Self {
+        Assembler {
+            warm_records,
+            processed: 0,
+            carry: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Builds the next epoch, or `None` at end of stream.
+    fn next(&mut self, src: &mut dyn BlockSource) -> Option<(LoweredBlock, bool, bool)> {
+        let start = self.processed;
+        let mut lowered = LoweredBlock::new();
+        loop {
+            let target_left = EPOCH_RECORDS - (self.processed - start);
+            // Pre-warm epochs additionally seal at the warm boundary.
+            let room = if start < self.warm_records {
+                (self.warm_records - self.processed).min(target_left)
+            } else {
+                target_left
+            };
+            if room == 0 {
+                break;
+            }
+            if !self.carry.is_empty() {
+                let take = self.carry.len().min(room);
+                lowered.append_records(&self.carry[..take]);
+                self.processed += take;
+                self.carry.drain(..take);
+                continue;
+            }
+            if self.done {
+                break;
+            }
+            match src.next_block() {
+                None => {
+                    self.done = true;
+                    break;
+                }
+                Some(block) => {
+                    let take = block.len().min(room);
+                    lowered.append_records(&block[..take]);
+                    self.processed += take;
+                    if take < block.len() {
+                        self.carry.extend_from_slice(&block[take..]);
+                    }
+                }
+            }
+        }
+        if lowered.is_empty() {
+            return None;
+        }
+        Some((
+            lowered,
+            start == self.warm_records,
+            start >= self.warm_records,
+        ))
+    }
+}
+
+/// The shared epoch pipeline: spawns one phase-A worker per shard,
+/// streams epochs through them with [`PIPELINE`]-deep lookahead, and
+/// hands each epoch's combined outcome buffer, sorted eviction journal
+/// and probe delta to `merge` in epoch order. Returns the caches in
+/// node order, ready for [`DsmSystem::attach_nodes`].
+fn drive_epochs(
+    src: &mut dyn BlockSource,
+    warm_records: usize,
+    detached: Vec<NodeCaches>,
+    shards: usize,
+    mut merge: impl FnMut(&EpochPlan, &[u8], &[EvictEvent], &ProbeDelta),
+) -> Vec<NodeCaches> {
+    let nodes = detached.len();
+    let mut per_shard: Vec<Vec<NodeCaches>> = (0..shards).map(|_| Vec::new()).collect();
+    for (n, c) in detached.into_iter().enumerate() {
+        per_shard[n % shards].push(c);
+    }
+
+    std::thread::scope(|scope| {
+        let (rtx, rrx) = mpsc::channel::<EpochOut>();
+        let mut jtx = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (s, caches) in per_shard.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<EpochJob>();
+            jtx.push(tx);
+            let rtx = rtx.clone();
+            handles.push(scope.spawn(move || worker_loop(s, shards, caches, rx, rtx)));
+        }
+        drop(rtx);
+
+        let mut asm = Assembler::new(warm_records);
+        let mut inflight: VecDeque<EpochPlan> = VecDeque::new();
+        let mut next_id = 0u64;
+        // Per-epoch accumulation of shard results (epochs can complete
+        // out of order across the pipeline window).
+        type Gathered = (Option<Vec<u8>>, Vec<EvictEvent>, ProbeDelta, usize);
+        let mut gathered: BTreeMap<u64, Gathered> = BTreeMap::new();
+
+        loop {
+            while inflight.len() < PIPELINE {
+                let Some((lowered, reset_before, measuring)) = asm.next(src) else {
+                    break;
+                };
+                let plan = EpochPlan {
+                    epoch: next_id,
+                    block: Arc::new(lowered),
+                    reset_before,
+                    measuring,
+                };
+                next_id += 1;
+                for tx in &jtx {
+                    tx.send(EpochJob {
+                        epoch: plan.epoch,
+                        block: Arc::clone(&plan.block),
+                    })
+                    .expect("phase-A worker exited early");
+                }
+                inflight.push_back(plan);
+            }
+            let Some(plan) = inflight.pop_front() else {
+                break;
+            };
+            // Gather all shards' results for this epoch.
+            while gathered.get(&plan.epoch).is_none_or(|g| g.3 < shards) {
+                let out = rrx.recv().expect("phase-A worker exited early");
+                let g = gathered
+                    .entry(out.epoch)
+                    .or_insert_with(|| (None, Vec::new(), ProbeDelta::default(), 0));
+                g.3 += 1;
+                match &mut g.0 {
+                    // Each position is owned by exactly one shard and
+                    // NONE is zero, so OR combines losslessly.
+                    None => g.0 = Some(out.outcomes),
+                    Some(base) => {
+                        for (a, b) in base.iter_mut().zip(&out.outcomes) {
+                            *a |= b;
+                        }
+                    }
+                }
+                g.1.extend(out.events);
+                g.2.add(&out.delta);
+            }
+            let (outcomes, mut events, delta, _) =
+                gathered.remove(&plan.epoch).expect("gathered above");
+            let outcomes = outcomes.expect("at least one shard reported");
+            // At most one eviction exists per position, so position
+            // order is a total order.
+            events.sort_unstable_by_key(|e| e.pos);
+            merge(&plan, &outcomes, &events, &delta);
+        }
+
+        drop(jtx);
+        let mut returned: Vec<Option<NodeCaches>> = (0..nodes).map(|_| None).collect();
+        for (s, handle) in handles.into_iter().enumerate() {
+            let caches = handle.join().expect("phase-A worker panicked");
+            for (li, c) in caches.into_iter().enumerate() {
+                returned[li * shards + s] = Some(c);
+            }
+        }
+        returned
+            .into_iter()
+            .map(|c| c.expect("every node's caches returned"))
+            .collect()
+    })
+}
+
+/// One event-free chunk of an epoch through the trace-mode merge, on
+/// whichever engine the run uses. Mirrors the sequential kernel's
+/// per-engine slice loops with probes replaced by outcome bytes.
+#[allow(clippy::too_many_arguments)]
+fn trace_chunk(
+    dsm: &mut DsmSystem,
+    engine: &mut Engine,
+    spin_filter: &mut SpinFilter,
+    baseline_stats: &mut TseStats,
+    consumptions: &mut Vec<Consumption>,
+    collecting: bool,
+    all_reads: bool,
+    spin_filtering: bool,
+    ops: &[u8],
+    nodes: &[u16],
+    lines: &[u64],
+    clocks: &[u64],
+    outcomes: &[u8],
+) -> u64 {
+    match engine {
+        Engine::Baseline => baseline_chunk(
+            dsm,
+            spin_filter,
+            baseline_stats,
+            ops,
+            nodes,
+            lines,
+            clocks,
+            outcomes,
+            collecting,
+            consumptions,
+        ),
+        Engine::Tse(tse) => tse.advance_block_outcomes(
+            dsm,
+            ops,
+            nodes,
+            lines,
+            outcomes,
+            all_reads,
+            spin_filtering,
+            &mut |n, l| spin_filter.is_spin(n, l),
+        ),
+        Engine::Prefetch(pf) => prefetch_chunk(
+            dsm,
+            pf,
+            spin_filter,
+            baseline_stats,
+            ops,
+            nodes,
+            lines,
+            outcomes,
+        ),
+    }
+}
+
+/// [`crate::kernel`]'s baseline slice loop, outcome-driven.
+#[allow(clippy::too_many_arguments)]
+fn baseline_chunk(
+    dsm: &mut DsmSystem,
+    spin_filter: &mut SpinFilter,
+    stats: &mut TseStats,
+    ops: &[u8],
+    nodes: &[u16],
+    lines: &[u64],
+    clocks: &[u64],
+    outcomes: &[u8],
+    collecting: bool,
+    consumptions: &mut Vec<Consumption>,
+) -> u64 {
+    let mut spins = 0u64;
+    let mut uncovered = 0u64;
+    let mut i = 0usize;
+    while i < ops.len() {
+        let node = NodeId::new(nodes[i]);
+        let line = Line::new(lines[i]);
+        if ops[i] & OP_WRITE != 0 {
+            dsm.write_resolved(node, line, outcomes[i] == outcome::WRITE_HAD);
+            i += 1;
+            continue;
+        }
+        let j = run_end(ops, nodes, lines, i);
+        if outcomes[i] == outcome::MISS {
+            let miss = dsm.read_miss(node, line);
+            if miss.class == MissClass::Coherence {
+                let spin = ops[i] & OP_SPIN != 0 || spin_filter.is_spin(node, line);
+                if spin {
+                    spins += 1;
+                } else {
+                    uncovered += 1;
+                    if collecting {
+                        consumptions.push(Consumption {
+                            node,
+                            line,
+                            clock: clocks[i],
+                            global_seq: miss.global_seq,
+                        });
+                    }
+                }
+            }
+        }
+        i = j;
+    }
+    stats.uncovered += uncovered;
+    spins
+}
+
+/// [`crate::kernel`]'s fixed-depth prefetcher slice loop, outcome-driven.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_chunk(
+    dsm: &mut DsmSystem,
+    pf: &mut [PfNode],
+    spin_filter: &mut SpinFilter,
+    stats: &mut TseStats,
+    ops: &[u8],
+    nodes: &[u16],
+    lines: &[u64],
+    outcomes: &[u8],
+) -> u64 {
+    let mut spins = 0u64;
+    let mut i = 0usize;
+    while i < ops.len() {
+        let node = NodeId::new(nodes[i]);
+        let line = Line::new(lines[i]);
+        if ops[i] & OP_WRITE != 0 {
+            dsm.write_resolved(node, line, outcomes[i] == outcome::WRITE_HAD);
+            for (n, p) in pf.iter_mut().enumerate() {
+                if let Some(entry) = p.buffer.invalidate(line) {
+                    stats.discarded += 1;
+                    dsm.account_fill_traffic(
+                        NodeId::new(n as u16),
+                        entry.fill,
+                        TrafficClass::DiscardedData,
+                    );
+                }
+            }
+            i += 1;
+            continue;
+        }
+        let j = run_end(ops, nodes, lines, i);
+        if outcomes[i] == outcome::MISS {
+            let n = node.index();
+            if let Some(entry) = pf[n].buffer.take(line) {
+                stats.covered += 1;
+                dsm.account_fill_traffic(node, entry.fill, TrafficClass::Demand);
+                dsm.install(node, line);
+                let _ = pf[n].predictor.on_miss(line);
+            } else {
+                let miss = dsm.read_miss(node, line);
+                if miss.class == MissClass::Coherence {
+                    let spin = ops[i] & OP_SPIN != 0 || spin_filter.is_spin(node, line);
+                    if spin {
+                        spins += 1;
+                    } else {
+                        stats.uncovered += 1;
+                        let predicted = pf[n].predictor.on_miss(line);
+                        for pline in predicted {
+                            if dsm.peek_local(node, pline) || pf[n].buffer.contains(pline) {
+                                stats.skipped_fetches += 1;
+                                continue;
+                            }
+                            let fill = dsm.stream_fetch(node, pline);
+                            stats.fetched += 1;
+                            if let Some(victim) = pf[n].buffer.insert(pline, 0, fill, Cycle::ZERO) {
+                                stats.discarded += 1;
+                                dsm.account_fill_traffic(
+                                    node,
+                                    victim.fill,
+                                    TrafficClass::DiscardedData,
+                                );
+                                dsm.drop_sharer(node, victim.line);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i = j;
+    }
+    spins
+}
+
+/// The epoch-parallel analogue of [`crate::kernel::run_blocks`]: same
+/// setup, same teardown, the slice loop replaced by the two-phase epoch
+/// pipeline. Falls back to the sequential kernel when the resolved
+/// parallelism (or the node count) leaves a single shard.
+pub(crate) fn run_blocks_par(
+    name: &str,
+    trace_nodes: usize,
+    total: usize,
+    src: &mut dyn BlockSource,
+    cfg: &RunConfig,
+    par: Parallelism,
+) -> Result<RunResult, ConfigError> {
+    let shards = par.threads().min(cfg.sys.nodes);
+    if shards <= 1 {
+        return run_blocks(name, trace_nodes, total, src, cfg);
+    }
+    let mut dsm = DsmSystem::new(&cfg.sys)?;
+    let nodes = cfg.sys.nodes;
+    if trace_nodes != nodes {
+        return Err(ConfigError::new(format!(
+            "trace is configured for {trace_nodes} nodes but the system has {nodes}"
+        )));
+    }
+
+    let mut engine = build_engine(&cfg.engine, &cfg.sys, nodes)?;
+    let warm_records = (total as f64 * cfg.warm_fraction) as usize;
+    let spin_filtering = spin_filtering_for(&cfg.engine);
+    let all_reads = matches!(cfg.stream_scope, StreamScope::AllReads);
+    let mut spin_filter = SpinFilter::new(nodes);
+    let mut baseline_stats = TseStats::default();
+    let mut consumptions = Vec::new();
+    let mut spin_misses = 0u64;
+    let mut measured_records = 0u64;
+
+    let detached = dsm.detach_nodes();
+    let returned = drive_epochs(
+        src,
+        warm_records,
+        detached,
+        shards,
+        |plan, outcomes, events, delta| {
+            if plan.reset_before {
+                dsm.reset_stats();
+                if let Engine::Tse(tse) = &mut engine {
+                    tse.reset_stats();
+                }
+                baseline_stats = TseStats::default();
+                spin_misses = 0;
+            }
+            dsm.absorb_probes(delta);
+            if plan.measuring {
+                measured_records += plan.block.len() as u64;
+            }
+            let collecting = cfg.collect_consumptions && plan.measuring;
+            let b = &plan.block;
+            let (ops, nodes, lines, clocks) = (b.ops(), b.nodes(), b.lines(), b.clocks());
+            let mut start = 0usize;
+            for e in events {
+                let p = e.pos as usize;
+                if p > start {
+                    spin_misses += trace_chunk(
+                        &mut dsm,
+                        &mut engine,
+                        &mut spin_filter,
+                        &mut baseline_stats,
+                        &mut consumptions,
+                        collecting,
+                        all_reads,
+                        spin_filtering,
+                        &ops[start..p],
+                        &nodes[start..p],
+                        &lines[start..p],
+                        &clocks[start..p],
+                        &outcomes[start..p],
+                    );
+                    start = p;
+                }
+                dsm.apply_eviction(e.node, e.victim);
+            }
+            if b.len() > start {
+                spin_misses += trace_chunk(
+                    &mut dsm,
+                    &mut engine,
+                    &mut spin_filter,
+                    &mut baseline_stats,
+                    &mut consumptions,
+                    collecting,
+                    all_reads,
+                    spin_filtering,
+                    &ops[start..],
+                    &nodes[start..],
+                    &lines[start..],
+                    &clocks[start..],
+                    &outcomes[start..],
+                );
+            }
+        },
+    );
+    dsm.attach_nodes(returned);
+
+    Ok(finish_run(
+        name,
+        dsm,
+        engine,
+        baseline_stats,
+        consumptions,
+        measured_records,
+        spin_misses,
+    ))
+}
+
+/// The epoch-parallel analogue of [`crate::timing::run_timing_blocks`]:
+/// the timing interval cores advance per record on the merge thread
+/// while phase A resolves the hierarchy probes. Falls back to the
+/// sequential batched loop for a single shard.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_timing_blocks_par(
+    name: &str,
+    trace_nodes: usize,
+    total: usize,
+    src: &mut dyn BlockSource,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+    par: Parallelism,
+) -> Result<TimingResult, ConfigError> {
+    let shards = par.threads().min(sys.nodes);
+    if shards <= 1 {
+        return run_timing_blocks(name, trace_nodes, total, src, sys, engine, warm_fraction);
+    }
+    let mut run = TimingRun::new(trace_nodes, sys, engine)?;
+    let warm_records = (total as f64 * warm_fraction) as usize;
+
+    let detached = run.dsm.detach_nodes();
+    let returned = drive_epochs(
+        src,
+        warm_records,
+        detached,
+        shards,
+        |plan, outcomes, events, delta| {
+            if plan.reset_before {
+                run.warm_reset();
+            }
+            run.dsm.absorb_probes(delta);
+            let b = &plan.block;
+            let mut start = 0usize;
+            for e in events {
+                let p = e.pos as usize;
+                if p > start {
+                    run.advance_slice_outcomes(
+                        &b.ops()[start..p],
+                        &b.nodes()[start..p],
+                        &b.lines()[start..p],
+                        &b.clocks()[start..p],
+                        &b.stalls()[start..p],
+                        &outcomes[start..p],
+                    );
+                    start = p;
+                }
+                run.dsm.apply_eviction(e.node, e.victim);
+            }
+            if b.len() > start {
+                run.advance_slice_outcomes(
+                    &b.ops()[start..],
+                    &b.nodes()[start..],
+                    &b.lines()[start..],
+                    &b.clocks()[start..],
+                    &b.stalls()[start..],
+                    &outcomes[start..],
+                );
+            }
+        },
+    );
+    run.dsm.attach_nodes(returned);
+
+    Ok(run.finish(name, engine, sys))
+}

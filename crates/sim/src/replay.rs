@@ -9,6 +9,7 @@
 //! times as needed.
 
 use crate::kernel::{run_blocks, SliceBlocks};
+use crate::parallel::run_blocks_par;
 use crate::runner::SweepPool;
 use crate::{RunConfig, RunResult};
 use std::cell::RefCell;
@@ -212,6 +213,32 @@ pub fn run_trace_stored(trace: &StoredTrace, cfg: &RunConfig) -> Result<RunResul
     run_blocks(&trace.name, trace.nodes, trace.records.len(), &mut src, cfg)
 }
 
+/// [`run_trace_stored`] with epoch-parallel replay: phase-A cache
+/// probes run on `par` worker threads while the shared coherence plane
+/// merges sequentially (see the `parallel` module docs). Results
+/// are **bit-identical** to [`run_trace_stored`] for every thread
+/// count; `Parallelism::sequential()` (or a single-node system) falls
+/// back to the sequential kernel outright.
+///
+/// # Errors
+///
+/// As [`run_trace_stored`].
+pub fn run_trace_stored_par(
+    trace: &StoredTrace,
+    cfg: &RunConfig,
+    par: tse_types::Parallelism,
+) -> Result<RunResult, ConfigError> {
+    let mut src = SliceBlocks::new(&trace.records);
+    run_blocks_par(
+        &trace.name,
+        trace.nodes,
+        trace.records.len(),
+        &mut src,
+        cfg,
+        par,
+    )
+}
+
 /// [`run_trace_stored`] through the record-at-a-time reference loop —
 /// the executable specification the batched kernel is asserted
 /// bit-identical against. Not part of the public API.
@@ -391,6 +418,34 @@ pub fn run_trace_mapped(
     Ok(result)
 }
 
+/// [`run_trace_mapped`] with epoch-parallel replay: block decode fans
+/// out on the [`SweepPool`] exactly as in the sequential path, while
+/// phase-A cache probes run on `par` dedicated workers and the shared
+/// coherence plane merges sequentially (see the `parallel` module docs). Results are **bit-identical** to [`run_trace_mapped`]
+/// for every thread count.
+///
+/// # Errors
+///
+/// As [`run_trace_mapped`].
+pub fn run_trace_mapped_par(
+    name: impl Into<String>,
+    trace: Arc<MappedTrace>,
+    cfg: &RunConfig,
+    par: tse_types::Parallelism,
+) -> Result<RunResult, StreamedReplayError> {
+    let nodes = mapped_node_count(&trace);
+    let total = usize::try_from(trace.records()).unwrap_or(usize::MAX);
+    let error = Rc::new(RefCell::new(None));
+    let mut stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
+    let result = run_blocks_par(&name.into(), nodes, total, &mut stream, cfg, par)?;
+    // A trace error mid-stream ends the record iterator early; surface
+    // it instead of the truncated result.
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
 /// Mapped replay of a TSB1 file, named after the file stem.
 ///
 /// # Errors
@@ -408,6 +463,27 @@ pub fn run_trace_mapped_path(
         .unwrap_or_else(|| "trace".to_string());
     let trace = Arc::new(MappedTrace::open(path)?);
     run_trace_mapped(name, trace, cfg)
+}
+
+/// Epoch-parallel mapped replay of a TSB1 file, named after the file
+/// stem — [`run_trace_mapped_par`] over a fresh mapping.
+///
+/// # Errors
+///
+/// As [`run_trace_mapped_par`], plus open/map failures as
+/// [`StreamedReplayError::Trace`].
+pub fn run_trace_mapped_path_par(
+    path: impl AsRef<Path>,
+    cfg: &RunConfig,
+    par: tse_types::Parallelism,
+) -> Result<RunResult, StreamedReplayError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let trace = Arc::new(MappedTrace::open(path)?);
+    run_trace_mapped_par(name, trace, cfg, par)
 }
 
 /// The block source behind [`run_trace_streamed`] (and the timing

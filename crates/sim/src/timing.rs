@@ -430,13 +430,103 @@ pub fn run_timing_mapped_path(
     run_timing_mapped(name, trace, sys, engine, warm_fraction)
 }
 
+/// [`run_timing_stored`] with epoch-parallel replay: phase-A cache
+/// probes run on `par` worker threads while the shared coherence plane
+/// and the interval cores merge sequentially (see the `parallel` module docs). Results are **bit-identical** to [`run_timing_stored`]
+/// for every thread count; `Parallelism::sequential()` (or a
+/// single-node system) falls back to the sequential batched loop.
+///
+/// # Errors
+///
+/// As [`run_timing_stored`].
+pub fn run_timing_stored_par(
+    trace: &StoredTrace,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+    par: tse_types::Parallelism,
+) -> Result<TimingResult, ConfigError> {
+    let mut src = crate::kernel::SliceBlocks::new(trace.records());
+    crate::parallel::run_timing_blocks_par(
+        trace.name(),
+        trace.nodes(),
+        trace.len(),
+        &mut src,
+        sys,
+        engine,
+        warm_fraction,
+        par,
+    )
+}
+
+/// [`run_timing_mapped`] with epoch-parallel replay — the timing
+/// analogue of [`run_trace_mapped_par`](crate::run_trace_mapped_par).
+/// Results are **bit-identical** to [`run_timing_mapped`] for every
+/// thread count.
+///
+/// # Errors
+///
+/// As [`run_timing_mapped`].
+pub fn run_timing_mapped_par(
+    name: impl Into<String>,
+    trace: std::sync::Arc<MappedTrace>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+    par: tse_types::Parallelism,
+) -> Result<TimingResult, StreamedReplayError> {
+    let nodes = mapped_node_count(&trace);
+    let total = usize::try_from(trace.records()).unwrap_or(usize::MAX);
+    let error: Rc<RefCell<Option<TraceIoError>>> = Rc::new(RefCell::new(None));
+    let mut stream = MappedRecords::new(trace, nodes, Rc::clone(&error));
+    let result = crate::parallel::run_timing_blocks_par(
+        &name.into(),
+        nodes,
+        total,
+        &mut stream,
+        sys,
+        engine,
+        warm_fraction,
+        par,
+    )?;
+    // A trace error mid-stream ends the record iterator early; surface
+    // it instead of the truncated result.
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
+/// Epoch-parallel mapped timing replay of a TSB1 file, named after the
+/// file stem.
+///
+/// # Errors
+///
+/// As [`run_timing_mapped_par`], plus open/map failures as
+/// [`StreamedReplayError::Trace`].
+pub fn run_timing_mapped_path_par(
+    path: impl AsRef<Path>,
+    sys: &SystemConfig,
+    engine: &EngineKind,
+    warm_fraction: f64,
+    par: tse_types::Parallelism,
+) -> Result<TimingResult, StreamedReplayError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let trace = std::sync::Arc::new(MappedTrace::open(path)?);
+    run_timing_mapped_par(name, trace, sys, engine, warm_fraction, par)
+}
+
 /// All mutable state of one timing run: the DSM, the optional TSE, the
 /// per-node interval cores and the warm-up bookkeeping. Shared by the
 /// batched block loop ([`run_timing_blocks`]) and the record-at-a-time
 /// reference ([`run_timing_interleaved_reference`]), which differ only
 /// in how they walk the trace.
-struct TimingRun {
-    dsm: DsmSystem,
+pub(crate) struct TimingRun {
+    pub(crate) dsm: DsmSystem,
     tse: Option<Box<TemporalStreamingEngine>>,
     cores: Vec<Core>,
     warm_marks: Vec<(u64, u64, u64, u64)>,
@@ -445,7 +535,7 @@ struct TimingRun {
 }
 
 impl TimingRun {
-    fn new(
+    pub(crate) fn new(
         trace_nodes: usize,
         sys: &SystemConfig,
         engine: &EngineKind,
@@ -482,7 +572,7 @@ impl TimingRun {
 
     /// Warm-up boundary: caches, CMOBs and core clocks stay warm;
     /// counters restart (the paper's measurement discipline).
-    fn warm_reset(&mut self) {
+    pub(crate) fn warm_reset(&mut self) {
         self.dsm.reset_stats();
         if let Some(t) = self.tse.as_mut() {
             t.reset_stats();
@@ -610,8 +700,66 @@ impl TimingRun {
         }
     }
 
+    /// [`TimingRun::advance_slice`] for epoch-parallel (detached)
+    /// replay: the per-record clock/stall advance and the run walk are
+    /// identical, but each run head's hierarchy resolution comes from
+    /// its phase-A outcome byte instead of a probe, and writes resolve
+    /// through [`DsmSystem::write_resolved`]. The caller slices the
+    /// epoch's columns at journaled-eviction positions and applies each
+    /// eviction between chunks, so `ops`/`outcomes` here are one such
+    /// chunk.
+    pub(crate) fn advance_slice_outcomes(
+        &mut self,
+        ops: &[u8],
+        nodes: &[u16],
+        lines: &[u64],
+        clocks: &[u64],
+        stalls: &[u32],
+        outcomes: &[u8],
+    ) {
+        use tse_memsim::epoch::outcome;
+        let mut i = 0usize;
+        while i < ops.len() {
+            let n = usize::from(nodes[i]);
+            let node = NodeId::new(nodes[i]);
+            let line = Line::new(lines[i]);
+            let now = self.advance_clock(n, clocks[i], stalls[i]);
+            if ops[i] & OP_WRITE != 0 {
+                self.dsm
+                    .write_resolved(node, line, outcomes[i] == outcome::WRITE_HAD);
+                if let Some(t) = self.tse.as_mut() {
+                    t.write(&mut self.dsm, line);
+                }
+                i += 1;
+                continue;
+            }
+            let j = crate::kernel::run_end(ops, nodes, lines, i);
+            match outcomes[i] {
+                outcome::HIT_L1 => {}
+                outcome::HIT_L2 => self.cores[n].l2_hit(),
+                outcome::MISS => self.read_miss_event(
+                    node,
+                    line,
+                    now,
+                    ops[i] & OP_SPIN != 0,
+                    ops[i] & OP_DEPENDENT != 0,
+                ),
+                o => debug_assert!(false, "read head with phase-A outcome {o}"),
+            }
+            for k in (i + 1)..j {
+                self.advance_clock(n, clocks[k], stalls[k]);
+            }
+            i = j;
+        }
+    }
+
     /// Drains the cores and assembles the [`TimingResult`].
-    fn finish(mut self, name: &str, engine: &EngineKind, sys: &SystemConfig) -> TimingResult {
+    pub(crate) fn finish(
+        mut self,
+        name: &str,
+        engine: &EngineKind,
+        sys: &SystemConfig,
+    ) -> TimingResult {
         for core in self.cores.iter_mut() {
             core.finish();
         }
